@@ -1,0 +1,46 @@
+//! E12 (ablation): naive T-operator iteration vs semi-naive evaluation on
+//! the paper's recursive workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqlog_bench::{abc_database, rng, setup, ABCN_SRC, REVERSE_SRC};
+use seqlog_core::eval::{EvalConfig, Strategy};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_seminaive");
+    group.sample_size(10);
+    let workloads: Vec<(&str, &str, Vec<String>)> = vec![
+        ("abcn", ABCN_SRC, abc_database(&mut rng(), 4, 6)),
+        ("reverse", REVERSE_SRC, vec!["0110100110".into()]),
+    ];
+    for (name, src, words) in workloads {
+        for strategy in [Strategy::Naive, Strategy::SemiNaive] {
+            let id = match strategy {
+                Strategy::Naive => "naive",
+                Strategy::SemiNaive => "seminaive",
+            };
+            group.bench_with_input(BenchmarkId::new(name, id), &words, |b, words| {
+                b.iter_batched(
+                    || setup(src, words),
+                    |(mut e, p, db)| {
+                        e.evaluate_with(
+                            &p,
+                            &db,
+                            &EvalConfig {
+                                strategy,
+                                ..Default::default()
+                            },
+                        )
+                        .unwrap()
+                        .stats
+                        .facts
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

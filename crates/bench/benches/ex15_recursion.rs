@@ -1,0 +1,47 @@
+//! E6 (Ex 1.5 / Thm 2): structural recursion (`rep1`, terminating) vs
+//! constructive recursion (`rep2`, diverging until a budget stops it).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqlog_bench::{setup, REP1_SRC, REP2_SRC};
+use seqlog_core::eval::{EvalConfig, EvalError};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ex15_structural_vs_constructive");
+    group.sample_size(10);
+    for reps in [2usize, 3, 4] {
+        let word = "ab".repeat(reps);
+        group.bench_with_input(BenchmarkId::new("rep1_structural", reps), &word, |b, w| {
+            b.iter_batched(
+                || {
+                    let (mut e, p, mut db) = setup(REP1_SRC, &[w.clone()]);
+                    e.add_fact(&mut db, "seq", &[w]);
+                    (e, p, db)
+                },
+                |(mut e, p, db)| e.evaluate(&p, &db).unwrap().stats.facts,
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(
+            BenchmarkId::new("rep2_constructive_until_budget", reps),
+            &word,
+            |b, w| {
+                b.iter_batched(
+                    || {
+                        let (mut e, p, mut db) = setup(REP2_SRC, &[w.clone()]);
+                        e.add_fact(&mut db, "seq", &[w]);
+                        (e, p, db)
+                    },
+                    |(mut e, p, db)| match e.evaluate_with(&p, &db, &EvalConfig::probe()) {
+                        Err(EvalError::Budget { stats, .. }) => stats.facts,
+                        other => panic!("rep2 must diverge, got {other:?}"),
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! E10 (Ex 7.1): DNA→RNA→protein throughput — the serial order-1 network
+//! is linear in sequence length; the Transducer Datalog route adds
+//! domain-closure cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use seqlog_bench::{dna_database, rng};
+use seqlog_core::database::Database;
+use seqlog_core::engine::Engine;
+use seqlog_transducer::{library, Network};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ex71_genome_pipeline");
+    group.sample_size(10);
+    for len in [100usize, 1_000, 10_000] {
+        let words = dna_database(&mut rng(), 1, len);
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_with_input(BenchmarkId::new("network", len), &words[0], |b, w| {
+            let mut a = seqlog_sequence::Alphabet::new();
+            let net = Network::chain(
+                "pipe",
+                vec![library::transcribe(&mut a), library::translate(&mut a)],
+            );
+            let syms = a.seq_of_str(w);
+            b.iter(|| net.run_simple(&[&syms]).unwrap().len())
+        });
+        if len <= 100 {
+            group.bench_with_input(
+                BenchmarkId::new("transducer_datalog", len),
+                &words[0],
+                |b, w| {
+                    b.iter_batched(
+                        || {
+                            let mut e = Engine::new();
+                            let t1 = library::transcribe(&mut e.alphabet);
+                            let t2 = library::translate(&mut e.alphabet);
+                            e.register_transducer("transcribe", t1);
+                            e.register_transducer("translate", t2);
+                            let p = e
+                                .parse_program(
+                                    "rnaseq(D, @transcribe(D)) :- dnaseq(D).\n\
+                                 proteinseq(D, @translate(R)) :- rnaseq(D, R).",
+                                )
+                                .unwrap();
+                            let mut db = Database::new();
+                            e.add_fact(&mut db, "dnaseq", &[w]);
+                            (e, p, db)
+                        },
+                        |(mut e, p, db)| e.evaluate(&p, &db).unwrap().stats.facts,
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

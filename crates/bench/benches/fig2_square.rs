@@ -1,0 +1,34 @@
+//! E1 (Fig. 2): `T_square` execution cost vs input length — the quadratic
+//! output of Example 6.1's order-2 machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqlog_sequence::Alphabet;
+use seqlog_transducer::{library, run, ExecLimits, ExecStats};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_square");
+    group.sample_size(20);
+    let mut a = Alphabet::new();
+    let syms: Vec<_> = "abc".chars().map(|ch| a.intern_char(ch)).collect();
+    let t = library::square(&mut a, &syms);
+    for n in [8usize, 16, 32, 64] {
+        let input: Vec<_> = (0..n).map(|i| syms[i % 3]).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &input, |b, input| {
+            b.iter(|| {
+                let out = run(
+                    &t,
+                    &[input],
+                    &ExecLimits::default(),
+                    &mut ExecStats::default(),
+                )
+                .unwrap();
+                assert_eq!(out.len(), n * n);
+                out
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E11 (Thm 10): cost of evaluating a program against its guarded
+//! transformation — same answers, bounded overhead from the `dom` closure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqlog_bench::{random_word, rng};
+use seqlog_core::database::Database;
+use seqlog_core::engine::Engine;
+use seqlog_core::guard::guard_program;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm10_guarding");
+    group.sample_size(10);
+    for len in [8usize, 16, 32] {
+        let seed = random_word(&mut rng(), "acgt", len);
+        let probe: String = seed.chars().skip(1).collect();
+        for guarded in [false, true] {
+            let id = if guarded { "guarded" } else { "raw" };
+            group.bench_with_input(
+                BenchmarkId::new(id, len),
+                &(seed.clone(), probe.clone()),
+                |b, (seed, probe)| {
+                    b.iter_batched(
+                        || {
+                            let mut e = Engine::new();
+                            let p = e.parse_program("p(X) :- q(X[2:end]).").unwrap();
+                            let p = if guarded {
+                                guard_program(&p, &[("seed".into(), 1)])
+                            } else {
+                                p
+                            };
+                            let mut db = Database::new();
+                            e.add_fact(&mut db, "seed", &[seed]);
+                            e.add_fact(&mut db, "q", &[probe]);
+                            (e, p, db)
+                        },
+                        |(mut e, p, db)| e.evaluate(&p, &db).unwrap().stats.facts,
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E8 (Thm 1): fixpoint cost of the Turing-machine-in-Datalog simulation vs
+//! direct machine execution — the price of completeness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqlog_core::database::Database;
+use seqlog_core::engine::Engine;
+use seqlog_turing::{samples, tm_to_seqlog};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm1_tm_simulation");
+    group.sample_size(10);
+    for n in [2usize, 4, 6] {
+        let input = "10".repeat(n / 2);
+        group.bench_with_input(BenchmarkId::new("datalog_sim", n), &input, |b, input| {
+            b.iter_batched(
+                || {
+                    let mut e = Engine::new();
+                    let tm = samples::complement_tm(&mut e.alphabet);
+                    let p = tm_to_seqlog(&tm, &mut e.alphabet, &mut e.store);
+                    let mut db = Database::new();
+                    e.add_fact(&mut db, "input", &[input]);
+                    (e, p, db)
+                },
+                |(mut e, p, db)| e.evaluate(&p, &db).unwrap().stats.rounds,
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("direct", n), &input, |b, input| {
+            let mut a = seqlog_sequence::Alphabet::new();
+            let tm = samples::complement_tm(&mut a);
+            let syms = a.seq_of_str(input);
+            b.iter(|| tm.run(&syms, 1_000_000).unwrap().steps)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E4/E13 (Thm 3): non-constructive Sequence Datalog evaluation scales
+//! polynomially with the database — the aⁿbⁿcⁿ pattern workload of
+//! Example 1.3 over growing databases.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqlog_bench::{abc_database, rng, setup, ABCN_SRC};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm3_ptime_nonconstructive");
+    group.sample_size(10);
+    for (count, n) in [(2usize, 4usize), (4, 6), (8, 8)] {
+        let words = abc_database(&mut rng(), count, n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{count}seqs_n{n}")),
+            &words,
+            |b, words| {
+                b.iter_batched(
+                    || setup(ABCN_SRC, words),
+                    |(mut e, p, db)| {
+                        let m = e.evaluate(&p, &db).unwrap();
+                        assert!(!m.tuples("answer").is_empty());
+                        m.stats.facts
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! E2/E3 (Thm 4): output growth of transducer networks — polynomial
+//! (`n^(2^d)`) for order-2 chains, doubly exponential for the order-3 pump.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqlog_sequence::Alphabet;
+use seqlog_transducer::{library, run, ExecLimits, ExecStats, Network};
+
+fn order2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm4_order2_growth");
+    group.sample_size(10);
+    let mut a = Alphabet::new();
+    let syms: Vec<_> = "x".chars().map(|ch| a.intern_char(ch)).collect();
+    for d in 1..=3usize {
+        let machines: Vec<_> = (0..d).map(|_| library::square(&mut a, &syms)).collect();
+        let net = Network::chain(format!("sq^{d}"), machines);
+        let n = 3usize;
+        let input: Vec<_> = std::iter::repeat(syms[0]).take(n).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("d{d}")),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let out = net.run_simple(&[input]).unwrap();
+                    assert_eq!(out.len(), n.pow(2u32.pow(d as u32)));
+                    out.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn order3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm4_order3_growth");
+    group.sample_size(10);
+    let mut a = Alphabet::new();
+    let syms: Vec<_> = "x".chars().map(|ch| a.intern_char(ch)).collect();
+    let t = library::exp(&mut a, &syms);
+    for n in [3usize, 4, 5] {
+        let input: Vec<_> = std::iter::repeat(syms[0]).take(n).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &input, |b, input| {
+            b.iter(|| {
+                let out = run(
+                    &t,
+                    &[input],
+                    &ExecLimits::default(),
+                    &mut ExecStats::default(),
+                )
+                .unwrap();
+                assert_eq!(out.len() as u64, 2u64.pow(2u32.pow(n as u32 - 2)));
+                out.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, order2, order3);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E9 (Thm 5): cost of running a Turing machine through its compiled
+//! order-2 network, against direct machine execution — the network pays the
+//! counter-driven simulation cost but stays polynomial.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqlog_sequence::Alphabet;
+use seqlog_turing::{samples, tm_to_network, NetworkOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm5_ptime_network");
+    group.sample_size(10);
+    let mut a = Alphabet::new();
+    let tm = samples::complement_tm(&mut a);
+    let net = tm_to_network(
+        &tm,
+        &mut a,
+        NetworkOptions {
+            counter_squarings: 1,
+        },
+    );
+
+    for n in [2usize, 4, 8] {
+        let input: Vec<_> = a.seq_of_str(&"10".repeat(n / 2));
+        group.bench_with_input(BenchmarkId::new("network", n), &input, |b, input| {
+            b.iter(|| net.run_simple(&[input]).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("direct", n), &input, |b, input| {
+            b.iter(|| tm.run(input, 1_000_000).unwrap().steps)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E7 (Thm 7): native Transducer Datalog evaluation vs its translation to
+//! pure Sequence Datalog — same answers, orders-of-magnitude cost gap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqlog_bench::{random_word, rng};
+use seqlog_core::database::Database;
+use seqlog_core::engine::Engine;
+use seqlog_core::translate::translate_program;
+use seqlog_transducer::library;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm7_translation");
+    group.sample_size(10);
+    for len in [4usize, 8] {
+        let word = random_word(&mut rng(), "acgt", len);
+        group.bench_with_input(BenchmarkId::new("native_td", len), &word, |b, w| {
+            b.iter_batched(
+                || {
+                    let mut e = Engine::new();
+                    let t = library::transcribe(&mut e.alphabet);
+                    e.register_transducer("transcribe", t);
+                    let p = e
+                        .parse_program("rnaseq(D, @transcribe(D)) :- dnaseq(D).")
+                        .unwrap();
+                    let mut db = Database::new();
+                    e.add_fact(&mut db, "dnaseq", &[w]);
+                    (e, p, db)
+                },
+                |(mut e, p, db)| e.evaluate(&p, &db).unwrap().stats.facts,
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("translated_sd", len), &word, |b, w| {
+            b.iter_batched(
+                || {
+                    let mut e = Engine::new();
+                    let t = library::transcribe(&mut e.alphabet);
+                    e.register_transducer("transcribe", t);
+                    let td = e
+                        .parse_program("rnaseq(D, @transcribe(D)) :- dnaseq(D).")
+                        .unwrap();
+                    let sd =
+                        translate_program(&td, &e.registry, &mut e.alphabet, &mut e.store).unwrap();
+                    let mut db = Database::new();
+                    e.add_fact(&mut db, "dnaseq", &[w]);
+                    (e, sd, db)
+                },
+                |(mut e, sd, db)| e.evaluate(&sd, &db).unwrap().stats.facts,
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E5 (Thm 8): evaluation cost of a strongly safe order-2 Transducer
+//! Datalog program as the database grows — polynomial minimal models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqlog_bench::{dna_database, rng};
+use seqlog_core::database::Database;
+use seqlog_core::engine::Engine;
+use seqlog_transducer::library;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm8_model_size");
+    group.sample_size(10);
+    for count in [2usize, 4, 8] {
+        let words = dna_database(&mut rng(), count, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(count), &words, |b, words| {
+            b.iter_batched(
+                || {
+                    let mut e = Engine::new();
+                    let syms: Vec<_> = "acgt"
+                        .chars()
+                        .map(|ch| e.alphabet.intern_char(ch))
+                        .collect();
+                    let sq = library::square(&mut e.alphabet, &syms);
+                    e.register_transducer("square", sq);
+                    let p = e
+                        .parse_program(
+                            "doubled(X ++ X) :- r(X).\nsquared(@square(X)) :- doubled(X).",
+                        )
+                        .unwrap();
+                    let mut db = Database::new();
+                    for w in words {
+                        e.add_fact(&mut db, "r", &[w]);
+                    }
+                    (e, p, db)
+                },
+                |(mut e, p, db)| e.evaluate(&p, &db).unwrap().stats.domain_size,
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Shared workload builders for the benchmark harness and the experiment
+//! runner.
+//!
+//! Every figure and quantitative claim of the paper maps to one experiment
+//! (see DESIGN.md §3 for the index and EXPERIMENTS.md for recorded
+//! results). The builders are deterministic (seeded `StdRng`) so benchmark
+//! runs and the printed experiment report see identical workloads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seqlog_core::database::Database;
+use seqlog_core::engine::Engine;
+use seqlog_core::Program;
+
+/// Deterministic RNG for all workloads.
+pub fn rng() -> StdRng {
+    StdRng::seed_from_u64(0x1995_0525)
+}
+
+/// A random word over `alphabet` of length `len`.
+pub fn random_word(rng: &mut StdRng, alphabet: &str, len: usize) -> String {
+    let chars: Vec<char> = alphabet.chars().collect();
+    (0..len)
+        .map(|_| chars[rng.gen_range(0..chars.len())])
+        .collect()
+}
+
+/// A word of the form `aⁿbⁿcⁿ` (positive instance of Example 1.3).
+pub fn abc_word(n: usize) -> String {
+    format!("{}{}{}", "a".repeat(n), "b".repeat(n), "c".repeat(n))
+}
+
+/// The Example 1.3 pattern-matching program (non-constructive fragment).
+pub const ABCN_SRC: &str = r#"
+    answer(X) :- r(X), abcn(X[1:N1], X[N1+1:N2], X[N2+1:end]).
+    abcn("", "", "") :- true.
+    abcn(X, Y, Z) :- X[1] = "a", Y[1] = "b", Z[1] = "c",
+                     abcn(X[2:end], Y[2:end], Z[2:end]).
+"#;
+
+/// The Example 1.4 reverse program (stratified-constructive).
+pub const REVERSE_SRC: &str = r#"
+    answer(Y) :- r(X), rev(X, Y).
+    rev("", "") :- true.
+    rev(X[1:N+1], X[N+1] ++ Y) :- r(X), rev(X[1:N], Y).
+"#;
+
+/// The Example 1.5 structural-repeats program.
+pub const REP1_SRC: &str = r#"
+    rep1(X, X) :- true.
+    rep1(X, X[1:N]) :- rep1(X[N+1:end], X[1:N]).
+"#;
+
+/// The Example 1.5 constructive-repeats program (infinite least fixpoint).
+pub const REP2_SRC: &str = r#"
+    rep2(X, X) :- seq(X).
+    rep2(X ++ Y, Y) :- rep2(X, Y).
+"#;
+
+/// Parse a program into a fresh engine together with an `r`-relation
+/// database over the given words.
+pub fn setup(src: &str, words: &[String]) -> (Engine, Program, Database) {
+    let mut e = Engine::new();
+    let p = e.parse_program(src).expect("benchmark program parses");
+    let mut db = Database::new();
+    for w in words {
+        e.add_fact(&mut db, "r", &[w]);
+    }
+    (e, p, db)
+}
+
+/// A database of `count` aⁿbⁿcⁿ-shaped words, alternating positives and
+/// single-symbol-perturbed negatives (Theorem 3 scaling workload).
+pub fn abc_database(rng: &mut StdRng, count: usize, n: usize) -> Vec<String> {
+    (0..count)
+        .map(|i| {
+            let w = abc_word(n);
+            if i % 2 == 0 {
+                w
+            } else {
+                let mut chars: Vec<char> = w.chars().collect();
+                let pos = rng.gen_range(0..chars.len());
+                chars[pos] = if chars[pos] == 'a' { 'b' } else { 'a' };
+                chars.into_iter().collect()
+            }
+        })
+        .collect()
+}
+
+/// Synthetic DNA sequences for the Example 7.1 workload.
+pub fn dna_database(rng: &mut StdRng, count: usize, len: usize) -> Vec<String> {
+    (0..count).map(|_| random_word(rng, "acgt", len)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = dna_database(&mut rng(), 3, 10);
+        let b = dna_database(&mut rng(), 3, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn abc_database_alternates_sign() {
+        let words = abc_database(&mut rng(), 4, 3);
+        assert_eq!(words[0], "aaabbbccc");
+        assert_ne!(words[1], "aaabbbccc");
+        assert_eq!(words[0].len(), words[1].len());
+    }
+
+    #[test]
+    fn bench_programs_parse_and_run() {
+        for src in [ABCN_SRC, REVERSE_SRC, REP1_SRC] {
+            let (mut e, p, db) = setup(src, &[abc_word(2)]);
+            e.evaluate(&p, &db).expect("bench program evaluates");
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Sequence databases (Section 2.2): finite sets of ground atoms whose
+//! arguments are interned sequences.
+
+use seqlog_sequence::SeqId;
+
+/// A database instance: a list of ground facts `pred(σ1, …, σk)`.
+///
+/// Build via [`Database::add`] with pre-interned sequences, or through
+/// [`crate::engine::Engine::add_fact`] which interns string arguments.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Database {
+    facts: Vec<(String, Vec<SeqId>)>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a ground fact.
+    pub fn add(&mut self, pred: impl Into<String>, tuple: Vec<SeqId>) {
+        self.facts.push((pred.into(), tuple));
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// True when the database has no facts.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Iterate over `(pred, tuple)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[SeqId])> {
+        self.facts.iter().map(|(p, t)| (p.as_str(), t.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_construction() {
+        let mut db = Database::new();
+        assert!(db.is_empty());
+        db.add("r", vec![SeqId(1)]);
+        db.add("s", vec![SeqId(1), SeqId(2)]);
+        assert_eq!(db.len(), 2);
+        let preds: Vec<&str> = db.iter().map(|(p, _)| p).collect();
+        assert_eq!(preds, vec!["r", "s"]);
+    }
+}

@@ -1,0 +1,124 @@
+//! The user-facing engine: owns the alphabet, the sequence interner, and the
+//! transducer registry; parses, analyzes, and evaluates programs.
+//!
+//! ```
+//! use seqlog_core::engine::Engine;
+//! use seqlog_core::database::Database;
+//!
+//! let mut engine = Engine::new();
+//! // Example 1.1 — all suffixes of sequences in r.
+//! let program = engine.parse_program("suffix(X[N:end]) :- r(X).").unwrap();
+//! let mut db = Database::new();
+//! engine.add_fact(&mut db, "r", &["abc"]);
+//! let model = engine.evaluate(&program, &db).unwrap();
+//! let mut suffixes = engine.rendered_tuples(&model, "suffix");
+//! suffixes.sort();
+//! assert_eq!(suffixes, vec![
+//!     vec!["".to_string()],
+//!     vec!["abc".to_string()],
+//!     vec!["bc".to_string()],
+//!     vec!["c".to_string()],
+//! ]);
+//! ```
+
+use crate::ast::Program;
+use crate::database::Database;
+use crate::eval::{evaluate, EvalConfig, EvalError, Model};
+use crate::parser::{parse_program, ParseError};
+use crate::registry::TransducerRegistry;
+use crate::safety::{analyze, SafetyReport};
+use seqlog_sequence::{Alphabet, SeqId, SeqStore};
+use seqlog_transducer::Transducer;
+
+/// An evaluation context: interners plus registered transducers.
+#[derive(Default)]
+pub struct Engine {
+    /// Symbol interner.
+    pub alphabet: Alphabet,
+    /// Sequence interner.
+    pub store: SeqStore,
+    /// Registered transducers for `@name(…)` terms.
+    pub registry: TransducerRegistry,
+}
+
+impl Engine {
+    /// Create an engine with empty interners and registry.
+    pub fn new() -> Self {
+        Self {
+            alphabet: Alphabet::new(),
+            store: SeqStore::new(),
+            registry: TransducerRegistry::new(),
+        }
+    }
+
+    /// Intern a string as a sequence (one symbol per character).
+    pub fn seq(&mut self, text: &str) -> SeqId {
+        let syms = self.alphabet.seq_of_str(text);
+        self.store.intern_vec(syms)
+    }
+
+    /// Render an interned sequence back to a string.
+    pub fn render(&self, id: SeqId) -> String {
+        self.alphabet.render(self.store.get(id))
+    }
+
+    /// Parse a program, interning its constants.
+    pub fn parse_program(&mut self, src: &str) -> Result<Program, ParseError> {
+        parse_program(src, &mut self.alphabet, &mut self.store)
+    }
+
+    /// Add a fact with string arguments to a database.
+    pub fn add_fact(&mut self, db: &mut Database, pred: &str, args: &[&str]) {
+        let tuple: Vec<SeqId> = args.iter().map(|s| self.seq(s)).collect();
+        db.add(pred, tuple);
+    }
+
+    /// Register a transducer for use in `@name(…)` terms.
+    pub fn register_transducer(&mut self, name: &str, machine: Transducer) {
+        self.registry.register(name, machine);
+    }
+
+    /// Evaluate with the default configuration.
+    pub fn evaluate(&mut self, program: &Program, db: &Database) -> Result<Model, EvalError> {
+        self.evaluate_with(program, db, &EvalConfig::default())
+    }
+
+    /// Evaluate with an explicit configuration.
+    pub fn evaluate_with(
+        &mut self,
+        program: &Program,
+        db: &Database,
+        config: &EvalConfig,
+    ) -> Result<Model, EvalError> {
+        evaluate(program, db, &mut self.store, &self.registry, config)
+    }
+
+    /// Static safety analysis (Section 8): dependency graph, constructive
+    /// cycles, strong safety, guardedness, program order.
+    pub fn analyze(&self, program: &Program) -> SafetyReport {
+        analyze(program, &self.registry)
+    }
+
+    /// The tuples of `pred` in `model`, rendered to strings.
+    pub fn rendered_tuples(&self, model: &Model, pred: &str) -> Vec<Vec<String>> {
+        model
+            .tuples(pred)
+            .into_iter()
+            .map(|t| t.iter().map(|&id| self.render(id)).collect())
+            .collect()
+    }
+
+    /// Rendered, sorted, deduplicated single-column answers for `pred`
+    /// (convenience for the common `output(Y)` query shape, Definition 5).
+    pub fn answers(&self, model: &Model, pred: &str) -> Vec<String> {
+        let mut out: Vec<String> = model
+            .tuples(pred)
+            .into_iter()
+            .filter(|t| t.len() == 1)
+            .map(|t| self.render(t[0]))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}

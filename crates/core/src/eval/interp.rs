@@ -1,0 +1,193 @@
+//! Interpretations as indexed fact stores.
+//!
+//! An interpretation is a set of ground atoms over interned sequences
+//! (Section 3.3). [`FactStore`] keeps, per predicate, the tuple list in
+//! insertion order (so semi-naive evaluation can address the delta added in
+//! a round by index range), a hash set for O(1) duplicate detection, and
+//! per-column hash indexes for join candidate selection.
+
+use seqlog_sequence::{FxHashMap, FxHashSet, SeqId};
+
+/// The tuples of one predicate.
+#[derive(Clone, Debug, Default)]
+pub struct Relation {
+    tuples: Vec<Box<[SeqId]>>,
+    set: FxHashSet<Box<[SeqId]>>,
+    /// `col_index[c][v]` = positions of tuples with value `v` in column `c`.
+    col_index: Vec<FxHashMap<SeqId, Vec<u32>>>,
+}
+
+impl Relation {
+    /// Insert a tuple; returns `true` when it was new.
+    pub fn insert(&mut self, tuple: Box<[SeqId]>) -> bool {
+        if self.set.contains(&tuple) {
+            return false;
+        }
+        if self.col_index.len() < tuple.len() {
+            self.col_index.resize_with(tuple.len(), FxHashMap::default);
+        }
+        let pos = self.tuples.len() as u32;
+        for (c, &v) in tuple.iter().enumerate() {
+            self.col_index[c].entry(v).or_default().push(pos);
+        }
+        self.set.insert(tuple.clone());
+        self.tuples.push(tuple);
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &[SeqId]) -> bool {
+        self.set.contains(tuple)
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Tuple at position `i` (insertion order).
+    pub fn tuple(&self, i: usize) -> &[SeqId] {
+        &self.tuples[i]
+    }
+
+    /// All tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &[SeqId]> {
+        self.tuples.iter().map(|t| t.as_ref())
+    }
+
+    /// Positions of tuples whose column `col` holds `v`, restricted to
+    /// positions `>= from`.
+    pub fn positions_with(&self, col: usize, v: SeqId, from: usize) -> &[u32] {
+        let list = self
+            .col_index
+            .get(col)
+            .and_then(|m| m.get(&v))
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        // Positions are appended in increasing order; binary-search the
+        // first >= from.
+        let start = list.partition_point(|&p| (p as usize) < from);
+        &list[start..]
+    }
+}
+
+/// A set of relations keyed by predicate name.
+#[derive(Clone, Debug, Default)]
+pub struct FactStore {
+    rels: FxHashMap<String, Relation>,
+    total: usize,
+}
+
+impl FactStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a fact; returns `true` when new.
+    pub fn insert(&mut self, pred: &str, tuple: Box<[SeqId]>) -> bool {
+        let rel = match self.rels.get_mut(pred) {
+            Some(r) => r,
+            None => self.rels.entry(pred.to_string()).or_default(),
+        };
+        let added = rel.insert(tuple);
+        self.total += usize::from(added);
+        added
+    }
+
+    /// The relation for `pred`, if any fact with that predicate exists.
+    pub fn relation(&self, pred: &str) -> Option<&Relation> {
+        self.rels.get(pred)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, pred: &str, tuple: &[SeqId]) -> bool {
+        self.rels.get(pred).is_some_and(|r| r.contains(tuple))
+    }
+
+    /// Tuples of `pred` in insertion order (empty when absent).
+    pub fn tuples(&self, pred: &str) -> Vec<&[SeqId]> {
+        self.rels
+            .get(pred)
+            .map(|r| r.iter().collect())
+            .unwrap_or_default()
+    }
+
+    /// Total number of facts across all predicates.
+    pub fn total_facts(&self) -> usize {
+        self.total
+    }
+
+    /// Predicate names present, in arbitrary order.
+    pub fn predicates(&self) -> impl Iterator<Item = &str> {
+        self.rels.keys().map(String::as_str)
+    }
+
+    /// Per-predicate sizes snapshot (for semi-naive delta ranges).
+    pub fn sizes(&self) -> FxHashMap<String, usize> {
+        self.rels
+            .iter()
+            .map(|(k, v)| (k.clone(), v.len()))
+            .collect()
+    }
+
+    /// Every sequence id occurring in any fact (with repetitions).
+    pub fn all_seq_ids(&self) -> impl Iterator<Item = SeqId> + '_ {
+        self.rels
+            .values()
+            .flat_map(|r| r.iter().flat_map(|t| t.iter().copied()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(n: u32) -> SeqId {
+        SeqId(n)
+    }
+
+    #[test]
+    fn insert_dedupes() {
+        let mut fs = FactStore::new();
+        assert!(fs.insert("r", vec![sid(1), sid(2)].into()));
+        assert!(!fs.insert("r", vec![sid(1), sid(2)].into()));
+        assert!(fs.insert("r", vec![sid(2), sid(1)].into()));
+        assert_eq!(fs.total_facts(), 2);
+        assert_eq!(fs.relation("r").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn column_index_finds_positions() {
+        let mut fs = FactStore::new();
+        fs.insert("r", vec![sid(1), sid(9)].into());
+        fs.insert("r", vec![sid(2), sid(9)].into());
+        fs.insert("r", vec![sid(1), sid(7)].into());
+        let r = fs.relation("r").unwrap();
+        assert_eq!(r.positions_with(0, sid(1), 0), &[0, 2]);
+        assert_eq!(r.positions_with(1, sid(9), 0), &[0, 1]);
+        // Delta restriction.
+        assert_eq!(r.positions_with(0, sid(1), 1), &[2]);
+        assert_eq!(r.positions_with(0, sid(3), 0), &[] as &[u32]);
+    }
+
+    #[test]
+    fn missing_predicates_are_empty() {
+        let fs = FactStore::new();
+        assert!(!fs.contains("nope", &[sid(0)]));
+        assert!(fs.tuples("nope").is_empty());
+    }
+
+    #[test]
+    fn zero_arity_relations_work() {
+        let mut fs = FactStore::new();
+        assert!(fs.insert("halted", Box::new([])));
+        assert!(!fs.insert("halted", Box::new([])));
+        assert!(fs.contains("halted", &[]));
+    }
+}

@@ -1,0 +1,671 @@
+//! Body matching: enumerating the substitutions of Definition 4.
+//!
+//! Given a clause body and the current interpretation, this module
+//! enumerates every substitution θ *based on the extended active domain*
+//! (Definition 1) that is defined at the clause and satisfies the body. The
+//! search binds variables from facts wherever possible (joins with greedy
+//! literal scheduling) and falls back to honest domain enumeration exactly
+//! where the semantics requires it: unguarded sequence variables range over
+//! the domain's member sequences, and index variables that no fact
+//! determines range over the integers `0..=lmax+1`.
+//!
+//! Unification against indexed terms is occurrence-driven: matching
+//! `X[N1:N2] = v` with `X` bound finds the occurrences of `v` inside `X` and
+//! solves the index equations `N1 = start`, `N2 = end` — multiple
+//! occurrences yield multiple substitutions, as the fixpoint semantics
+//! demands.
+
+use crate::compile::{CBase, CBody, CIdx, CSeq, CompiledClause};
+use crate::eval::interp::FactStore;
+use seqlog_sequence::{ExtendedDomain, SeqId, SeqStore};
+
+/// A partial substitution over a clause's variable slots.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bindings {
+    /// Sequence-variable slots.
+    pub seq: Vec<Option<SeqId>>,
+    /// Index-variable slots.
+    pub idx: Vec<Option<i64>>,
+}
+
+impl Bindings {
+    /// Fresh, all-unbound bindings for a clause.
+    pub fn for_clause(c: &CompiledClause) -> Self {
+        Self {
+            seq: vec![None; c.n_seq],
+            idx: vec![None; c.n_idx],
+        }
+    }
+}
+
+/// Outcome of evaluating a term under a partial substitution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TermVal {
+    /// Some variable in the term is still unbound.
+    Unbound,
+    /// All variables bound but the term is undefined (index out of range,
+    /// Section 3.2).
+    Undefined,
+    /// The term's value.
+    Val(SeqId),
+}
+
+/// Read-only context for matching (the store is mutable because evaluating
+/// indexed terms interns their result).
+pub struct MatchEnv<'a> {
+    /// Sequence interner.
+    pub store: &'a mut SeqStore,
+    /// Extended active domain of the current interpretation.
+    pub domain: &'a ExtendedDomain,
+    /// Current interpretation.
+    pub facts: &'a FactStore,
+    /// `lmax + 1` — the top of the integer range.
+    pub int_upper: i64,
+}
+
+/// Evaluate an index term. `end_val` is the length of the enclosing indexed
+/// term's base. `None` when the term contains an unbound variable.
+pub fn eval_idx(t: &CIdx, b: &Bindings, end_val: i64) -> Option<i64> {
+    match t {
+        CIdx::Int(i) => Some(*i),
+        CIdx::Var(v) => b.idx[*v as usize],
+        CIdx::End => Some(end_val),
+        CIdx::Add(x, y) => Some(eval_idx(x, b, end_val)? + eval_idx(y, b, end_val)?),
+        CIdx::Sub(x, y) => Some(eval_idx(x, b, end_val)? - eval_idx(y, b, end_val)?),
+    }
+}
+
+/// Evaluate a non-constructive sequence term under `b`.
+pub fn eval_seq(t: &CSeq, b: &Bindings, store: &mut SeqStore) -> TermVal {
+    match t {
+        CSeq::Const(id) => TermVal::Val(*id),
+        CSeq::Var(v) => match b.seq[*v as usize] {
+            Some(id) => TermVal::Val(id),
+            None => TermVal::Unbound,
+        },
+        CSeq::Indexed { base, lo, hi } => {
+            let base_id = match base {
+                CBase::Const(id) => *id,
+                CBase::Var(v) => match b.seq[*v as usize] {
+                    Some(id) => id,
+                    None => return TermVal::Unbound,
+                },
+            };
+            let end_val = store.len_of(base_id) as i64;
+            let (Some(n1), Some(n2)) = (eval_idx(lo, b, end_val), eval_idx(hi, b, end_val)) else {
+                return TermVal::Unbound;
+            };
+            match store.subseq(base_id, n1, n2) {
+                Some(id) => TermVal::Val(id),
+                None => TermVal::Undefined,
+            }
+        }
+        CSeq::Concat(..) | CSeq::Transducer { .. } => {
+            unreachable!("constructive terms are head-only (validated)")
+        }
+    }
+}
+
+/// Solve `t = target` for the unbound index variables of `t`, appending each
+/// solution to `out`. Uses linear isolation when one side of `+`/`-` is
+/// ground and falls back to enumerating a variable over `0..=int_upper`
+/// otherwise (index variables range over the domain integers).
+pub fn solve_idx(
+    t: &CIdx,
+    target: i64,
+    end_val: i64,
+    b: &Bindings,
+    int_upper: i64,
+    out: &mut Vec<Bindings>,
+) {
+    match t {
+        CIdx::Int(i) => {
+            if *i == target {
+                out.push(b.clone());
+            }
+        }
+        CIdx::End => {
+            if end_val == target {
+                out.push(b.clone());
+            }
+        }
+        CIdx::Var(v) => match b.idx[*v as usize] {
+            Some(val) => {
+                if val == target {
+                    out.push(b.clone());
+                }
+            }
+            None => {
+                if (0..=int_upper).contains(&target) {
+                    let mut b2 = b.clone();
+                    b2.idx[*v as usize] = Some(target);
+                    out.push(b2);
+                }
+            }
+        },
+        CIdx::Add(x, y) => match (eval_idx(x, b, end_val), eval_idx(y, b, end_val)) {
+            (Some(xv), _) => solve_idx(y, target - xv, end_val, b, int_upper, out),
+            (None, Some(yv)) => solve_idx(x, target - yv, end_val, b, int_upper, out),
+            (None, None) => enumerate_then_solve(t, target, end_val, b, int_upper, out),
+        },
+        CIdx::Sub(x, y) => match (eval_idx(x, b, end_val), eval_idx(y, b, end_val)) {
+            (Some(xv), _) => solve_idx(y, xv - target, end_val, b, int_upper, out),
+            (None, Some(yv)) => solve_idx(x, target + yv, end_val, b, int_upper, out),
+            (None, None) => enumerate_then_solve(t, target, end_val, b, int_upper, out),
+        },
+    }
+}
+
+/// Fallback for index terms with two unbound variables (e.g. `N+M`): bind
+/// the first unbound variable to each domain integer and retry.
+fn enumerate_then_solve(
+    t: &CIdx,
+    target: i64,
+    end_val: i64,
+    b: &Bindings,
+    int_upper: i64,
+    out: &mut Vec<Bindings>,
+) {
+    let Some(v) = first_unbound_idx(t, b) else {
+        return;
+    };
+    for n in 0..=int_upper {
+        let mut b2 = b.clone();
+        b2.idx[v as usize] = Some(n);
+        solve_idx(t, target, end_val, &b2, int_upper, out);
+    }
+}
+
+fn first_unbound_idx(t: &CIdx, b: &Bindings) -> Option<u16> {
+    match t {
+        CIdx::Int(_) | CIdx::End => None,
+        CIdx::Var(v) => b.idx[*v as usize].is_none().then_some(*v),
+        CIdx::Add(x, y) | CIdx::Sub(x, y) => {
+            first_unbound_idx(x, b).or_else(|| first_unbound_idx(y, b))
+        }
+    }
+}
+
+/// Unify a non-constructive term with a concrete value, appending every
+/// extended substitution to `out`.
+pub fn unify(t: &CSeq, v: SeqId, b: &Bindings, env: &mut MatchEnv<'_>, out: &mut Vec<Bindings>) {
+    match t {
+        CSeq::Const(id) => {
+            if *id == v {
+                out.push(b.clone());
+            }
+        }
+        CSeq::Var(x) => match b.seq[*x as usize] {
+            Some(id) => {
+                if id == v {
+                    out.push(b.clone());
+                }
+            }
+            None => {
+                let mut b2 = b.clone();
+                b2.seq[*x as usize] = Some(v);
+                out.push(b2);
+            }
+        },
+        CSeq::Indexed { base, lo, hi } => {
+            match base {
+                CBase::Const(id) => unify_indexed(*id, lo, hi, v, b, env, out),
+                CBase::Var(x) => match b.seq[*x as usize] {
+                    Some(id) => unify_indexed(id, lo, hi, v, b, env, out),
+                    None => {
+                        // The base ranges over the extended active domain
+                        // (the honest Definition 4 semantics for unguarded
+                        // variables).
+                        let members: Vec<SeqId> = env.domain.iter().collect();
+                        for s in members {
+                            let mut b2 = b.clone();
+                            b2.seq[*x as usize] = Some(s);
+                            unify_indexed(s, lo, hi, v, &b2, env, out);
+                        }
+                    }
+                },
+            }
+        }
+        CSeq::Concat(..) | CSeq::Transducer { .. } => {
+            unreachable!("constructive terms are head-only (validated)")
+        }
+    }
+}
+
+/// Unify `base[lo:hi] = v` for a bound base: enumerate occurrences of `v` in
+/// `base` and solve the index equations.
+fn unify_indexed(
+    base: SeqId,
+    lo: &CIdx,
+    hi: &CIdx,
+    v: SeqId,
+    b: &Bindings,
+    env: &mut MatchEnv<'_>,
+    out: &mut Vec<Bindings>,
+) {
+    let end_val = env.store.len_of(base) as i64;
+    // Fast path: both indexes already evaluable — evaluate and compare.
+    if let (Some(n1), Some(n2)) = (eval_idx(lo, b, end_val), eval_idx(hi, b, end_val)) {
+        if env.store.subseq(base, n1, n2) == Some(v) {
+            out.push(b.clone());
+        }
+        return;
+    }
+    let vlen = env.store.len_of(v) as i64;
+    for start0 in env.store.occurrences(base, v) {
+        // 1-based window: [start0+1 .. start0+vlen].
+        let n1 = start0 as i64 + 1;
+        let n2 = start0 as i64 + vlen;
+        let mut lo_sols = Vec::new();
+        solve_idx(lo, n1, end_val, b, env.int_upper, &mut lo_sols);
+        for bl in lo_sols {
+            solve_idx(hi, n2, end_val, &bl, env.int_upper, out);
+        }
+    }
+}
+
+/// Match one atom's argument terms against a fact tuple.
+pub fn unify_tuple(
+    args: &[CSeq],
+    tuple: &[SeqId],
+    b: &Bindings,
+    env: &mut MatchEnv<'_>,
+) -> Vec<Bindings> {
+    let mut cur = vec![b.clone()];
+    for (arg, &val) in args.iter().zip(tuple) {
+        let mut next = Vec::new();
+        for bb in &cur {
+            unify(arg, val, bb, env, &mut next);
+        }
+        if next.is_empty() {
+            return next;
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// Enumerate the substitutions satisfying `clause`'s body in `env`,
+/// optionally forcing body-atom occurrence `delta_at` to match only tuples
+/// at position `>= delta_from` in its relation (semi-naive evaluation).
+/// Calls `on_match` for every satisfying (still possibly partial — free head
+/// variables unbound) substitution.
+pub fn solve_body(
+    clause: &CompiledClause,
+    env: &mut MatchEnv<'_>,
+    delta: Option<(usize, usize)>,
+    on_match: &mut dyn FnMut(&Bindings, &mut MatchEnv<'_>),
+) {
+    let remaining: Vec<usize> = (0..clause.body.len()).collect();
+    let b = Bindings::for_clause(clause);
+    search(clause, env, delta, remaining, b, on_match);
+}
+
+fn search(
+    clause: &CompiledClause,
+    env: &mut MatchEnv<'_>,
+    delta: Option<(usize, usize)>,
+    remaining: Vec<usize>,
+    b: Bindings,
+    on_match: &mut dyn FnMut(&Bindings, &mut MatchEnv<'_>),
+) {
+    if remaining.is_empty() {
+        on_match(&b, env);
+        return;
+    }
+
+    // 1. Ground (in)equalities: decide without branching.
+    for (pos, &li) in remaining.iter().enumerate() {
+        match &clause.body[li] {
+            CBody::Eq(l, r) => {
+                let (lv, rv) = (eval_seq(l, &b, env.store), eval_seq(r, &b, env.store));
+                match (lv, rv) {
+                    (TermVal::Undefined, _) | (_, TermVal::Undefined) => return,
+                    (TermVal::Val(a), TermVal::Val(c)) => {
+                        if a != c {
+                            return;
+                        }
+                        let mut rest = remaining.clone();
+                        rest.remove(pos);
+                        search(clause, env, delta, rest, b, on_match);
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            CBody::Neq(l, r) => {
+                let (lv, rv) = (eval_seq(l, &b, env.store), eval_seq(r, &b, env.store));
+                match (lv, rv) {
+                    (TermVal::Undefined, _) | (_, TermVal::Undefined) => return,
+                    (TermVal::Val(a), TermVal::Val(c)) => {
+                        if a == c {
+                            return;
+                        }
+                        let mut rest = remaining.clone();
+                        rest.remove(pos);
+                        search(clause, env, delta, rest, b, on_match);
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            CBody::Atom(_) => {}
+        }
+    }
+
+    // 2. Equalities with one evaluable side whose other side unifies
+    // *cheaply* (no domain enumeration): a bare variable, or an indexed
+    // term with a bound base. Equalities over unbound bases are deferred
+    // until the atoms have had a chance to bind them — matching an atom is
+    // proportional to its extent, while domain enumeration is proportional
+    // to the (much larger) extended active domain.
+    let cheap = |t: &CSeq, b: &Bindings| match t {
+        CSeq::Var(_) | CSeq::Const(_) => true,
+        CSeq::Indexed { base, .. } => match base {
+            CBase::Const(_) => true,
+            CBase::Var(x) => b.seq[*x as usize].is_some(),
+        },
+        _ => false,
+    };
+    let mut deferred_eq = false;
+    for (pos, &li) in remaining.iter().enumerate() {
+        if let CBody::Eq(l, r) = &clause.body[li] {
+            let lv = eval_seq(l, &b, env.store);
+            let rv = eval_seq(r, &b, env.store);
+            let (val, other) = match (lv, rv) {
+                (TermVal::Val(a), TermVal::Unbound) => (a, r),
+                (TermVal::Unbound, TermVal::Val(c)) => (c, l),
+                _ => continue,
+            };
+            if !cheap(other, &b) {
+                deferred_eq = true;
+                continue;
+            }
+            let mut branches = Vec::new();
+            unify(other, val, &b, env, &mut branches);
+            let mut rest = remaining.clone();
+            rest.remove(pos);
+            for b2 in branches {
+                search(clause, env, delta, rest.clone(), b2, on_match);
+            }
+            return;
+        }
+    }
+
+    // 3. Best atom: fewest candidate tuples (using ground columns).
+    let mut best: Option<(usize, usize, Vec<u32>)> = None; // (pos, li, candidates)
+    for (pos, &li) in remaining.iter().enumerate() {
+        let CBody::Atom(atom) = &clause.body[li] else {
+            continue;
+        };
+        let from = match delta {
+            Some((at, f)) if at == li => f,
+            _ => 0,
+        };
+        let rel = env.facts.relation(&atom.pred);
+        let candidates: Vec<u32> = match rel {
+            None => Vec::new(),
+            Some(rel) => {
+                // Choose the most selective ground column, if any.
+                let mut chosen: Option<Vec<u32>> = None;
+                for (c, arg) in atom.args.iter().enumerate() {
+                    if let TermVal::Val(v) = eval_seq(arg, &b, env.store) {
+                        let list = rel.positions_with(c, v, from).to_vec();
+                        if chosen.as_ref().is_none_or(|cur| list.len() < cur.len()) {
+                            chosen = Some(list);
+                        }
+                    }
+                }
+                chosen.unwrap_or_else(|| (from..rel.len()).map(|i| i as u32).collect())
+            }
+        };
+        if best
+            .as_ref()
+            .is_none_or(|(_, _, c)| candidates.len() < c.len())
+        {
+            best = Some((pos, li, candidates));
+        }
+    }
+
+    if let Some((pos, li, candidates)) = best {
+        let CBody::Atom(atom) = &clause.body[li] else {
+            unreachable!()
+        };
+        let mut rest = remaining.clone();
+        rest.remove(pos);
+        for cand in candidates {
+            let tuple: Vec<SeqId> = {
+                let rel = env
+                    .facts
+                    .relation(&atom.pred)
+                    .expect("candidates imply relation");
+                rel.tuple(cand as usize).to_vec()
+            };
+            for b2 in unify_tuple(&atom.args, &tuple, &b, env) {
+                search(clause, env, delta, rest.clone(), b2, on_match);
+            }
+        }
+        return;
+    }
+
+    // 3½. No atoms remain: process a deferred equality by unification with
+    // domain enumeration of its unbound base (the honest Definition 4
+    // semantics, now unavoidable).
+    if deferred_eq {
+        for (pos, &li) in remaining.iter().enumerate() {
+            if let CBody::Eq(l, r) = &clause.body[li] {
+                let lv = eval_seq(l, &b, env.store);
+                let rv = eval_seq(r, &b, env.store);
+                let (val, other) = match (lv, rv) {
+                    (TermVal::Val(a), TermVal::Unbound) => (a, r),
+                    (TermVal::Unbound, TermVal::Val(c)) => (c, l),
+                    _ => continue,
+                };
+                let mut branches = Vec::new();
+                unify(other, val, &b, env, &mut branches);
+                let mut rest = remaining.clone();
+                rest.remove(pos);
+                for b2 in branches {
+                    search(clause, env, delta, rest.clone(), b2, on_match);
+                }
+                return;
+            }
+        }
+    }
+
+    // 4. Only non-evaluable (in)equalities remain: enumerate one of their
+    // free variables over the domain (sequence) or integer range (index),
+    // then retry. This is the honest Definition 4 semantics.
+    let mut free_seq: Option<u16> = None;
+    let mut free_idx: Option<u16> = None;
+    for &li in &remaining {
+        let (l, r) = match &clause.body[li] {
+            CBody::Eq(l, r) | CBody::Neq(l, r) => (l, r),
+            CBody::Atom(_) => unreachable!("atoms handled above"),
+        };
+        for t in [l, r] {
+            let mut sv = Vec::new();
+            let mut iv = Vec::new();
+            t.seq_vars(&mut sv);
+            t.idx_vars(&mut iv);
+            free_seq = free_seq.or(sv.into_iter().find(|&v| b.seq[v as usize].is_none()));
+            free_idx = free_idx.or(iv.into_iter().find(|&v| b.idx[v as usize].is_none()));
+        }
+    }
+    if let Some(v) = free_seq {
+        let members: Vec<SeqId> = env.domain.iter().collect();
+        for s in members {
+            let mut b2 = b.clone();
+            b2.seq[v as usize] = Some(s);
+            search(clause, env, delta, remaining.clone(), b2, on_match);
+        }
+    } else if let Some(v) = free_idx {
+        for n in 0..=env.int_upper {
+            let mut b2 = b.clone();
+            b2.idx[v as usize] = Some(n);
+            search(clause, env, delta, remaining.clone(), b2, on_match);
+        }
+    } else {
+        // All variables bound yet some (in)equality was neither ground nor
+        // one-sided — impossible: with all vars bound every term evaluates.
+        unreachable!("bound bindings with non-evaluable literals");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::parser::parse_program;
+    use seqlog_sequence::{Alphabet, ExtendedDomain};
+
+    struct Fixture {
+        alphabet: Alphabet,
+        store: SeqStore,
+        domain: ExtendedDomain,
+        facts: FactStore,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            Self {
+                alphabet: Alphabet::new(),
+                store: SeqStore::new(),
+                domain: ExtendedDomain::new(),
+                facts: FactStore::new(),
+            }
+        }
+
+        fn fact(&mut self, pred: &str, args: &[&str]) {
+            let tuple: Vec<SeqId> = args
+                .iter()
+                .map(|s| {
+                    let syms = self.alphabet.seq_of_str(s);
+                    self.store.intern_vec(syms)
+                })
+                .collect();
+            for &id in &tuple {
+                self.domain.insert_closed(&mut self.store, id);
+            }
+            self.facts.insert(pred, tuple.into());
+        }
+
+        fn matches(&mut self, rule: &str) -> Vec<Bindings> {
+            let prog = parse_program(rule, &mut self.alphabet, &mut self.store).unwrap();
+            let cp = compile(&prog).unwrap();
+            let clause = &cp.clauses[0];
+            let mut out = Vec::new();
+            let mut env = MatchEnv {
+                store: &mut self.store,
+                domain: &self.domain,
+                facts: &self.facts,
+                int_upper: self.domain.int_upper(),
+            };
+            solve_body(clause, &mut env, None, &mut |b, _| out.push(b.clone()));
+            out
+        }
+    }
+
+    #[test]
+    fn plain_join_binds_variables() {
+        let mut fx = Fixture::new();
+        fx.fact("r", &["ab"]);
+        fx.fact("r", &["cd"]);
+        let ms = fx.matches("answer(X ++ Y) :- r(X), r(Y).");
+        assert_eq!(ms.len(), 4); // 2 × 2 pairs
+        assert!(ms.iter().all(|b| b.seq.iter().all(Option::is_some)));
+    }
+
+    #[test]
+    fn indexed_term_unification_enumerates_occurrences() {
+        let mut fx = Fixture::new();
+        fx.fact("hay", &["abab"]);
+        fx.fact("needle", &["ab"]);
+        // For each occurrence of the needle: N1 bound to its start.
+        let ms = fx.matches("p(X) :- hay(X), needle(X[N1:N2]).");
+        assert_eq!(ms.len(), 2);
+        let mut starts: Vec<i64> = ms.iter().map(|b| b.idx[0].unwrap()).collect();
+        starts.sort_unstable();
+        assert_eq!(starts, vec![1, 3]);
+    }
+
+    #[test]
+    fn equality_with_one_ground_side_unifies() {
+        let mut fx = Fixture::new();
+        fx.fact("r", &["abc"]);
+        let ms = fx.matches(r#"p(X) :- r(X), X[1] = "a"."#);
+        assert_eq!(ms.len(), 1);
+        let ms = fx.matches(r#"p(X) :- r(X), X[1] = "b"."#);
+        assert!(ms.is_empty());
+    }
+
+    #[test]
+    fn undefined_terms_fail_the_substitution() {
+        let mut fx = Fixture::new();
+        fx.fact("r", &["ab"]);
+        // X[5] is undefined for a length-2 sequence: θ is not defined at the
+        // clause, so no substitution matches.
+        let ms = fx.matches(r#"p(X) :- r(X), X[5] = "a"."#);
+        assert!(ms.is_empty());
+    }
+
+    #[test]
+    fn inequality_filters() {
+        let mut fx = Fixture::new();
+        fx.fact("r", &["a"]);
+        fx.fact("r", &["b"]);
+        let ms = fx.matches("p(X, Y) :- r(X), r(Y), X != Y.");
+        assert_eq!(ms.len(), 2); // (a,b) and (b,a)
+    }
+
+    #[test]
+    fn unguarded_base_ranges_over_domain() {
+        let mut fx = Fixture::new();
+        fx.fact("q", &["bc"]);
+        fx.fact("seed", &["abc"]);
+        // X is unguarded: it ranges over the extended active domain; the
+        // members with X[2:end] = "bc" are exactly "abc" (from seed's
+        // closure... "abc"[2:3]="bc" ✓) and "bbc"? not in domain. Also "bc"
+        // itself? "bc"[2:2]="c" ≠ "bc". So only "abc".
+        let ms = fx.matches("p(X) :- q(X[2:end]).");
+        let vals: Vec<SeqId> = ms.iter().map(|b| b.seq[0].unwrap()).collect();
+        assert_eq!(vals.len(), 1);
+        let expected = {
+            let syms = fx.alphabet.seq_of_str("abc");
+            fx.store.intern_vec(syms)
+        };
+        assert_eq!(vals[0], expected);
+    }
+
+    #[test]
+    fn delta_restriction_limits_candidates() {
+        let mut fx = Fixture::new();
+        fx.fact("r", &["a"]);
+        fx.fact("r", &["b"]);
+        let prog = parse_program("p(X) :- r(X).", &mut fx.alphabet, &mut fx.store).unwrap();
+        let cp = compile(&prog).unwrap();
+        let mut out = Vec::new();
+        let mut env = MatchEnv {
+            store: &mut fx.store,
+            domain: &fx.domain,
+            facts: &fx.facts,
+            int_upper: fx.domain.int_upper(),
+        };
+        // Only tuples from position 1 (the second fact).
+        solve_body(&cp.clauses[0], &mut env, Some((0, 1)), &mut |b, _| {
+            out.push(b.clone())
+        });
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn trailing_free_equality_enumerates_domain() {
+        let mut fx = Fixture::new();
+        fx.fact("r", &["ab"]);
+        // Y is free on both sides of the equality: enumerate the domain.
+        // Members equal to their own full slice: all of them.
+        let ms = fx.matches("p(Y) :- r(X), Y = Y.");
+        // domain of "ab": ε, a, b, ab → 4 members.
+        assert_eq!(ms.len(), 4);
+    }
+}

@@ -1,0 +1,559 @@
+//! Fixpoint evaluation of Sequence Datalog / Transducer Datalog programs
+//! (Section 3.3, extended with transducer terms per Section 7.1).
+//!
+//! The evaluator computes `lfp(T_{P,db}) = T_{P,db} ↑ ω` bottom-up. Each
+//! round applies the T-operator to the current interpretation: substitutions
+//! range over the extended active domain *of that interpretation*
+//! (Definition 4), new facts are collected and committed at the end of the
+//! round, and every sequence occurring in a committed fact enters the domain
+//! together with its contiguous subsequences.
+//!
+//! Because the finiteness problem is fully undecidable (Theorem 2), the
+//! evaluator enforces explicit budgets ([`EvalConfig`]) and reports
+//! [`BudgetKind`]-tagged errors instead of diverging on programs like
+//! Example 1.5's `rep2` or Example 1.6's `echo`.
+//!
+//! Two strategies are provided: [`Strategy::Naive`] (the literal T-operator
+//! iteration — the executable specification) and [`Strategy::SemiNaive`]
+//! (delta-driven; differentially tested against naive). Semi-naive restricts
+//! each rule application to derivations that use at least one fact from the
+//! previous round's delta; *domain-sensitive* clauses (those that enumerate
+//! the extended active domain) are additionally re-evaluated in full
+//! whenever the domain has grown.
+
+pub mod interp;
+pub mod matcher;
+
+use crate::compile::{compile, CSeq, CompileError, CompiledClause, CompiledProgram};
+use crate::database::Database;
+use crate::registry::TransducerRegistry;
+use crate::Program;
+use interp::FactStore;
+use matcher::{solve_body, Bindings, MatchEnv, TermVal};
+use seqlog_sequence::{ExtendedDomain, FxHashMap, SeqId, SeqStore};
+use seqlog_transducer::{ExecLimits, ExecStats};
+use std::fmt;
+
+/// Evaluation strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Literal T-operator iteration — the executable specification.
+    Naive,
+    /// Delta-driven evaluation (default).
+    #[default]
+    SemiNaive,
+}
+
+/// Evaluation budgets and strategy selection.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalConfig {
+    /// Strategy to use.
+    pub strategy: Strategy,
+    /// Maximum T-operator rounds.
+    pub max_rounds: usize,
+    /// Maximum total facts.
+    pub max_facts: usize,
+    /// Maximum extended-active-domain size (member sequences).
+    pub max_domain: usize,
+    /// Maximum length of any created sequence.
+    pub max_seq_len: usize,
+    /// Budgets for embedded transducer runs.
+    pub exec_limits: ExecLimits,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        Self {
+            strategy: Strategy::SemiNaive,
+            max_rounds: 10_000,
+            max_facts: 1_000_000,
+            max_domain: 1_000_000,
+            max_seq_len: 65_536,
+            exec_limits: ExecLimits::default(),
+        }
+    }
+}
+
+impl EvalConfig {
+    /// A small-budget configuration for probing programs suspected of
+    /// having an infinite least fixpoint (Examples 1.5/1.6).
+    pub fn probe() -> Self {
+        Self {
+            max_rounds: 50,
+            max_facts: 20_000,
+            max_domain: 20_000,
+            max_seq_len: 4_096,
+            ..Self::default()
+        }
+    }
+}
+
+/// Which budget was exhausted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// `max_rounds`.
+    Rounds,
+    /// `max_facts`.
+    Facts,
+    /// `max_domain`.
+    DomainSize,
+    /// `max_seq_len`.
+    SeqLen,
+}
+
+/// Counters describing an evaluation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EvalStats {
+    /// T-operator rounds performed.
+    pub rounds: usize,
+    /// Facts in the final (or partial) interpretation.
+    pub facts: usize,
+    /// Extended-active-domain size.
+    pub domain_size: usize,
+    /// Longest sequence created during evaluation.
+    pub max_seq_len: usize,
+    /// Head instantiations attempted (including duplicates).
+    pub derivations: u64,
+    /// Transducer-term evaluations.
+    pub transducer_calls: u64,
+    /// Total transducer transitions across all calls.
+    pub transducer_steps: u64,
+}
+
+/// Evaluation errors.
+#[derive(Clone, Debug)]
+pub enum EvalError {
+    /// Static validation failed.
+    Compile(CompileError),
+    /// A budget was exhausted — the program may have an infinite least
+    /// fixpoint (Theorem 2 makes this undecidable in general).
+    Budget {
+        /// Exhausted budget.
+        kind: BudgetKind,
+        /// Statistics at the point of interruption.
+        stats: EvalStats,
+    },
+    /// A transducer term refers to a machine that is not registered.
+    UnknownTransducer(String),
+    /// A transducer run failed (stuck machine or exec budget).
+    Transducer {
+        /// Machine name.
+        name: String,
+        /// Rendered execution error.
+        error: String,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Compile(e) => write!(f, "{e}"),
+            Self::Budget { kind, stats } => write!(
+                f,
+                "budget exhausted ({kind:?}) after {} rounds, {} facts, domain {}",
+                stats.rounds, stats.facts, stats.domain_size
+            ),
+            Self::UnknownTransducer(n) => write!(f, "unknown transducer @{n}"),
+            Self::Transducer { name, error } => write!(f, "transducer @{name}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<CompileError> for EvalError {
+    fn from(e: CompileError) -> Self {
+        Self::Compile(e)
+    }
+}
+
+/// The result of a (terminating) evaluation: the least fixpoint
+/// interpretation, its extended active domain, and statistics.
+#[derive(Clone, Debug)]
+pub struct Model {
+    /// The least fixpoint `T_{P,db} ↑ ω`.
+    pub facts: FactStore,
+    /// Its extended active domain.
+    pub domain: ExtendedDomain,
+    /// Evaluation statistics.
+    pub stats: EvalStats,
+}
+
+impl Model {
+    /// Tuples of `pred` (empty when absent).
+    pub fn tuples(&self, pred: &str) -> Vec<&[SeqId]> {
+        self.facts.tuples(pred)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, pred: &str, tuple: &[SeqId]) -> bool {
+        self.facts.contains(pred, tuple)
+    }
+}
+
+/// Evaluate `program` over `db` to the least fixpoint.
+pub fn evaluate(
+    program: &Program,
+    db: &Database,
+    store: &mut SeqStore,
+    registry: &TransducerRegistry,
+    config: &EvalConfig,
+) -> Result<Model, EvalError> {
+    let compiled = compile(program)?;
+    evaluate_compiled(&compiled, db, store, registry, config)
+}
+
+/// Evaluate an already-compiled program.
+pub fn evaluate_compiled(
+    program: &CompiledProgram,
+    db: &Database,
+    store: &mut SeqStore,
+    registry: &TransducerRegistry,
+    config: &EvalConfig,
+) -> Result<Model, EvalError> {
+    let mut facts = FactStore::new();
+    let mut domain = ExtendedDomain::new();
+    let mut stats = EvalStats::default();
+
+    // Seed: database atoms are clauses with empty bodies (Definition 4).
+    for (pred, tuple) in db.iter() {
+        if facts.insert(pred, tuple.into()) {
+            for &id in tuple {
+                domain.insert_closed(store, id);
+            }
+        }
+    }
+    check_budgets(&facts, &domain, store, config, &mut stats)?;
+
+    // Per-relation sizes *before* the most recent round (semi-naive deltas).
+    let mut sizes_before: FxHashMap<String, usize> = FxHashMap::default();
+    let mut domain_before: usize = 0;
+
+    loop {
+        if stats.rounds >= config.max_rounds {
+            finalize_stats(&mut stats, &facts, &domain);
+            return Err(EvalError::Budget {
+                kind: BudgetKind::Rounds,
+                stats,
+            });
+        }
+        stats.rounds += 1;
+
+        let sizes_now = facts.sizes();
+        let domain_now = domain.len();
+        let full_round = stats.rounds == 1 || config.strategy == Strategy::Naive;
+
+        let mut new_facts: Vec<(String, Box<[SeqId]>)> = Vec::new();
+        for clause in &program.clauses {
+            if full_round {
+                derive_clause(
+                    clause,
+                    None,
+                    store,
+                    registry,
+                    &facts,
+                    &domain,
+                    config,
+                    &mut stats,
+                    &mut new_facts,
+                )?;
+                continue;
+            }
+            // Semi-naive: facts fire only in round 1.
+            if clause.body.is_empty() {
+                continue;
+            }
+            let domain_grew = domain_now > domain_before;
+            if clause.domain_sensitive && domain_grew {
+                derive_clause(
+                    clause,
+                    None,
+                    store,
+                    registry,
+                    &facts,
+                    &domain,
+                    config,
+                    &mut stats,
+                    &mut new_facts,
+                )?;
+                continue;
+            }
+            for (li, lit) in clause.body.iter().enumerate() {
+                let crate::compile::CBody::Atom(atom) = lit else {
+                    continue;
+                };
+                let before = sizes_before.get(&atom.pred).copied().unwrap_or(0);
+                let now = sizes_now.get(&atom.pred).copied().unwrap_or(0);
+                if now > before {
+                    derive_clause(
+                        clause,
+                        Some((li, before)),
+                        store,
+                        registry,
+                        &facts,
+                        &domain,
+                        config,
+                        &mut stats,
+                        &mut new_facts,
+                    )?;
+                }
+            }
+        }
+
+        sizes_before = sizes_now;
+        domain_before = domain_now;
+
+        let mut added = 0usize;
+        for (pred, tuple) in new_facts {
+            if facts.insert(&pred, tuple.clone()) {
+                added += 1;
+                for &id in tuple.iter() {
+                    domain.insert_closed(store, id);
+                }
+            }
+        }
+        check_budgets(&facts, &domain, store, config, &mut stats)?;
+        if added == 0 {
+            break;
+        }
+    }
+
+    finalize_stats(&mut stats, &facts, &domain);
+    Ok(Model {
+        facts,
+        domain,
+        stats,
+    })
+}
+
+/// One application of the T-operator to an arbitrary interpretation:
+/// returns every derivable head instance (used by the Appendix A model
+/// checker; `T(I) ⊆ I` iff `I` is a model, Lemma 4).
+pub fn tp_step(
+    program: &CompiledProgram,
+    store: &mut SeqStore,
+    registry: &TransducerRegistry,
+    facts: &FactStore,
+    domain: &ExtendedDomain,
+    config: &EvalConfig,
+) -> Result<Vec<(String, Box<[SeqId]>)>, EvalError> {
+    let mut stats = EvalStats::default();
+    let mut out = Vec::new();
+    for clause in &program.clauses {
+        derive_clause(
+            clause, None, store, registry, facts, domain, config, &mut stats, &mut out,
+        )?;
+    }
+    Ok(out)
+}
+
+fn finalize_stats(stats: &mut EvalStats, facts: &FactStore, domain: &ExtendedDomain) {
+    stats.facts = facts.total_facts();
+    stats.domain_size = domain.len();
+    stats.max_seq_len = stats.max_seq_len.max(domain.max_len());
+}
+
+fn check_budgets(
+    facts: &FactStore,
+    domain: &ExtendedDomain,
+    store: &SeqStore,
+    config: &EvalConfig,
+    stats: &mut EvalStats,
+) -> Result<(), EvalError> {
+    let _ = store;
+    finalize_stats(stats, facts, domain);
+    if facts.total_facts() > config.max_facts {
+        return Err(EvalError::Budget {
+            kind: BudgetKind::Facts,
+            stats: *stats,
+        });
+    }
+    if domain.len() > config.max_domain {
+        return Err(EvalError::Budget {
+            kind: BudgetKind::DomainSize,
+            stats: *stats,
+        });
+    }
+    if domain.max_len() > config.max_seq_len {
+        return Err(EvalError::Budget {
+            kind: BudgetKind::SeqLen,
+            stats: *stats,
+        });
+    }
+    Ok(())
+}
+
+/// Derive all head instances of one clause under the given delta
+/// restriction, appending them to `out`.
+#[allow(clippy::too_many_arguments)]
+fn derive_clause(
+    clause: &CompiledClause,
+    delta: Option<(usize, usize)>,
+    store: &mut SeqStore,
+    registry: &TransducerRegistry,
+    facts: &FactStore,
+    domain: &ExtendedDomain,
+    config: &EvalConfig,
+    stats: &mut EvalStats,
+    out: &mut Vec<(String, Box<[SeqId]>)>,
+) -> Result<(), EvalError> {
+    // Snapshot for free-variable enumeration: substitutions in this round
+    // range over the domain of the interpretation entering the round.
+    let members: Vec<SeqId> = domain.iter().collect();
+    let int_upper = domain.int_upper();
+
+    let mut error: Option<EvalError> = None;
+    {
+        let mut env = MatchEnv {
+            store,
+            domain,
+            facts,
+            int_upper,
+        };
+        let mut on_match = |b: &Bindings, env: &mut MatchEnv<'_>| {
+            if error.is_some() {
+                return;
+            }
+            if let Err(e) = instantiate_head(clause, b, env, registry, config, stats, &members, out)
+            {
+                error = Some(e);
+            }
+        };
+        solve_body(clause, &mut env, delta, &mut on_match);
+    }
+    match error {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Enumerate free (head-only) variables over the domain and evaluate the
+/// head atom for each completion.
+#[allow(clippy::too_many_arguments)]
+fn instantiate_head(
+    clause: &CompiledClause,
+    b: &Bindings,
+    env: &mut MatchEnv<'_>,
+    registry: &TransducerRegistry,
+    config: &EvalConfig,
+    stats: &mut EvalStats,
+    members: &[SeqId],
+    out: &mut Vec<(String, Box<[SeqId]>)>,
+) -> Result<(), EvalError> {
+    let free_seq: Vec<usize> = (0..clause.n_seq).filter(|&v| b.seq[v].is_none()).collect();
+    let free_idx: Vec<usize> = (0..clause.n_idx).filter(|&v| b.idx[v].is_none()).collect();
+
+    // Depth-first product over free variables.
+    fn rec(
+        clause: &CompiledClause,
+        b: &mut Bindings,
+        free_seq: &[usize],
+        free_idx: &[usize],
+        members: &[SeqId],
+        int_upper: i64,
+        env: &mut MatchEnv<'_>,
+        registry: &TransducerRegistry,
+        config: &EvalConfig,
+        stats: &mut EvalStats,
+        out: &mut Vec<(String, Box<[SeqId]>)>,
+    ) -> Result<(), EvalError> {
+        if let Some((&v, rest)) = free_seq.split_first() {
+            for &m in members {
+                b.seq[v] = Some(m);
+                rec(
+                    clause, b, rest, free_idx, members, int_upper, env, registry, config, stats,
+                    out,
+                )?;
+            }
+            b.seq[v] = None;
+            return Ok(());
+        }
+        if let Some((&v, rest)) = free_idx.split_first() {
+            for n in 0..=int_upper {
+                b.idx[v] = Some(n);
+                rec(
+                    clause, b, free_seq, rest, members, int_upper, env, registry, config, stats,
+                    out,
+                )?;
+            }
+            b.idx[v] = None;
+            return Ok(());
+        }
+        // Fully bound: evaluate the head.
+        stats.derivations += 1;
+        let mut tuple = Vec::with_capacity(clause.head.args.len());
+        for arg in &clause.head.args {
+            match eval_full(arg, b, env.store, registry, config, stats)? {
+                TermVal::Val(id) => {
+                    if env.store.len_of(id) > config.max_seq_len {
+                        return Err(EvalError::Budget {
+                            kind: BudgetKind::SeqLen,
+                            stats: *stats,
+                        });
+                    }
+                    tuple.push(id);
+                }
+                TermVal::Undefined => return Ok(()), // θ undefined at clause
+                TermVal::Unbound => unreachable!("all variables enumerated"),
+            }
+        }
+        out.push((clause.head.pred.clone(), tuple.into()));
+        Ok(())
+    }
+
+    let int_upper = env.int_upper;
+    let mut b = b.clone();
+    rec(
+        clause, &mut b, &free_seq, &free_idx, members, int_upper, env, registry, config, stats, out,
+    )
+}
+
+/// Evaluate a (possibly constructive) head term under a total substitution.
+fn eval_full(
+    t: &CSeq,
+    b: &Bindings,
+    store: &mut SeqStore,
+    registry: &TransducerRegistry,
+    config: &EvalConfig,
+    stats: &mut EvalStats,
+) -> Result<TermVal, EvalError> {
+    match t {
+        CSeq::Const(_) | CSeq::Var(_) | CSeq::Indexed { .. } => Ok(matcher::eval_seq(t, b, store)),
+        CSeq::Concat(x, y) => {
+            let xv = match eval_full(x, b, store, registry, config, stats)? {
+                TermVal::Val(v) => v,
+                other => return Ok(other),
+            };
+            let yv = match eval_full(y, b, store, registry, config, stats)? {
+                TermVal::Val(v) => v,
+                other => return Ok(other),
+            };
+            Ok(TermVal::Val(store.concat(xv, yv)))
+        }
+        CSeq::Transducer { name, args } => {
+            let machine = registry
+                .get(name)
+                .ok_or_else(|| EvalError::UnknownTransducer(name.clone()))?;
+            let mut inputs: Vec<SeqId> = Vec::with_capacity(args.len());
+            for a in args {
+                match eval_full(a, b, store, registry, config, stats)? {
+                    TermVal::Val(v) => inputs.push(v),
+                    other => return Ok(other),
+                }
+            }
+            let tapes: Vec<Vec<seqlog_sequence::Sym>> =
+                inputs.iter().map(|&id| store.get(id).to_vec()).collect();
+            let tape_refs: Vec<&[seqlog_sequence::Sym]> = tapes.iter().map(Vec::as_slice).collect();
+            let mut exec_stats = ExecStats::default();
+            stats.transducer_calls += 1;
+            let output =
+                seqlog_transducer::run(machine, &tape_refs, &config.exec_limits, &mut exec_stats)
+                    .map_err(|e| EvalError::Transducer {
+                    name: name.clone(),
+                    error: e.to_string(),
+                })?;
+            stats.transducer_steps += exec_stats.steps;
+            Ok(TermVal::Val(store.intern_vec(output)))
+        }
+    }
+}

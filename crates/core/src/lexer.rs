@@ -1,0 +1,414 @@
+//! Lexer for the concrete Sequence Datalog syntax.
+//!
+//! The syntax is Prolog-flavoured:
+//!
+//! ```text
+//! % Example 1.1 — all suffixes of sequences in r
+//! suffix(X[N:end]) :- r(X).
+//! % Example 1.2 — all pairwise concatenations ('•' is written '++')
+//! answer(X ++ Y) :- r(X), r(Y).
+//! % Transducer Datalog (Example 7.1): transducer terms are '@name(…)'
+//! rnaseq(D, @transcribe(D)) :- dnaseq(D).
+//! ```
+//!
+//! Identifiers starting with an uppercase letter are variables; string
+//! literals are constant sequences (one symbol per character); `%` starts a
+//! line comment.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Lowercase-initial identifier (predicate / transducer name, `end`,
+    /// `true`).
+    Ident(String),
+    /// Uppercase-initial identifier (variable).
+    Var(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (constant sequence), unescaped.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:` (inside indexed terms)
+    Colon,
+    /// `:-`
+    Implies,
+    /// `=`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `++`
+    Concat,
+    /// `@`
+    At,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Var(s) => write!(f, "variable `{s}`"),
+            Tok::Int(i) => write!(f, "integer `{i}`"),
+            Tok::Str(s) => write!(f, "string \"{s}\""),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Implies => write!(f, "`:-`"),
+            Tok::Eq => write!(f, "`=`"),
+            Tok::Neq => write!(f, "`!=`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Concat => write!(f, "`++`"),
+            Tok::At => write!(f, "`@`"),
+        }
+    }
+}
+
+/// A token plus its source position (1-based).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Line number, 1-based.
+    pub line: u32,
+    /// Column number, 1-based.
+    pub col: u32,
+}
+
+/// A lexing error with position information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable message.
+    pub msg: String,
+    /// Line number, 1-based.
+    pub line: u32,
+    /// Column number, 1-based.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `src`.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                col = 1;
+            } else if c.is_some() {
+                col += 1;
+            }
+            c
+        }};
+    }
+
+    loop {
+        let (tline, tcol) = (line, col);
+        let c = match chars.peek().copied() {
+            Some(c) => c,
+            None => break,
+        };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '%' => {
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            '(' | ')' | '[' | ']' | ',' | '.' | '=' | '-' | '@' => {
+                bump!();
+                let tok = match c {
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '[' => Tok::LBracket,
+                    ']' => Tok::RBracket,
+                    ',' => Tok::Comma,
+                    '.' => Tok::Dot,
+                    '=' => Tok::Eq,
+                    '-' => Tok::Minus,
+                    _ => Tok::At,
+                };
+                out.push(Spanned {
+                    tok,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            ':' => {
+                bump!();
+                if chars.peek() == Some(&'-') {
+                    bump!();
+                    out.push(Spanned {
+                        tok: Tok::Implies,
+                        line: tline,
+                        col: tcol,
+                    });
+                } else {
+                    out.push(Spanned {
+                        tok: Tok::Colon,
+                        line: tline,
+                        col: tcol,
+                    });
+                }
+            }
+            '+' => {
+                bump!();
+                if chars.peek() == Some(&'+') {
+                    bump!();
+                    out.push(Spanned {
+                        tok: Tok::Concat,
+                        line: tline,
+                        col: tcol,
+                    });
+                } else {
+                    out.push(Spanned {
+                        tok: Tok::Plus,
+                        line: tline,
+                        col: tcol,
+                    });
+                }
+            }
+            '!' => {
+                bump!();
+                if chars.peek() == Some(&'=') {
+                    bump!();
+                    out.push(Spanned {
+                        tok: Tok::Neq,
+                        line: tline,
+                        col: tcol,
+                    });
+                } else {
+                    return Err(LexError {
+                        msg: "expected `=` after `!`".into(),
+                        line: tline,
+                        col: tcol,
+                    });
+                }
+            }
+            '"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    match bump!() {
+                        Some('"') => break,
+                        Some(c) => s.push(c),
+                        None => {
+                            return Err(LexError {
+                                msg: "unterminated string literal".into(),
+                                line: tline,
+                                col: tcol,
+                            })
+                        }
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: i64 = 0;
+                while let Some(&d) = chars.peek() {
+                    if let Some(v) = d.to_digit(10) {
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|n| n.checked_add(i64::from(v)))
+                            .ok_or(LexError {
+                                msg: "integer literal overflow".into(),
+                                line: tline,
+                                col: tcol,
+                            })?;
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Int(n),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        s.push(d);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                let tok = if s.chars().next().is_some_and(|c| c.is_uppercase()) {
+                    Tok::Var(s)
+                } else {
+                    Tok::Ident(s)
+                };
+                out.push(Spanned {
+                    tok,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            other => {
+                return Err(LexError {
+                    msg: format!("unexpected character `{other}`"),
+                    line: tline,
+                    col: tcol,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_a_rule() {
+        assert_eq!(
+            toks("suffix(X[N:end]) :- r(X)."),
+            vec![
+                Tok::Ident("suffix".into()),
+                Tok::LParen,
+                Tok::Var("X".into()),
+                Tok::LBracket,
+                Tok::Var("N".into()),
+                Tok::Colon,
+                Tok::Ident("end".into()),
+                Tok::RBracket,
+                Tok::RParen,
+                Tok::Implies,
+                Tok::Ident("r".into()),
+                Tok::LParen,
+                Tok::Var("X".into()),
+                Tok::RParen,
+                Tok::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_plus_and_concat() {
+        assert_eq!(
+            toks("X[N+1] ++ Y"),
+            vec![
+                Tok::Var("X".into()),
+                Tok::LBracket,
+                Tok::Var("N".into()),
+                Tok::Plus,
+                Tok::Int(1),
+                Tok::RBracket,
+                Tok::Concat,
+                Tok::Var("Y".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_and_comments() {
+        assert_eq!(
+            toks("r(\"abc\"). % a fact\nq(\"\")."),
+            vec![
+                Tok::Ident("r".into()),
+                Tok::LParen,
+                Tok::Str("abc".into()),
+                Tok::RParen,
+                Tok::Dot,
+                Tok::Ident("q".into()),
+                Tok::LParen,
+                Tok::Str("".into()),
+                Tok::RParen,
+                Tok::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_transducer_terms_and_neq() {
+        assert_eq!(
+            toks("p(@t(X)) :- q(X), X != \"a\"."),
+            vec![
+                Tok::Ident("p".into()),
+                Tok::LParen,
+                Tok::At,
+                Tok::Ident("t".into()),
+                Tok::LParen,
+                Tok::Var("X".into()),
+                Tok::RParen,
+                Tok::RParen,
+                Tok::Implies,
+                Tok::Ident("q".into()),
+                Tok::LParen,
+                Tok::Var("X".into()),
+                Tok::RParen,
+                Tok::Comma,
+                Tok::Var("X".into()),
+                Tok::Neq,
+                Tok::Str("a".into()),
+                Tok::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn reports_positions() {
+        let err = lex("p(X) :- \n  ?").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.col, 3);
+    }
+
+    #[test]
+    fn rejects_lone_bang() {
+        assert!(lex("X ! Y").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(lex("r(\"abc").is_err());
+    }
+}

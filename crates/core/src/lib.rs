@@ -1,0 +1,57 @@
+//! # seqlog-core — Sequence Datalog and Transducer Datalog
+//!
+//! The primary contribution of Bonner & Mecca, *Sequences, Datalog, and
+//! Transducers* (PODS 1995 / JCSS 57, 1998), implemented in full:
+//!
+//! * **Sequence Datalog** (Section 3): Datalog over sequence databases with
+//!   interpreted *indexed terms* `X[N1:N2]` (structural recursion) and
+//!   *constructive terms* `X ++ Y` (constructive recursion), evaluated to the
+//!   least fixpoint of the `T_{P,db}` operator over the **extended active
+//!   domain** ([`eval`]).
+//! * **Transducer Datalog** (Section 7): heads may invoke generalized
+//!   sequence transducers via `@name(…)` terms bound through a
+//!   [`registry::TransducerRegistry`]; [`translate`] compiles any Transducer
+//!   Datalog program to an equivalent plain Sequence Datalog program
+//!   (Theorem 7).
+//! * **Safety analysis** (Sections 5 and 8): dependency graphs, constructive
+//!   cycles, strong safety, stratified construction, program order
+//!   ([`safety`]).
+//! * **Guarding** (Appendix B, Theorem 10): the `dom`-guarding
+//!   transformation ([`guard`]).
+//! * **Model theory** (Appendix A): model checking against the fixpoint
+//!   semantics ([`model`]).
+//!
+//! Entry point: [`engine::Engine`].
+
+pub mod ast;
+pub mod compile;
+pub mod database;
+pub mod engine;
+pub mod eval;
+pub mod guard;
+pub mod lexer;
+pub mod model;
+pub mod parser;
+pub mod registry;
+pub mod safety;
+pub mod translate;
+
+pub use ast::{Atom, BodyLit, Clause, IndexTerm, IndexedBase, Program, SeqTerm};
+pub use database::Database;
+pub use engine::Engine;
+pub use eval::{BudgetKind, EvalConfig, EvalError, EvalStats, Model, Strategy};
+
+/// Commonly used items, re-exported for `use seqlog_core::prelude::*`.
+pub mod prelude {
+    pub use crate::ast::Program;
+    pub use crate::database::Database;
+    pub use crate::engine::Engine;
+    pub use crate::eval::{EvalConfig, EvalError, Model, Strategy};
+    pub use crate::guard::guard_program;
+    pub use crate::model::is_model;
+    pub use crate::registry::TransducerRegistry;
+    pub use crate::safety::analyze;
+    pub use crate::translate::translate_program;
+    pub use seqlog_sequence::{Alphabet, ExtendedDomain, SeqId, SeqStore, Sym};
+    pub use seqlog_transducer::{Network, Transducer};
+}

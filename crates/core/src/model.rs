@@ -1,0 +1,168 @@
+//! Model theory (Appendix A).
+//!
+//! An interpretation `I` is a model of `P ∪ db` iff `db ⊆ I` and
+//! `T_{P,db}(I) ⊆ I` (Lemma 4). The fixpoint semantics and the minimal-model
+//! semantics coincide (Corollaries 5 and 6): `lfp(T_{P,db})` is the unique
+//! minimal model. This module provides the executable model check used by
+//! the Appendix A equivalence tests.
+
+use crate::compile::compile;
+use crate::database::Database;
+use crate::eval::interp::FactStore;
+use crate::eval::{tp_step, EvalConfig, EvalError, Model};
+use crate::registry::TransducerRegistry;
+use crate::Program;
+use seqlog_sequence::SeqStore;
+
+/// Is `candidate` a model of `program ∪ db` (Definition 12 / Lemma 4)?
+///
+/// Checks `db ⊆ I` and `T_{P,db}(I) ⊆ I` by running one T-application with
+/// substitutions ranging over `I`'s extended active domain.
+pub fn is_model(
+    program: &Program,
+    db: &Database,
+    candidate: &Model,
+    store: &mut SeqStore,
+    registry: &TransducerRegistry,
+    config: &EvalConfig,
+) -> Result<bool, EvalError> {
+    for (pred, tuple) in db.iter() {
+        if !candidate.facts.contains(pred, tuple) {
+            return Ok(false);
+        }
+    }
+    let compiled = compile(program)?;
+    let derived = tp_step(
+        &compiled,
+        store,
+        registry,
+        &candidate.facts,
+        &candidate.domain,
+        config,
+    )?;
+    Ok(derived
+        .into_iter()
+        .all(|(pred, tuple)| candidate.facts.contains(&pred, &tuple)))
+}
+
+/// Build a [`Model`] wrapper from an arbitrary fact set (re-deriving its
+/// extended active domain), for testing non-fixpoint interpretations.
+pub fn model_from_facts(facts: FactStore, store: &mut SeqStore) -> Model {
+    let mut domain = seqlog_sequence::ExtendedDomain::new();
+    let ids: Vec<_> = facts.all_seq_ids().collect();
+    for id in ids {
+        domain.insert_closed(store, id);
+    }
+    let stats = crate::eval::EvalStats {
+        facts: facts.total_facts(),
+        domain_size: domain.len(),
+        ..Default::default()
+    };
+    Model {
+        facts,
+        domain,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+
+    #[test]
+    fn least_fixpoint_is_a_model() {
+        let mut e = Engine::new();
+        let p = e
+            .parse_program(
+                "suffix(X[N:end]) :- r(X).\n\
+                 pair(X, Y) :- suffix(X), suffix(Y).",
+            )
+            .unwrap();
+        let mut db = Database::new();
+        e.add_fact(&mut db, "r", &["ab"]);
+        let m = e.evaluate(&p, &db).unwrap();
+        let ok = is_model(
+            &p,
+            &db,
+            &m,
+            &mut e.store,
+            &e.registry,
+            &EvalConfig::default(),
+        )
+        .unwrap();
+        assert!(ok, "lfp must be a model (Corollary 5)");
+    }
+
+    #[test]
+    fn strictly_smaller_interpretations_are_not_models() {
+        let mut e = Engine::new();
+        let p = e.parse_program("suffix(X[N:end]) :- r(X).").unwrap();
+        let mut db = Database::new();
+        e.add_fact(&mut db, "r", &["ab"]);
+        let m = e.evaluate(&p, &db).unwrap();
+
+        // Drop all suffix facts: db alone is not a model.
+        let mut facts = FactStore::new();
+        let r_tuples: Vec<Vec<_>> = m.tuples("r").into_iter().map(|t| t.to_vec()).collect();
+        for t in r_tuples {
+            facts.insert("r", t.into());
+        }
+        let candidate = model_from_facts(facts, &mut e.store);
+        let ok = is_model(
+            &p,
+            &db,
+            &candidate,
+            &mut e.store,
+            &e.registry,
+            &EvalConfig::default(),
+        )
+        .unwrap();
+        assert!(!ok);
+    }
+
+    #[test]
+    fn supersets_of_lfp_can_be_models() {
+        // Adding an unrelated fact to the lfp keeps it a model (models are
+        // closed under adding facts that trigger no rules).
+        let mut e = Engine::new();
+        let p = e.parse_program("p(X) :- r(X).").unwrap();
+        let mut db = Database::new();
+        e.add_fact(&mut db, "r", &["a"]);
+        let m = e.evaluate(&p, &db).unwrap();
+
+        let mut facts = m.facts.clone();
+        let junk = e.seq("zzz");
+        facts.insert("unrelated", vec![junk].into());
+        let candidate = model_from_facts(facts, &mut e.store);
+        let ok = is_model(
+            &p,
+            &db,
+            &candidate,
+            &mut e.store,
+            &e.registry,
+            &EvalConfig::default(),
+        )
+        .unwrap();
+        assert!(ok);
+    }
+
+    #[test]
+    fn missing_db_facts_disqualify() {
+        let mut e = Engine::new();
+        let p = e.parse_program("p(X) :- r(X).").unwrap();
+        let mut db = Database::new();
+        e.add_fact(&mut db, "r", &["a"]);
+        let empty = model_from_facts(FactStore::new(), &mut e.store);
+        let ok = is_model(
+            &p,
+            &db,
+            &empty,
+            &mut e.store,
+            &e.registry,
+            &EvalConfig::default(),
+        )
+        .unwrap();
+        assert!(!ok);
+    }
+}

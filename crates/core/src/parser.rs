@@ -1,0 +1,448 @@
+//! Recursive-descent parser for Sequence Datalog / Transducer Datalog.
+//!
+//! Grammar (see [`crate::lexer`] for the token shapes):
+//!
+//! ```text
+//! program   := clause*
+//! clause    := atom ( ':-' body )? '.'
+//! body      := 'true' | lit (',' lit)*
+//! lit       := atom | term ('=' | '!=') term
+//! atom      := ident ( '(' term (',' term)* ')' )?
+//! term      := primary ('++' primary)*
+//! primary   := string index? | VAR index? | '@' ident '(' term (',' term)* ')'
+//! index     := '[' idx (':' idx)? ']'            -- s[i] sugar for s[i:i]
+//! idx       := iatom (('+'|'-') iatom)*
+//! iatom     := INT | VAR | 'end'
+//! ```
+//!
+//! The grammar structurally enforces the paper's term formation rules: the
+//! base of an indexed term is a variable or constant (never a constructive
+//! term), and index arithmetic never escapes `[...]`.
+
+use crate::ast::{Atom, BodyLit, Clause, IndexTerm, IndexedBase, Program, SeqTerm};
+use crate::lexer::{lex, LexError, Spanned, Tok};
+use seqlog_sequence::{Alphabet, SeqStore};
+use std::fmt;
+
+/// A parse error with position information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub msg: String,
+    /// Line number, 1-based (0 when at end of input).
+    pub line: u32,
+    /// Column number, 1-based (0 when at end of input).
+    pub col: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            msg: e.msg,
+            line: e.line,
+            col: e.col,
+        }
+    }
+}
+
+/// Parse a program, interning constants into `alphabet` / `store`.
+pub fn parse_program(
+    src: &str,
+    alphabet: &mut Alphabet,
+    store: &mut SeqStore,
+) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        alphabet,
+        store,
+    };
+    let mut clauses = Vec::new();
+    while !p.at_end() {
+        clauses.push(p.clause()?);
+    }
+    Ok(Program { clauses })
+}
+
+struct Parser<'a> {
+    toks: Vec<Spanned>,
+    pos: usize,
+    alphabet: &'a mut Alphabet,
+    store: &'a mut SeqStore,
+}
+
+impl Parser<'_> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|s| &s.tok)
+    }
+
+    fn next(&mut self) -> Option<Spanned> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        let (line, col) = self
+            .toks
+            .get(self.pos)
+            .map(|s| (s.line, s.col))
+            .unwrap_or((0, 0));
+        Err(ParseError {
+            msg: msg.into(),
+            line,
+            col,
+        })
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == tok => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => {
+                let t = t.clone();
+                self.err(format!("expected {tok}, found {t}"))
+            }
+            None => self.err(format!("expected {tok}, found end of input")),
+        }
+    }
+
+    fn clause(&mut self) -> Result<Clause, ParseError> {
+        let head = self.atom()?;
+        let body = match self.peek() {
+            Some(Tok::Implies) => {
+                self.pos += 1;
+                self.body()?
+            }
+            _ => Vec::new(),
+        };
+        self.expect(&Tok::Dot)?;
+        Ok(Clause { head, body })
+    }
+
+    fn body(&mut self) -> Result<Vec<BodyLit>, ParseError> {
+        // `true` as the entire body (paper style: `abcn(ε,ε,ε) :- true.`).
+        if let (Some(Tok::Ident(id)), Some(Tok::Dot)) = (self.peek(), self.peek2()) {
+            if id == "true" {
+                self.pos += 1;
+                return Ok(Vec::new());
+            }
+        }
+        let mut lits = vec![self.lit()?];
+        while self.peek() == Some(&Tok::Comma) {
+            self.pos += 1;
+            lits.push(self.lit()?);
+        }
+        Ok(lits)
+    }
+
+    fn lit(&mut self) -> Result<BodyLit, ParseError> {
+        if let Some(Tok::Ident(id)) = self.peek() {
+            if id == "true" {
+                // `true` conjoined with other literals: the unit literal.
+                self.pos += 1;
+                return Ok(BodyLit::Eq(
+                    SeqTerm::Const(self.store.empty()),
+                    SeqTerm::Const(self.store.empty()),
+                ));
+            }
+            return Ok(BodyLit::Atom(self.atom()?));
+        }
+        let lhs = self.term()?;
+        match self.next().map(|s| s.tok) {
+            Some(Tok::Eq) => Ok(BodyLit::Eq(lhs, self.term()?)),
+            Some(Tok::Neq) => Ok(BodyLit::Neq(lhs, self.term()?)),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err("expected `=` or `!=` after term literal")
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        let pred = match self.next().map(|s| s.tok) {
+            Some(Tok::Ident(s)) => s,
+            other => {
+                self.pos = self.pos.saturating_sub(usize::from(other.is_some()));
+                return self.err("expected predicate name");
+            }
+        };
+        if pred == "end" || pred == "true" {
+            return self.err(format!("`{pred}` is a reserved keyword"));
+        }
+        let mut args = Vec::new();
+        if self.peek() == Some(&Tok::LParen) {
+            self.pos += 1;
+            args.push(self.term()?);
+            while self.peek() == Some(&Tok::Comma) {
+                self.pos += 1;
+                args.push(self.term()?);
+            }
+            self.expect(&Tok::RParen)?;
+        }
+        Ok(Atom { pred, args })
+    }
+
+    fn term(&mut self) -> Result<SeqTerm, ParseError> {
+        let mut t = self.primary()?;
+        while self.peek() == Some(&Tok::Concat) {
+            self.pos += 1;
+            let rhs = self.primary()?;
+            t = SeqTerm::Concat(Box::new(t), Box::new(rhs));
+        }
+        Ok(t)
+    }
+
+    fn primary(&mut self) -> Result<SeqTerm, ParseError> {
+        match self.next().map(|s| s.tok) {
+            Some(Tok::Str(s)) => {
+                let syms = self.alphabet.seq_of_str(&s);
+                let id = self.store.intern_vec(syms);
+                self.maybe_indexed(IndexedBase::Const(id), SeqTerm::Const(id))
+            }
+            Some(Tok::Var(v)) => {
+                let plain = SeqTerm::Var(v.clone());
+                self.maybe_indexed(IndexedBase::Var(v), plain)
+            }
+            Some(Tok::At) => {
+                let name = match self.next().map(|s| s.tok) {
+                    Some(Tok::Ident(s)) => s,
+                    _ => {
+                        self.pos = self.pos.saturating_sub(1);
+                        return self.err("expected transducer name after `@`");
+                    }
+                };
+                self.expect(&Tok::LParen)?;
+                let mut args = vec![self.term()?];
+                while self.peek() == Some(&Tok::Comma) {
+                    self.pos += 1;
+                    args.push(self.term()?);
+                }
+                self.expect(&Tok::RParen)?;
+                Ok(SeqTerm::Transducer { name, args })
+            }
+            other => {
+                self.pos = self.pos.saturating_sub(usize::from(other.is_some()));
+                self.err("expected a sequence term")
+            }
+        }
+    }
+
+    fn maybe_indexed(&mut self, base: IndexedBase, plain: SeqTerm) -> Result<SeqTerm, ParseError> {
+        if self.peek() != Some(&Tok::LBracket) {
+            return Ok(plain);
+        }
+        self.pos += 1;
+        let lo = self.index_term()?;
+        let hi = if self.peek() == Some(&Tok::Colon) {
+            self.pos += 1;
+            self.index_term()?
+        } else {
+            lo.clone() // s[i] is sugar for s[i:i]
+        };
+        self.expect(&Tok::RBracket)?;
+        Ok(SeqTerm::Indexed { base, lo, hi })
+    }
+
+    fn index_term(&mut self) -> Result<IndexTerm, ParseError> {
+        let mut t = self.index_atom()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.pos += 1;
+                    let rhs = self.index_atom()?;
+                    t = IndexTerm::Add(Box::new(t), Box::new(rhs));
+                }
+                Some(Tok::Minus) => {
+                    self.pos += 1;
+                    let rhs = self.index_atom()?;
+                    t = IndexTerm::Sub(Box::new(t), Box::new(rhs));
+                }
+                _ => return Ok(t),
+            }
+        }
+    }
+
+    fn index_atom(&mut self) -> Result<IndexTerm, ParseError> {
+        match self.next().map(|s| s.tok) {
+            Some(Tok::Int(i)) => Ok(IndexTerm::Int(i)),
+            Some(Tok::Var(v)) => Ok(IndexTerm::Var(v)),
+            Some(Tok::Ident(s)) if s == "end" => Ok(IndexTerm::End),
+            other => {
+                self.pos = self.pos.saturating_sub(usize::from(other.is_some()));
+                self.err("expected integer, index variable, or `end`")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::DisplayProgram;
+
+    fn parse(src: &str) -> (Program, Alphabet, SeqStore) {
+        let mut a = Alphabet::new();
+        let mut st = SeqStore::new();
+        let p = parse_program(src, &mut a, &mut st).unwrap();
+        (p, a, st)
+    }
+
+    #[test]
+    fn parses_example_1_1_suffixes() {
+        let (p, _, _) = parse("suffix(X[N:end]) :- r(X).");
+        assert_eq!(p.clauses.len(), 1);
+        let c = &p.clauses[0];
+        assert_eq!(c.head.pred, "suffix");
+        assert!(matches!(
+            &c.head.args[0],
+            SeqTerm::Indexed { base: IndexedBase::Var(v), lo: IndexTerm::Var(n), hi: IndexTerm::End }
+                if v == "X" && n == "N"
+        ));
+        assert!(!c.is_constructive());
+    }
+
+    #[test]
+    fn parses_example_1_2_concatenation() {
+        let (p, _, _) = parse("answer(X ++ Y) :- r(X), r(Y).");
+        assert!(p.clauses[0].is_constructive());
+        assert_eq!(p.clauses[0].body.len(), 2);
+    }
+
+    #[test]
+    fn parses_example_1_3_abcn() {
+        let src = r#"
+            answer(X) :- r(X), abcn(X[1:N1], X[N1+1:N2], X[N2+1:end]).
+            abcn("", "", "") :- true.
+            abcn(X, Y, Z) :- X[1] = "a", Y[1] = "b", Z[1] = "c",
+                             abcn(X[2:end], Y[2:end], Z[2:end]).
+        "#;
+        let (p, _, st) = parse(src);
+        assert_eq!(p.clauses.len(), 3);
+        // `abcn("","","") :- true.` has an empty body after desugaring.
+        assert!(p.clauses[1].body.is_empty());
+        // X[1] desugars to X[1:1].
+        match &p.clauses[2].body[0] {
+            BodyLit::Eq(SeqTerm::Indexed { lo, hi, .. }, SeqTerm::Const(c)) => {
+                assert_eq!(lo, &IndexTerm::Int(1));
+                assert_eq!(hi, &IndexTerm::Int(1));
+                assert_eq!(st.len_of(*c), 1);
+            }
+            other => panic!("unexpected literal {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_example_1_4_reverse() {
+        let src = r#"
+            answer(Y) :- r(X), reverse(X, Y).
+            reverse("", "") :- true.
+            reverse(X[1:N+1], X[N+1] ++ Y) :- r(X), reverse(X[1:N], Y).
+        "#;
+        let (p, _, _) = parse(src);
+        assert_eq!(p.clauses.len(), 3);
+        assert!(p.clauses[2].is_constructive());
+        // Head's first arg is X[1:N+1].
+        match &p.clauses[2].head.args[0] {
+            SeqTerm::Indexed {
+                hi: IndexTerm::Add(a, b),
+                ..
+            } => {
+                assert_eq!(**a, IndexTerm::Var("N".into()));
+                assert_eq!(**b, IndexTerm::Int(1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_transducer_datalog_example_7_1() {
+        let src = r#"
+            rnaseq(D, @transcribe(D)) :- dnaseq(D).
+            proteinseq(D, @translate(R)) :- rnaseq(D, R).
+        "#;
+        let (p, _, _) = parse(src);
+        assert_eq!(
+            p.transducer_names(),
+            vec!["transcribe".to_string(), "translate".to_string()]
+        );
+        assert!(p.clauses.iter().all(Clause::is_constructive));
+    }
+
+    #[test]
+    fn parses_zero_arity_atoms() {
+        let (p, _, _) = parse("halted :- conf.");
+        assert_eq!(p.clauses[0].head.pred, "halted");
+        assert!(p.clauses[0].head.args.is_empty());
+    }
+
+    #[test]
+    fn parses_inequality() {
+        let (p, _, _) = parse("p(X, Y) :- q(X, Y), X != Y.");
+        assert!(matches!(p.clauses[0].body[1], BodyLit::Neq(..)));
+    }
+
+    #[test]
+    fn roundtrips_through_display() {
+        let src = r#"reverse(X[1:N+1], X[N+1] ++ Y) :- r(X), reverse(X[1:N], Y)."#;
+        let (p, mut a, mut st) = parse(src);
+        let rendered = DisplayProgram {
+            program: &p,
+            store: &st,
+            alphabet: &a,
+        }
+        .to_string();
+        let p2 = parse_program(&rendered, &mut a, &mut st).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn rejects_reserved_predicate_names() {
+        let mut a = Alphabet::new();
+        let mut st = SeqStore::new();
+        assert!(parse_program("end(X) :- r(X).", &mut a, &mut st).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_dot() {
+        let mut a = Alphabet::new();
+        let mut st = SeqStore::new();
+        let e = parse_program("p(X) :- q(X)", &mut a, &mut st).unwrap_err();
+        assert!(e.msg.contains("expected `.`"), "{e}");
+    }
+
+    #[test]
+    fn rejects_concat_of_nothing() {
+        let mut a = Alphabet::new();
+        let mut st = SeqStore::new();
+        assert!(parse_program("p(X ++ ) :- q(X).", &mut a, &mut st).is_err());
+    }
+
+    #[test]
+    fn true_conjoined_desugars_to_trivial_equality() {
+        let (p, _, _) = parse("p(X) :- true, q(X).");
+        assert_eq!(p.clauses[0].body.len(), 2);
+        assert!(matches!(p.clauses[0].body[0], BodyLit::Eq(..)));
+    }
+}

@@ -1,0 +1,86 @@
+//! The transducer registry: binds `@name(…)` terms in Transducer Datalog
+//! programs to concrete generalized transducers (Section 7.1's "special
+//! interpreted function symbols, one for each generalized sequence
+//! transducer").
+
+use seqlog_sequence::FxHashMap;
+use seqlog_transducer::Transducer;
+
+/// A name → machine mapping used to interpret transducer terms.
+#[derive(Default, Debug)]
+pub struct TransducerRegistry {
+    map: FxHashMap<String, Transducer>,
+}
+
+impl TransducerRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `machine` under `name` (replacing any previous binding).
+    pub fn register(&mut self, name: impl Into<String>, machine: Transducer) {
+        self.map.insert(name.into(), machine);
+    }
+
+    /// Look up a machine.
+    pub fn get(&self, name: &str) -> Option<&Transducer> {
+        self.map.get(name)
+    }
+
+    /// Registered names (arbitrary order).
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.map.keys().map(String::as_str)
+    }
+
+    /// Number of registered machines.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no machine is registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The maximum order among the registered machines used by `names`,
+    /// or 0 when none is used (a Sequence Datalog program "has order 0",
+    /// Section 7.1).
+    pub fn program_order<'a>(&self, names: impl Iterator<Item = &'a str>) -> usize {
+        names
+            .filter_map(|n| self.map.get(n))
+            .map(Transducer::order)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqlog_sequence::Alphabet;
+    use seqlog_transducer::library;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut a = Alphabet::new();
+        let mut reg = TransducerRegistry::new();
+        assert!(reg.is_empty());
+        reg.register("transcribe", library::transcribe(&mut a));
+        assert_eq!(reg.len(), 1);
+        assert!(reg.get("transcribe").is_some());
+        assert!(reg.get("nope").is_none());
+    }
+
+    #[test]
+    fn program_order_is_max_machine_order() {
+        let mut a = Alphabet::new();
+        let syms: Vec<_> = "ab".chars().map(|c| a.intern_char(c)).collect();
+        let mut reg = TransducerRegistry::new();
+        reg.register("copy", library::copy(&mut a, &syms));
+        reg.register("square", library::square(&mut a, &syms));
+        assert_eq!(reg.program_order(["copy"].into_iter()), 1);
+        assert_eq!(reg.program_order(["copy", "square"].into_iter()), 2);
+        assert_eq!(reg.program_order([].into_iter()), 0);
+    }
+}

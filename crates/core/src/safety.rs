@@ -1,0 +1,398 @@
+//! Safety analysis (Sections 5 and 8).
+//!
+//! * **Predicate dependency graph** (Definition 9): nodes are predicate
+//!   names; an edge `p → q` exists when some clause has head predicate `p`
+//!   and body predicate `q`; the edge is *constructive* when that clause is
+//!   constructive (head contains `++` or a transducer term, Definition 8).
+//! * A **constructive cycle** is a cycle containing a constructive edge;
+//!   a program is **strongly safe** when its graph has none
+//!   (Definition 10) — equivalently, no constructive edge connects two
+//!   predicates in the same strongly connected component.
+//! * **Stratification**: linearizing the SCCs (the proof of Theorem 8)
+//!   yields strata such that constructive edges only point from later to
+//!   earlier strata. "Stratified construction" for plain Sequence Datalog
+//!   (Section 5, Example 5.1) is the same condition with `++` as the only
+//!   constructive device.
+//! * **Program order** (Section 7.1): the maximum order of any transducer
+//!   mentioned; a transducer-free program has order 0.
+
+use crate::ast::{Clause, Program};
+use crate::registry::TransducerRegistry;
+use seqlog_sequence::FxHashMap;
+
+/// One edge of the predicate dependency graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Head predicate.
+    pub from: String,
+    /// Body predicate.
+    pub to: String,
+    /// Whether some clause inducing this edge is constructive.
+    pub constructive: bool,
+}
+
+/// The predicate dependency graph of a program.
+#[derive(Clone, Debug, Default)]
+pub struct DependencyGraph {
+    /// Predicate names (graph nodes) in first-occurrence order.
+    pub nodes: Vec<String>,
+    /// Deduplicated edges; parallel constructive/non-constructive edges are
+    /// merged with `constructive = true` winning.
+    pub edges: Vec<DepEdge>,
+}
+
+impl DependencyGraph {
+    /// Build the graph (Definition 9).
+    pub fn build(program: &Program) -> Self {
+        let mut nodes = program.predicates();
+        let mut index: FxHashMap<String, usize> = FxHashMap::default();
+        for (i, n) in nodes.iter().enumerate() {
+            index.insert(n.clone(), i);
+        }
+        let mut edge_map: FxHashMap<(usize, usize), bool> = FxHashMap::default();
+        for clause in &program.clauses {
+            let from = index[&clause.head.pred];
+            let constructive = clause.is_constructive();
+            for q in clause.body_preds() {
+                let to = index[q];
+                let e = edge_map.entry((from, to)).or_insert(false);
+                *e |= constructive;
+            }
+        }
+        let mut edges: Vec<DepEdge> = edge_map
+            .into_iter()
+            .map(|((f, t), c)| DepEdge {
+                from: nodes[f].clone(),
+                to: nodes[t].clone(),
+                constructive: c,
+            })
+            .collect();
+        edges.sort_by(|a, b| (&a.from, &a.to).cmp(&(&b.from, &b.to)));
+        nodes.shrink_to_fit();
+        Self { nodes, edges }
+    }
+
+    /// Strongly connected components (iterative Tarjan), returned as a map
+    /// from predicate to component id; component ids are in reverse
+    /// topological order (callees first).
+    pub fn sccs(&self) -> FxHashMap<String, usize> {
+        let n = self.nodes.len();
+        let index_of: FxHashMap<&str, usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.as_str(), i))
+            .collect();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in &self.edges {
+            adj[index_of[e.from.as_str()]].push(index_of[e.to.as_str()]);
+        }
+
+        // Iterative Tarjan.
+        let mut ids = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut disc = vec![usize::MAX; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut counter = 0usize;
+        let mut comp = 0usize;
+
+        for root in 0..n {
+            if disc[root] != usize::MAX {
+                continue;
+            }
+            // (node, next child index)
+            let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+            while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+                if *ci == 0 {
+                    disc[v] = counter;
+                    low[v] = counter;
+                    counter += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if *ci < adj[v].len() {
+                    let w = adj[v][*ci];
+                    *ci += 1;
+                    if disc[w] == usize::MAX {
+                        call.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(disc[w]);
+                    }
+                } else {
+                    if low[v] == disc[v] {
+                        while let Some(w) = stack.pop() {
+                            on_stack[w] = false;
+                            ids[w] = comp;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp += 1;
+                    }
+                    call.pop();
+                    if let Some(&mut (parent, _)) = call.last_mut() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                }
+            }
+        }
+
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), ids[i]))
+            .collect()
+    }
+
+    /// The constructive edges lying inside an SCC — each witnesses a
+    /// constructive cycle (Definition 10).
+    pub fn constructive_cycle_edges(&self) -> Vec<DepEdge> {
+        let scc = self.sccs();
+        self.edges
+            .iter()
+            .filter(|e| e.constructive && scc[&e.from] == scc[&e.to])
+            .cloned()
+            .collect()
+    }
+}
+
+/// Result of static analysis.
+#[derive(Clone, Debug)]
+pub struct SafetyReport {
+    /// The dependency graph.
+    pub graph: DependencyGraph,
+    /// Constructive edges inside cycles (empty iff strongly safe).
+    pub violations: Vec<DepEdge>,
+    /// Strong safety (Definition 10).
+    pub strongly_safe: bool,
+    /// Whether every clause is guarded (Appendix B).
+    pub guarded: bool,
+    /// Whether the program is non-constructive (Theorem 3 fragment).
+    pub non_constructive: bool,
+    /// Program order: max order of mentioned transducers; `++`-only
+    /// constructive programs have order 1 (concatenation is an order-1
+    /// machine), non-constructive programs order 0.
+    pub order: usize,
+    /// Stratum per predicate (0 = lowest); only meaningful when strongly
+    /// safe. Constructive edges point from strictly higher to lower strata.
+    pub strata: FxHashMap<String, usize>,
+}
+
+/// Analyze a program against a registry (for transducer orders).
+pub fn analyze(program: &Program, registry: &TransducerRegistry) -> SafetyReport {
+    let graph = DependencyGraph::build(program);
+    let violations = graph.constructive_cycle_edges();
+    let strongly_safe = violations.is_empty();
+
+    let guarded = program.clauses.iter().all(is_guarded);
+    let non_constructive = program.is_non_constructive();
+
+    let transducer_names = program.transducer_names();
+    let machine_order = registry.program_order(transducer_names.iter().map(String::as_str));
+    let uses_concat = program
+        .clauses
+        .iter()
+        .any(|c| c.is_constructive() && !c.head.args.iter().any(|t| t.has_transducer()));
+    let order = if non_constructive {
+        0
+    } else {
+        machine_order.max(if uses_concat || !transducer_names.is_empty() {
+            1
+        } else {
+            1
+        })
+    };
+
+    // Strata: SCC condensation levels, where the level of a component is
+    // 1 + max level over successors (callees below).
+    let scc = graph.sccs();
+    let mut strata: FxHashMap<String, usize> = FxHashMap::default();
+    // Component -> members and successor components.
+    let ncomp = scc.values().copied().max().map_or(0, |m| m + 1);
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); ncomp];
+    for e in &graph.edges {
+        let (a, b) = (scc[&e.from], scc[&e.to]);
+        if a != b {
+            succs[a].push(b);
+        }
+    }
+    // Tarjan ids are in reverse topological order: callees have smaller ids,
+    // so computing levels in increasing id order sees successors first.
+    let mut level = vec![0usize; ncomp];
+    for c in 0..ncomp {
+        level[c] = succs[c].iter().map(|&s| level[s] + 1).max().unwrap_or(0);
+    }
+    for (pred, comp) in &scc {
+        strata.insert(pred.clone(), level[*comp]);
+    }
+
+    SafetyReport {
+        graph,
+        violations,
+        strongly_safe,
+        guarded,
+        non_constructive,
+        order,
+        strata,
+    }
+}
+
+/// Appendix B guardedness of a single clause: every sequence variable
+/// occurs in the body as a whole argument of some atom.
+pub fn is_guarded(clause: &Clause) -> bool {
+    use crate::ast::{BodyLit, SeqTerm};
+    let mut seq_vars = Vec::new();
+    let mut idx_vars = Vec::new();
+    for t in &clause.head.args {
+        t.vars(&mut seq_vars, &mut idx_vars);
+    }
+    for l in &clause.body {
+        match l {
+            BodyLit::Atom(a) => {
+                for t in &a.args {
+                    t.vars(&mut seq_vars, &mut idx_vars);
+                }
+            }
+            BodyLit::Eq(a, b) | BodyLit::Neq(a, b) => {
+                a.vars(&mut seq_vars, &mut idx_vars);
+                b.vars(&mut seq_vars, &mut idx_vars);
+            }
+        }
+    }
+    seq_vars.sort();
+    seq_vars.dedup();
+    seq_vars.into_iter().all(|v| {
+        clause.body.iter().any(|l| match l {
+            BodyLit::Atom(a) => a
+                .args
+                .iter()
+                .any(|t| matches!(t, SeqTerm::Var(x) if *x == v)),
+            _ => false,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use seqlog_sequence::{Alphabet, SeqStore};
+
+    fn report(src: &str) -> SafetyReport {
+        let mut a = Alphabet::new();
+        let mut st = SeqStore::new();
+        let p = parse_program(src, &mut a, &mut st).unwrap();
+        analyze(&p, &TransducerRegistry::new())
+    }
+
+    #[test]
+    fn example_8_1_p1_is_strongly_safe() {
+        // P1: mutual recursion between p and q, with construction feeding r
+        // from a non-recursive clause — no constructive cycle.
+        let r = report(
+            "p(X) :- r(X, Y), q(Y).\n\
+             q(X) :- r(X, Y), p(Y).\n\
+             r(@t1(X), @t2(Y)) :- a(X, Y).",
+        );
+        assert!(r.strongly_safe, "violations: {:?}", r.violations);
+    }
+
+    #[test]
+    fn example_8_1_p2_is_not_strongly_safe() {
+        // P2: p(T(X)) :- p(X) — a constructive self-loop.
+        let r = report("p(@t(X)) :- p(X).");
+        assert!(!r.strongly_safe);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].from, "p");
+        assert_eq!(r.violations[0].to, "p");
+    }
+
+    #[test]
+    fn example_8_1_p3_is_not_strongly_safe() {
+        // P3: q → r (plain), r → p (constructive), p → q (plain): the
+        // constructive edge lies on the 3-cycle.
+        let r = report(
+            "q(X) :- r(X).\n\
+             r(@t(X)) :- p(X).\n\
+             p(X) :- q(X).",
+        );
+        assert!(!r.strongly_safe);
+        assert!(r.violations.iter().any(|e| e.from == "r" && e.to == "p"));
+    }
+
+    #[test]
+    fn rep2_is_not_strongly_safe_but_rep1_is() {
+        // Example 1.5.
+        let rep1 = report(
+            "rep1(X, X) :- seq(X).\n\
+             rep1(X, X[1:N]) :- rep1(X[N+1:end], X[1:N]).",
+        );
+        assert!(rep1.strongly_safe);
+        assert!(rep1.non_constructive);
+        assert_eq!(rep1.order, 0);
+
+        let rep2 = report(
+            "rep2(X, X) :- seq(X).\n\
+             rep2(X ++ Y, Y) :- rep2(X, Y).",
+        );
+        assert!(!rep2.strongly_safe);
+        assert!(!rep2.non_constructive);
+    }
+
+    #[test]
+    fn example_5_1_stratified_construction_is_strongly_safe() {
+        let r = report(
+            "double(X ++ X) :- r(X).\n\
+             quadruple(X ++ X) :- double(X).",
+        );
+        assert!(r.strongly_safe);
+        // Strata: r at 0, double at 1, quadruple at 2.
+        assert_eq!(r.strata["r"], 0);
+        assert_eq!(r.strata["double"], 1);
+        assert_eq!(r.strata["quadruple"], 2);
+    }
+
+    #[test]
+    fn echo_program_is_not_strongly_safe() {
+        // Example 1.6.
+        let r = report(
+            "answer(X, Y) :- rel(X), echo(X, Y).\n\
+             echo(\"\", \"\").\n\
+             echo(X[1] ++ X[1] ++ Z, W) :- echo(X[2:end], Z).",
+        );
+        // The recursive constructive clause has head pred echo and body pred
+        // echo — a constructive self-loop.
+        assert!(!r.strongly_safe);
+    }
+
+    #[test]
+    fn guardedness_examples_from_section_3_1() {
+        let mut a = Alphabet::new();
+        let mut st = SeqStore::new();
+        let p = parse_program("p(X[1]) :- q(X).\np(X) :- q(X[1]).", &mut a, &mut st).unwrap();
+        assert!(is_guarded(&p.clauses[0]));
+        assert!(!is_guarded(&p.clauses[1]));
+    }
+
+    #[test]
+    fn scc_handles_self_loops_and_chains() {
+        let r = report(
+            "a(X) :- b(X).\n\
+             b(X) :- a(X).\n\
+             c(X) :- b(X).",
+        );
+        let scc = r.graph.sccs();
+        assert_eq!(scc["a"], scc["b"]);
+        assert_ne!(scc["a"], scc["c"]);
+        assert!(r.strongly_safe);
+    }
+
+    #[test]
+    fn non_constructive_program_has_order_zero() {
+        let r = report("suffix(X[N:end]) :- r(X).");
+        assert!(r.non_constructive);
+        assert_eq!(r.order, 0);
+        assert!(r.strongly_safe);
+    }
+}

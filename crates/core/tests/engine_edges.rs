@@ -1,0 +1,208 @@
+//! Edge-case and failure-injection tests for the engine.
+
+use seqlog_core::database::Database;
+use seqlog_core::engine::Engine;
+use seqlog_core::eval::{BudgetKind, EvalConfig, EvalError};
+
+fn db1(e: &mut Engine, pred: &str, w: &str) -> Database {
+    let mut db = Database::new();
+    e.add_fact(&mut db, pred, &[w]);
+    db
+}
+
+#[test]
+fn empty_program_yields_the_database() {
+    let mut e = Engine::new();
+    let p = e.parse_program("").unwrap();
+    let db = db1(&mut e, "r", "abc");
+    let m = e.evaluate(&p, &db).unwrap();
+    assert_eq!(m.facts.total_facts(), 1);
+    assert_eq!(m.domain.len(), 7); // closure of "abc"
+}
+
+#[test]
+fn empty_database_yields_only_ground_facts() {
+    let mut e = Engine::new();
+    let p = e.parse_program("p(\"ab\").\nq(X) :- r(X).").unwrap();
+    let m = e.evaluate(&p, &Database::new()).unwrap();
+    assert_eq!(e.answers(&m, "p"), vec!["ab"]);
+    assert!(m.tuples("q").is_empty());
+}
+
+#[test]
+fn unknown_transducer_is_an_eval_error() {
+    let mut e = Engine::new();
+    let p = e.parse_program("p(@nope(X)) :- r(X).").unwrap();
+    let db = db1(&mut e, "r", "a");
+    match e.evaluate(&p, &db) {
+        Err(EvalError::UnknownTransducer(name)) => assert_eq!(name, "nope"),
+        other => panic!("expected UnknownTransducer, got {other:?}"),
+    }
+}
+
+#[test]
+fn each_budget_kind_can_fire() {
+    let mut e = Engine::new();
+    // A program that doubles a sequence every round.
+    let p = e.parse_program("r(X ++ X) :- r(X).").unwrap();
+    let db = db1(&mut e, "r", "ab");
+
+    let rounds = EvalConfig {
+        max_rounds: 3,
+        ..EvalConfig::default()
+    };
+    match e.evaluate_with(&p, &db, &rounds) {
+        Err(EvalError::Budget {
+            kind: BudgetKind::Rounds,
+            ..
+        }) => {}
+        other => panic!("expected Rounds, got {other:?}"),
+    }
+
+    let seqlen = EvalConfig {
+        max_seq_len: 16,
+        ..EvalConfig::default()
+    };
+    match e.evaluate_with(&p, &db, &seqlen) {
+        Err(EvalError::Budget {
+            kind: BudgetKind::SeqLen,
+            ..
+        }) => {}
+        other => panic!("expected SeqLen, got {other:?}"),
+    }
+
+    let dom = EvalConfig {
+        max_domain: 40,
+        ..EvalConfig::default()
+    };
+    match e.evaluate_with(&p, &db, &dom) {
+        Err(EvalError::Budget {
+            kind: BudgetKind::DomainSize,
+            ..
+        }) => {}
+        other => panic!("expected DomainSize, got {other:?}"),
+    }
+
+    // Facts budget needs a program that multiplies facts instead.
+    let p2 = e.parse_program("pair(X, Y) :- s(X), s(Y).").unwrap();
+    let mut db2 = Database::new();
+    for w in ["a", "b", "c", "d", "e"] {
+        e.add_fact(&mut db2, "s", &[w]);
+    }
+    let facts = EvalConfig {
+        max_facts: 10,
+        ..EvalConfig::default()
+    };
+    match e.evaluate_with(&p2, &db2, &facts) {
+        Err(EvalError::Budget {
+            kind: BudgetKind::Facts,
+            ..
+        }) => {}
+        other => panic!("expected Facts, got {other:?}"),
+    }
+}
+
+#[test]
+fn undefined_index_terms_fail_silently_in_heads() {
+    // X[5:6] is undefined for short sequences: no fact derived, no error
+    // (θ is simply not defined at the clause, Section 3.2).
+    let mut e = Engine::new();
+    let p = e.parse_program("p(X[5:6]) :- r(X).").unwrap();
+    let db = db1(&mut e, "r", "abc");
+    let m = e.evaluate(&p, &db).unwrap();
+    assert!(m.tuples("p").is_empty());
+}
+
+#[test]
+fn index_arithmetic_with_two_variables_enumerates() {
+    // N+M = 3 has several solutions over the domain integers; each yields
+    // the same window here, deduplicated by the fact store.
+    let mut e = Engine::new();
+    let p = e
+        .parse_program("p(X[1:N+M]) :- r(X), X[N:M] = \"b\".")
+        .unwrap();
+    let db = db1(&mut e, "r", "abc");
+    let m = e.evaluate(&p, &db).unwrap();
+    // X[N:M] = "b" forces N = M = 2, so X[1:4] is undefined and nothing
+    // else matches… except N=2, M=2 gives X[1:4]: undefined. So p is empty.
+    assert!(m.tuples("p").is_empty());
+
+    // A satisfiable variant: X[N:M] = "bc" forces N=2, M=3 ⇒ X[1:5]
+    // undefined; X[N:M] = "a" forces N=M=1 ⇒ X[1:2] = "ab".
+    let p2 = e
+        .parse_program("p(X[1:N+M]) :- r(X), X[N:M] = \"a\".")
+        .unwrap();
+    let m2 = e.evaluate(&p2, &db).unwrap();
+    assert_eq!(e.answers(&m2, "p"), vec!["ab"]);
+}
+
+#[test]
+fn paper_term_shapes_parse_and_evaluate() {
+    // Section 3.1's example terms: 3, N+3, N-M, end-5, end-5+M; and
+    // ccgt ++ S1[1:end-3] ++ S2.
+    let mut e = Engine::new();
+    let p = e
+        .parse_program(
+            r#"
+            tail5(X[end-5+M:end]) :- r(X).
+            spliced("ccgt" ++ X[1:end-3] ++ Y) :- r(X), r(Y).
+            "#,
+        )
+        .unwrap();
+    // M occurs only in the head: it is enumerated over the domain integers,
+    // and the head is defined only where end-5+M is a valid index.
+    let mut db = Database::new();
+    e.add_fact(&mut db, "r", &["acgtacgt"]);
+    let m = e.evaluate(&p, &db).unwrap();
+    assert!(!m.tuples("tail5").is_empty());
+    let spliced = e.answers(&m, "spliced");
+    // ccgt + acgta + acgtacgt
+    assert!(spliced.contains(&"ccgtacgtaacgtacgt".to_string()));
+}
+
+#[test]
+fn inequality_requires_definedness() {
+    // X[9] != "a" is undefined for short X: the substitution is not
+    // defined at the clause, so it contributes nothing.
+    let mut e = Engine::new();
+    let p = e.parse_program("p(X) :- r(X), X[9] != \"a\".").unwrap();
+    let db = db1(&mut e, "r", "abc");
+    let m = e.evaluate(&p, &db).unwrap();
+    assert!(m.tuples("p").is_empty());
+}
+
+#[test]
+fn zero_arity_predicates_work_end_to_end() {
+    let mut e = Engine::new();
+    let p = e
+        .parse_program("go :- r(X), X[1] = \"a\".\nyes(X) :- go, r(X).")
+        .unwrap();
+    let db = db1(&mut e, "r", "abc");
+    let m = e.evaluate(&p, &db).unwrap();
+    assert!(m.contains("go", &[]));
+    assert_eq!(e.answers(&m, "yes"), vec!["abc"]);
+}
+
+#[test]
+fn duplicate_facts_are_idempotent() {
+    let mut e = Engine::new();
+    let p = e.parse_program("p(X) :- r(X).").unwrap();
+    let mut db = Database::new();
+    e.add_fact(&mut db, "r", &["ab"]);
+    e.add_fact(&mut db, "r", &["ab"]);
+    let m = e.evaluate(&p, &db).unwrap();
+    assert_eq!(m.facts.total_facts(), 2); // r(ab), p(ab)
+}
+
+#[test]
+fn stats_track_transducer_work() {
+    let mut e = Engine::new();
+    let syms: Vec<_> = "ab".chars().map(|c| e.alphabet.intern_char(c)).collect();
+    let t = seqlog_transducer::library::copy(&mut e.alphabet, &syms);
+    e.register_transducer("copy", t);
+    let p = e.parse_program("c(@copy(X)) :- r(X).").unwrap();
+    let db = db1(&mut e, "r", "abab");
+    let m = e.evaluate(&p, &db).unwrap();
+    assert_eq!(m.stats.transducer_calls, 1);
+    assert_eq!(m.stats.transducer_steps, 4);
+}

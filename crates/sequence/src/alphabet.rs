@@ -1,0 +1,230 @@
+//! Interned alphabet symbols.
+//!
+//! The paper fixes a finite alphabet Σ (Section 2.1). Symbols are usually
+//! single characters (`a`, `c`, `g`, `t`, …) but the proof constructions also
+//! need *compound* symbols — Turing-machine states embedded in configuration
+//! strings (Theorem 5), marked tape cells like `(b,*)` (Section 6.1 remark),
+//! and the special tape markers `⊣`, `▷` and blank. We therefore intern
+//! symbols by **name**: single-character names for ordinary data, longer
+//! names for machine-generated symbols.
+
+use crate::fx::FxHashMap;
+use std::fmt;
+
+/// An interned alphabet symbol. Cheap to copy and compare; resolve names via
+/// the owning [`Alphabet`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// The raw interner index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({})", self.0)
+    }
+}
+
+/// The end-of-tape marker `⊣` read by transducer input heads (Definition 7).
+pub const END_MARKER_NAME: &str = "⊣";
+/// The left-end marker `▷` of a Turing-machine tape (Theorem 1).
+pub const LEFT_MARKER_NAME: &str = "▷";
+/// The blank tape symbol `␣` (Theorem 1).
+pub const BLANK_NAME: &str = "␣";
+
+/// A symbol interner: a bijection between symbol names and [`Sym`] handles.
+///
+/// `Alphabet` is append-only; interning the same name twice returns the same
+/// handle. Display of sequences concatenates names, wrapping multi-character
+/// names in angle brackets so output stays unambiguous.
+#[derive(Default, Clone)]
+pub struct Alphabet {
+    names: Vec<String>,
+    by_name: FxHashMap<String, Sym>,
+}
+
+impl Alphabet {
+    /// Create an empty alphabet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an alphabet pre-populated with the characters of `chars`.
+    pub fn with_chars(chars: &str) -> Self {
+        let mut a = Self::new();
+        for c in chars.chars() {
+            a.intern_char(c);
+        }
+        a
+    }
+
+    /// Intern a symbol by name, returning its handle.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&s) = self.by_name.get(name) {
+            return s;
+        }
+        let s = Sym(u32::try_from(self.names.len()).expect("alphabet overflow"));
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), s);
+        s
+    }
+
+    /// Intern a single-character symbol.
+    pub fn intern_char(&mut self, c: char) -> Sym {
+        let mut buf = [0u8; 4];
+        self.intern(c.encode_utf8(&mut buf))
+    }
+
+    /// Look up a symbol by name without interning.
+    pub fn lookup(&self, name: &str) -> Option<Sym> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of an interned symbol.
+    ///
+    /// # Panics
+    /// Panics if `s` was not produced by this alphabet.
+    pub fn name(&self, s: Sym) -> &str {
+        &self.names[s.index()]
+    }
+
+    /// Number of distinct symbols interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no symbol has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Intern every character of `text` as a symbol, producing a sequence.
+    pub fn seq_of_str(&mut self, text: &str) -> Vec<Sym> {
+        text.chars().map(|c| self.intern_char(c)).collect()
+    }
+
+    /// Render a sequence of symbols as a string. Single-character symbol
+    /// names are concatenated directly; longer names appear as `<name>`.
+    pub fn render(&self, seq: &[Sym]) -> String {
+        let mut out = String::with_capacity(seq.len());
+        for &s in seq {
+            let name = self.name(s);
+            if name.chars().count() == 1 {
+                out.push_str(name);
+            } else {
+                out.push('<');
+                out.push_str(name);
+                out.push('>');
+            }
+        }
+        out
+    }
+
+    /// Iterate over all `(Sym, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Sym(i as u32), n.as_str()))
+    }
+
+    /// Intern the transducer end-of-tape marker `⊣`.
+    pub fn end_marker(&mut self) -> Sym {
+        self.intern(END_MARKER_NAME)
+    }
+
+    /// Intern the Turing-machine left-end marker `▷`.
+    pub fn left_marker(&mut self) -> Sym {
+        self.intern(LEFT_MARKER_NAME)
+    }
+
+    /// Intern the blank tape symbol.
+    pub fn blank(&mut self) -> Sym {
+        self.intern(BLANK_NAME)
+    }
+}
+
+impl fmt::Debug for Alphabet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Alphabet")
+            .field("len", &self.names.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut a = Alphabet::new();
+        let x = a.intern("a");
+        let y = a.intern("a");
+        assert_eq!(x, y);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_distinct_symbols() {
+        let mut a = Alphabet::new();
+        let x = a.intern("a");
+        let y = a.intern("b");
+        assert_ne!(x, y);
+        assert_eq!(a.name(x), "a");
+        assert_eq!(a.name(y), "b");
+    }
+
+    #[test]
+    fn seq_of_str_round_trips() {
+        let mut a = Alphabet::new();
+        let s = a.seq_of_str("acgt");
+        assert_eq!(s.len(), 4);
+        assert_eq!(a.render(&s), "acgt");
+    }
+
+    #[test]
+    fn compound_symbols_render_bracketed() {
+        let mut a = Alphabet::new();
+        let q = a.intern("q0");
+        let x = a.intern_char('x');
+        assert_eq!(a.render(&[q, x, q]), "<q0>x<q0>");
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let a = Alphabet::new();
+        assert_eq!(a.lookup("zzz"), None);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn special_markers_are_stable() {
+        let mut a = Alphabet::new();
+        let e1 = a.end_marker();
+        let e2 = a.end_marker();
+        assert_eq!(e1, e2);
+        assert_ne!(a.left_marker(), a.blank());
+    }
+
+    #[test]
+    fn with_chars_preloads() {
+        let a = Alphabet::with_chars("01");
+        assert_eq!(a.len(), 2);
+        assert!(a.lookup("0").is_some());
+        assert!(a.lookup("1").is_some());
+    }
+
+    #[test]
+    fn unicode_chars_intern() {
+        let mut a = Alphabet::new();
+        let s = a.intern_char('⊣');
+        assert_eq!(a.name(s), END_MARKER_NAME);
+        assert_eq!(a.end_marker(), s);
+    }
+}

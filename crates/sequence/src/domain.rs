@@ -1,0 +1,269 @@
+//! The extended active domain (Definitions 2 and 3).
+//!
+//! The *active domain* of an interpretation is the set of sequences occurring
+//! in it; its *extension* adds (1) every contiguous subsequence of every
+//! member and (2) the integers `0..=lmax+1`, where `lmax` is the maximum
+//! member length. Rule evaluation ranges substitutions over this domain, and
+//! the domain **grows** whenever a constructive head or a transducer call
+//! creates a sequence — that growth is exactly what separates safe structural
+//! recursion from unsafe constructive recursion (Section 1.2).
+//!
+//! [`ExtendedDomain`] maintains the subsequence closure *incrementally*: the
+//! invariant is that whenever a sequence is a member, so are all of its
+//! contiguous subsequences. Members are recorded in insertion order so the
+//! semi-naive evaluator can iterate over just the delta added in a round.
+
+use crate::fx::FxHashSet;
+use crate::store::{SeqId, SeqStore};
+use std::fmt;
+
+/// A set of interned sequences closed under contiguous subsequences,
+/// together with the induced integer range (Definition 2).
+#[derive(Default, Clone)]
+pub struct ExtendedDomain {
+    members: FxHashSet<SeqId>,
+    order: Vec<SeqId>,
+    max_len: usize,
+}
+
+impl ExtendedDomain {
+    /// Create an empty domain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert `id` and close under contiguous subsequences. Returns the
+    /// number of sequences actually added (0 when `id` was already present).
+    ///
+    /// Closure maintains the invariant of Definition 2: for each member, all
+    /// its contiguous subsequences — there are at most `k(k+1)/2 + 1` of them
+    /// for length `k` (Section 2.1) — are members too.
+    pub fn insert_closed(&mut self, store: &mut SeqStore, id: SeqId) -> usize {
+        if self.members.contains(&id) {
+            return 0;
+        }
+        let mut added = 0;
+        // ε is a subsequence of everything.
+        added += usize::from(self.insert_raw(store.empty()));
+
+        let len = store.len_of(id);
+        self.max_len = self.max_len.max(len);
+
+        // Enumerate windows longest-first so that the early-out below fires
+        // as often as possible: if a window is already a member, the closure
+        // invariant guarantees all of its sub-windows are members as well,
+        // but windows of *other* positions still need visiting, so we only
+        // skip the identical window.
+        for start in 0..len {
+            for end in (start + 1..=len).rev() {
+                let window = &store.get(id)[start..end];
+                let wid = match store.lookup(window) {
+                    Some(w) => w,
+                    None => {
+                        let v = window.to_vec();
+                        store.intern_vec(v)
+                    }
+                };
+                if self.insert_raw(wid) {
+                    added += 1;
+                } else {
+                    // The window is already a member, so by the closure
+                    // invariant all its sub-windows — including every shorter
+                    // window at this start position — are members too.
+                    break;
+                }
+            }
+        }
+        added
+    }
+
+    fn insert_raw(&mut self, id: SeqId) -> bool {
+        if self.members.insert(id) {
+            self.order.push(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, id: SeqId) -> bool {
+        self.members.contains(&id)
+    }
+
+    /// Number of member sequences. This is the paper's *database size*
+    /// measure (Definition 11).
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when the domain has no members.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// `lmax` — the maximum length of a member sequence.
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// The largest integer in the extended domain, `lmax + 1`
+    /// (Definition 2, item 3).
+    pub fn int_upper(&self) -> i64 {
+        self.max_len as i64 + 1
+    }
+
+    /// Whether integer `n` belongs to the extended domain,
+    /// i.e. `0 ≤ n ≤ lmax + 1`.
+    pub fn contains_int(&self, n: i64) -> bool {
+        0 <= n && n <= self.int_upper()
+    }
+
+    /// Iterate over members in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = SeqId> + '_ {
+        self.order.iter().copied()
+    }
+
+    /// Members added at or after snapshot index `since` (see [`Self::len`]
+    /// for obtaining snapshots). Supports semi-naive domain deltas.
+    pub fn members_since(&self, since: usize) -> &[SeqId] {
+        &self.order[since.min(self.order.len())..]
+    }
+}
+
+impl fmt::Debug for ExtendedDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExtendedDomain")
+            .field("members", &self.order.len())
+            .field("max_len", &self.max_len)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn insert_str(
+        a: &mut Alphabet,
+        st: &mut SeqStore,
+        d: &mut ExtendedDomain,
+        text: &str,
+    ) -> SeqId {
+        let id = {
+            let syms = a.seq_of_str(text);
+            st.intern_vec(syms)
+        };
+        d.insert_closed(st, id);
+        id
+    }
+
+    #[test]
+    fn abc_has_seven_subsequences() {
+        // Section 2.1: the contiguous subsequences of "abc" are
+        // ε, a, b, c, ab, bc, abc — seven in total.
+        let mut a = Alphabet::new();
+        let mut st = SeqStore::new();
+        let mut d = ExtendedDomain::new();
+        insert_str(&mut a, &mut st, &mut d, "abc");
+        assert_eq!(d.len(), 7);
+        for text in ["", "a", "b", "c", "ab", "bc", "abc"] {
+            let id = st.intern_vec(a.seq_of_str(text));
+            assert!(d.contains(id), "missing subsequence {text:?}");
+        }
+    }
+
+    #[test]
+    fn distinct_symbols_meet_the_counting_bound() {
+        // k(k+1)/2 + 1 distinct subsequences for a sequence of k distinct
+        // symbols.
+        let mut a = Alphabet::new();
+        let mut st = SeqStore::new();
+        let mut d = ExtendedDomain::new();
+        insert_str(&mut a, &mut st, &mut d, "abcdefgh");
+        assert_eq!(d.len(), 8 * 9 / 2 + 1);
+    }
+
+    #[test]
+    fn repeated_symbols_dedupe() {
+        let mut a = Alphabet::new();
+        let mut st = SeqStore::new();
+        let mut d = ExtendedDomain::new();
+        insert_str(&mut a, &mut st, &mut d, "aaaa");
+        // Subsequences of "aaaa": ε, a, aa, aaa, aaaa.
+        assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn insertion_is_idempotent() {
+        let mut a = Alphabet::new();
+        let mut st = SeqStore::new();
+        let mut d = ExtendedDomain::new();
+        let id = insert_str(&mut a, &mut st, &mut d, "abab");
+        let before = d.len();
+        assert_eq!(d.insert_closed(&mut st, id), 0);
+        assert_eq!(d.len(), before);
+    }
+
+    #[test]
+    fn integer_range_tracks_lmax() {
+        let mut a = Alphabet::new();
+        let mut st = SeqStore::new();
+        let mut d = ExtendedDomain::new();
+        insert_str(&mut a, &mut st, &mut d, "abc");
+        assert_eq!(d.max_len(), 3);
+        assert_eq!(d.int_upper(), 4);
+        assert!(d.contains_int(0));
+        assert!(d.contains_int(4));
+        assert!(!d.contains_int(5));
+        assert!(!d.contains_int(-1));
+    }
+
+    #[test]
+    fn delta_iteration_sees_only_new_members() {
+        let mut a = Alphabet::new();
+        let mut st = SeqStore::new();
+        let mut d = ExtendedDomain::new();
+        insert_str(&mut a, &mut st, &mut d, "ab");
+        let snapshot = d.len();
+        insert_str(&mut a, &mut st, &mut d, "cd");
+        let delta: Vec<SeqId> = d.members_since(snapshot).to_vec();
+        // "cd" adds c, d, cd (ε and nothing else shared).
+        assert_eq!(delta.len(), 3);
+        for id in delta {
+            assert!(d.contains(id));
+        }
+    }
+
+    #[test]
+    fn closure_invariant_after_overlapping_inserts() {
+        let mut a = Alphabet::new();
+        let mut st = SeqStore::new();
+        let mut d = ExtendedDomain::new();
+        insert_str(&mut a, &mut st, &mut d, "abcd");
+        insert_str(&mut a, &mut st, &mut d, "bcde");
+        // Every window of every member must be a member.
+        let members: Vec<SeqId> = d.iter().collect();
+        for id in members {
+            let syms = st.get(id).to_vec();
+            for s in 0..syms.len() {
+                for e in s + 1..=syms.len() {
+                    let w = st.intern(&syms[s..e]);
+                    assert!(d.contains(w));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_domain_has_empty_int_range() {
+        let d = ExtendedDomain::new();
+        assert_eq!(d.len(), 0);
+        assert!(d.is_empty());
+        // lmax = 0 ⇒ integers {0, 1}.
+        assert!(d.contains_int(1));
+        assert!(!d.contains_int(2));
+    }
+}

@@ -1,0 +1,127 @@
+//! A minimal reimplementation of the Fx hash used throughout `rustc`.
+//!
+//! The hot maps in this workspace are keyed by small integer handles
+//! ([`crate::Sym`], [`crate::SeqId`]) or short symbol slices, for which
+//! SipHash's HashDoS protection buys nothing and costs a lot. The sanctioned
+//! dependency set does not include `rustc-hash`, so we inline the ~30-line
+//! public-domain multiply-xor algorithm here (see DESIGN.md, "Design
+//! deviations").
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Fx hash (64-bit golden-ratio-ish prime).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx hasher state. Not HashDoS-resistant; only use for trusted keys.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&bytes[..8]);
+            self.add(u64::from_le_bytes(buf));
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            let mut buf = [0u8; 4];
+            buf.copy_from_slice(&bytes[..4]);
+            self.add(u64::from(u32::from_le_bytes(buf)));
+            bytes = &bytes[4..];
+        }
+        for &b in bytes {
+            self.add(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(0xdead_beef);
+        b.write_u64(0xdead_beef);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let mut seen = HashSet::new();
+        for k in 0u64..10_000 {
+            let mut h = FxHasher::default();
+            h.write_u64(k);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 10_000, "no collisions on small dense keys");
+    }
+
+    #[test]
+    fn byte_stream_matches_chunked_writes() {
+        // `write` must consume the same bytes regardless of chunk boundaries.
+        let data: Vec<u8> = (0u8..32).collect();
+        let mut whole = FxHasher::default();
+        whole.write(&data);
+        let mut split = FxHasher::default();
+        split.write(&data[..16]);
+        split.write(&data[16..]);
+        // Note: Fx is not a streaming hash with this property in general
+        // (chunking at non-8-byte boundaries changes word packing), but
+        // 8-byte-aligned splits must agree.
+        assert_eq!(whole.finish(), split.finish());
+    }
+
+    #[test]
+    fn works_as_map_hasher() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.get(&3), None);
+    }
+}

@@ -1,0 +1,307 @@
+//! Hash-consed sequence storage.
+//!
+//! Every sequence value that the engine touches — database constants,
+//! subsequences added by extended-active-domain closure (Definition 2), and
+//! sequences created by constructive terms or transducer calls — is interned
+//! exactly once in a [`SeqStore`] and addressed by a [`SeqId`]. Equality of
+//! sequence *values* is then equality of handles, which keeps fact tuples,
+//! substitutions and domain sets small and cache-friendly.
+
+use crate::alphabet::Sym;
+use crate::fx::FxHashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Handle of an interned sequence inside a [`SeqStore`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SeqId(pub u32);
+
+impl SeqId {
+    /// The raw interner index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for SeqId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SeqId({})", self.0)
+    }
+}
+
+/// Evaluate the paper's 1-based index pair `[n1 : n2]` against a sequence of
+/// length `len` (Section 3.2).
+///
+/// Returns the half-open 0-based window `start..end` when the indexed term is
+/// *defined*, i.e. when `1 ≤ n1 ≤ n2 + 1 ≤ len + 1`; `n1 == n2 + 1` denotes
+/// the empty sequence. Returns `None` when the term is undefined (out of
+/// bounds or crossed by more than one).
+///
+/// ```
+/// use seqlog_sequence::index_window;
+/// // The §3.2 table for the length-5 sequence "uvwxy":
+/// assert_eq!(index_window(5, 3, 6), None);          // undefined
+/// assert_eq!(index_window(5, 3, 5), Some((2, 5)));  // "wxy"
+/// assert_eq!(index_window(5, 3, 4), Some((2, 4)));  // "wx"
+/// assert_eq!(index_window(5, 3, 3), Some((2, 3)));  // "w"
+/// assert_eq!(index_window(5, 3, 2), Some((2, 2)));  // ε
+/// assert_eq!(index_window(5, 3, 1), None);          // undefined
+/// ```
+#[inline]
+pub fn index_window(len: usize, n1: i64, n2: i64) -> Option<(usize, usize)> {
+    let len = len as i64;
+    if 1 <= n1 && n1 <= n2 + 1 && n2 <= len {
+        Some((n1 as usize - 1, n2 as usize))
+    } else {
+        None
+    }
+}
+
+/// An append-only, hash-consing store of sequences.
+#[derive(Default, Clone)]
+pub struct SeqStore {
+    seqs: Vec<Arc<[Sym]>>,
+    ids: FxHashMap<Arc<[Sym]>, SeqId>,
+    /// Total symbols stored (for instrumentation).
+    total_syms: usize,
+}
+
+impl SeqStore {
+    /// Create an empty store. The empty sequence ε is interned eagerly so
+    /// that [`SeqStore::empty`] never allocates.
+    pub fn new() -> Self {
+        let mut s = Self::default();
+        s.intern(&[]);
+        s
+    }
+
+    /// Intern a sequence, returning its handle. Idempotent.
+    pub fn intern(&mut self, syms: &[Sym]) -> SeqId {
+        if let Some(&id) = self.ids.get(syms) {
+            return id;
+        }
+        let arc: Arc<[Sym]> = Arc::from(syms);
+        self.insert_arc(arc)
+    }
+
+    /// Intern a sequence from an owned vector (avoids one copy when fresh).
+    pub fn intern_vec(&mut self, syms: Vec<Sym>) -> SeqId {
+        if let Some(&id) = self.ids.get(syms.as_slice()) {
+            return id;
+        }
+        let arc: Arc<[Sym]> = Arc::from(syms);
+        self.insert_arc(arc)
+    }
+
+    fn insert_arc(&mut self, arc: Arc<[Sym]>) -> SeqId {
+        let id = SeqId(u32::try_from(self.seqs.len()).expect("sequence store overflow"));
+        self.total_syms += arc.len();
+        self.seqs.push(arc.clone());
+        self.ids.insert(arc, id);
+        id
+    }
+
+    /// The handle of the empty sequence ε.
+    #[inline]
+    pub fn empty(&self) -> SeqId {
+        SeqId(0)
+    }
+
+    /// The symbols of an interned sequence.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this store.
+    #[inline]
+    pub fn get(&self, id: SeqId) -> &[Sym] {
+        &self.seqs[id.index()]
+    }
+
+    /// `len(σ)` — the length of an interned sequence.
+    #[inline]
+    pub fn len_of(&self, id: SeqId) -> usize {
+        self.seqs[id.index()].len()
+    }
+
+    /// Look up a sequence value without interning it.
+    pub fn lookup(&self, syms: &[Sym]) -> Option<SeqId> {
+        self.ids.get(syms).copied()
+    }
+
+    /// Intern the concatenation `a · b` (the paper's constructive term
+    /// `a • b`).
+    pub fn concat(&mut self, a: SeqId, b: SeqId) -> SeqId {
+        if self.len_of(a) == 0 {
+            return b;
+        }
+        if self.len_of(b) == 0 {
+            return a;
+        }
+        let mut v = Vec::with_capacity(self.len_of(a) + self.len_of(b));
+        v.extend_from_slice(self.get(a));
+        v.extend_from_slice(self.get(b));
+        self.intern_vec(v)
+    }
+
+    /// Intern the single-symbol sequence `⟨s⟩`.
+    pub fn singleton(&mut self, s: Sym) -> SeqId {
+        self.intern(&[s])
+    }
+
+    /// Evaluate the indexed term `id[n1 : n2]` (1-based, inclusive, per
+    /// Section 3.2) and intern the result. `None` when undefined.
+    pub fn subseq(&mut self, id: SeqId, n1: i64, n2: i64) -> Option<SeqId> {
+        let (start, end) = index_window(self.len_of(id), n1, n2)?;
+        if start == 0 && end == self.len_of(id) {
+            return Some(id);
+        }
+        let v: Vec<Sym> = self.get(id)[start..end].to_vec();
+        Some(self.intern_vec(v))
+    }
+
+    /// All start positions (0-based) at which `needle` occurs as a contiguous
+    /// subsequence of `hay`. The empty needle occurs at every position
+    /// `0..=len(hay)`.
+    pub fn occurrences(&self, hay: SeqId, needle: SeqId) -> Vec<usize> {
+        let h = self.get(hay);
+        let n = self.get(needle);
+        if n.is_empty() {
+            return (0..=h.len()).collect();
+        }
+        if n.len() > h.len() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for start in 0..=(h.len() - n.len()) {
+            if &h[start..start + n.len()] == n {
+                out.push(start);
+            }
+        }
+        out
+    }
+
+    /// Number of distinct sequences interned.
+    pub fn count(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Total number of symbols across all interned sequences
+    /// (instrumentation for the Theorem 8/9 model-size experiments).
+    pub fn total_symbols(&self) -> usize {
+        self.total_syms
+    }
+}
+
+impl fmt::Debug for SeqStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SeqStore")
+            .field("sequences", &self.seqs.len())
+            .field("total_symbols", &self.total_syms)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn setup(text: &str) -> (Alphabet, SeqStore, SeqId) {
+        let mut a = Alphabet::new();
+        let mut st = SeqStore::new();
+        let syms = a.seq_of_str(text);
+        let id = st.intern_vec(syms);
+        (a, st, id)
+    }
+
+    #[test]
+    fn interning_dedupes() {
+        let (mut a, mut st, id) = setup("abc");
+        let again = st.intern_vec(a.seq_of_str("abc"));
+        assert_eq!(id, again);
+        // ε + "abc"
+        assert_eq!(st.count(), 2);
+    }
+
+    #[test]
+    fn empty_is_preinterned() {
+        let st = SeqStore::new();
+        assert_eq!(st.len_of(st.empty()), 0);
+        assert_eq!(st.lookup(&[]), Some(st.empty()));
+    }
+
+    #[test]
+    fn concat_matches_paper_semantics() {
+        let (mut a, mut st, _) = setup("ab");
+        let x = st.intern_vec(a.seq_of_str("ab"));
+        let y = st.intern_vec(a.seq_of_str("cd"));
+        let xy = st.concat(x, y);
+        assert_eq!(a.render(st.get(xy)), "abcd");
+        // ε is a two-sided identity.
+        let e = st.empty();
+        assert_eq!(st.concat(e, x), x);
+        assert_eq!(st.concat(x, e), x);
+    }
+
+    #[test]
+    fn section_3_2_substitution_table() {
+        // uvwxy[3:6] ↦ undefined, [3:5] ↦ wxy, [3:4] ↦ wx, [3:3] ↦ w,
+        // [3:2] ↦ ε, [3:1] ↦ undefined.
+        let (a, mut st, id) = setup("uvwxy");
+        assert_eq!(st.subseq(id, 3, 6), None);
+        let wxy = st.subseq(id, 3, 5).unwrap();
+        assert_eq!(a.render(st.get(wxy)), "wxy");
+        let wx = st.subseq(id, 3, 4).unwrap();
+        assert_eq!(a.render(st.get(wx)), "wx");
+        let w = st.subseq(id, 3, 3).unwrap();
+        assert_eq!(a.render(st.get(w)), "w");
+        assert_eq!(st.subseq(id, 3, 2), Some(st.empty()));
+        assert_eq!(st.subseq(id, 3, 1), None);
+    }
+
+    #[test]
+    fn subseq_full_range_returns_same_handle() {
+        let (_, mut st, id) = setup("abc");
+        assert_eq!(st.subseq(id, 1, 3), Some(id));
+    }
+
+    #[test]
+    fn subseq_rejects_zero_and_negative_indices() {
+        let (_, mut st, id) = setup("abc");
+        assert_eq!(st.subseq(id, 0, 2), None);
+        assert_eq!(st.subseq(id, -1, 2), None);
+        // n1 = n2 + 1 is ε even at the right edge: s[4:3] on length 3.
+        assert_eq!(st.subseq(id, 4, 3), Some(st.empty()));
+        // ...but s[5:4] is undefined (n2 > len).
+        assert_eq!(st.subseq(id, 5, 4), None);
+    }
+
+    #[test]
+    fn occurrences_finds_all_matches() {
+        let (mut a, mut st, hay) = setup("abab");
+        let ab = st.intern_vec(a.seq_of_str("ab"));
+        assert_eq!(st.occurrences(hay, ab), vec![0, 2]);
+        let eps = st.empty();
+        assert_eq!(st.occurrences(hay, eps), vec![0, 1, 2, 3, 4]);
+        let z = st.intern_vec(a.seq_of_str("zz"));
+        assert!(st.occurrences(hay, z).is_empty());
+    }
+
+    #[test]
+    fn occurrences_needle_longer_than_hay() {
+        let (mut a, mut st, hay) = setup("ab");
+        let long = st.intern_vec(a.seq_of_str("abc"));
+        assert!(st.occurrences(hay, long).is_empty());
+    }
+
+    #[test]
+    fn index_window_edges() {
+        // Whole sequence.
+        assert_eq!(index_window(3, 1, 3), Some((0, 3)));
+        // Empty at the left edge: s[1:0].
+        assert_eq!(index_window(3, 1, 0), Some((0, 0)));
+        // Empty sequence: only s[1:0] is defined.
+        assert_eq!(index_window(0, 1, 0), Some((0, 0)));
+        assert_eq!(index_window(0, 1, 1), None);
+    }
+}

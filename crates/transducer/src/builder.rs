@@ -1,0 +1,312 @@
+//! Construction of transducers: an explicit builder and a lazy synthesizer.
+//!
+//! [`TransducerBuilder`] is the low-level API: declare states, add δ entries,
+//! attach subtransducers, and `build()` (which validates the Definition 7
+//! restrictions).
+//!
+//! [`synthesize`] is the high-level API used by the machine library and the
+//! Theorem 5 Turing-machine compiler: describe the machine as a pure function
+//! from an *abstract state* (any `Eq + Hash` value, e.g. "copy mode with two
+//! buffered symbols") and the symbols under the heads to an action; the
+//! synthesizer explores exactly the reachable (state, read) space breadth-
+//! first and materializes a concrete finite transition table. This keeps
+//! machine definitions at the level the paper describes them ("at each step,
+//! T_square appends a copy of its input to its output") while producing
+//! honest finite-state machines.
+
+use crate::machine::{HeadMove, MachineError, OutputAction, StateId, Transducer, Transition};
+use seqlog_sequence::{FxHashMap, Sym};
+use std::collections::VecDeque;
+use std::hash::Hash;
+
+/// Incremental transducer constructor. See the module docs.
+pub struct TransducerBuilder {
+    name: String,
+    num_inputs: usize,
+    end_marker: Sym,
+    state_names: Vec<String>,
+    by_name: FxHashMap<String, StateId>,
+    transitions: FxHashMap<(StateId, Box<[Sym]>), Transition>,
+    subtransducers: Vec<Transducer>,
+}
+
+impl TransducerBuilder {
+    /// Start building an `m`-input machine named `name`. `end_marker` is the
+    /// interned `⊣` symbol (see [`seqlog_sequence::Alphabet::end_marker`]).
+    pub fn new(name: impl Into<String>, num_inputs: usize, end_marker: Sym) -> Self {
+        Self {
+            name: name.into(),
+            num_inputs,
+            end_marker,
+            state_names: Vec::new(),
+            by_name: FxHashMap::default(),
+            transitions: FxHashMap::default(),
+            subtransducers: Vec::new(),
+        }
+    }
+
+    /// Declare (or fetch) a state by name. The first declared state is the
+    /// initial state q0.
+    pub fn state(&mut self, name: impl Into<String>) -> StateId {
+        let name = name.into();
+        if let Some(&q) = self.by_name.get(&name) {
+            return q;
+        }
+        let q = StateId(self.state_names.len() as u32);
+        self.by_name.insert(name.clone(), q);
+        self.state_names.push(name);
+        q
+    }
+
+    /// Attach a subtransducer; returns its index for [`OutputAction::Call`].
+    pub fn sub(&mut self, t: Transducer) -> usize {
+        self.subtransducers.push(t);
+        self.subtransducers.len() - 1
+    }
+
+    /// Add the δ entry `δ(from, read) = (to, moves, out)`.
+    ///
+    /// # Panics
+    /// Panics if a conflicting entry for `(from, read)` already exists —
+    /// Definition 7 machines are deterministic.
+    pub fn on(
+        &mut self,
+        from: StateId,
+        read: &[Sym],
+        to: StateId,
+        moves: &[HeadMove],
+        out: OutputAction,
+    ) -> &mut Self {
+        let key = (from, Box::<[Sym]>::from(read));
+        let t = Transition {
+            next: to,
+            moves: moves.into(),
+            output: out,
+        };
+        if let Some(prev) = self.transitions.insert(key, t.clone()) {
+            assert!(
+                prev == t,
+                "conflicting transition from state {:?} in {}",
+                from,
+                self.name
+            );
+        }
+        self
+    }
+
+    /// Finalize and validate the machine.
+    pub fn build(self) -> Result<Transducer, MachineError> {
+        let t = Transducer {
+            name: self.name,
+            num_inputs: self.num_inputs,
+            state_names: if self.state_names.is_empty() {
+                vec!["q0".to_string()]
+            } else {
+                self.state_names
+            },
+            initial: StateId(0),
+            transitions: self.transitions,
+            subtransducers: self.subtransducers,
+            end_marker: self.end_marker,
+        };
+        t.validate()?;
+        Ok(t)
+    }
+}
+
+/// The action returned by a [`synthesize`] step function.
+pub struct SynthStep<S> {
+    /// Successor abstract state.
+    pub next: S,
+    /// One command per head.
+    pub moves: Vec<HeadMove>,
+    /// Output action (subtransducer indices refer to the `subs` argument of
+    /// [`synthesize`]).
+    pub output: OutputAction,
+}
+
+/// Materialize a finite transducer from a step function over abstract states.
+///
+/// * `universe` — the symbols that may appear on the input tapes **excluding**
+///   the end marker; the synthesizer automatically extends each head's read
+///   set with `⊣`.
+/// * `step` — `step(state, read)` returns `None` when δ is undefined there
+///   (the machine halts or gets stuck), or the action to take.
+///
+/// Only (state, read) pairs reachable from `initial` are explored, so the
+/// abstract state type may be unbounded (e.g. carry buffered symbols) as long
+/// as the *reachable* portion is finite.
+pub fn synthesize<S: Eq + Hash + Clone>(
+    name: impl Into<String>,
+    num_inputs: usize,
+    end_marker: Sym,
+    universe: &[Sym],
+    subs: Vec<Transducer>,
+    initial: S,
+    describe: impl Fn(&S) -> String,
+    step: impl Fn(&S, &[Sym]) -> Option<SynthStep<S>>,
+) -> Result<Transducer, MachineError> {
+    let universes = vec![universe.to_vec(); num_inputs];
+    synthesize_multi(
+        name, num_inputs, end_marker, &universes, subs, initial, describe, step,
+    )
+}
+
+/// Like [`synthesize`], but with a separate symbol universe per input tape.
+/// This keeps the materialized transition table small when tapes carry
+/// different alphabets (e.g. the Theorem 5 step transducer, whose counter
+/// tape never carries state symbols).
+#[allow(clippy::too_many_arguments)]
+pub fn synthesize_multi<S: Eq + Hash + Clone>(
+    name: impl Into<String>,
+    num_inputs: usize,
+    end_marker: Sym,
+    universes: &[Vec<Sym>],
+    subs: Vec<Transducer>,
+    initial: S,
+    describe: impl Fn(&S) -> String,
+    step: impl Fn(&S, &[Sym]) -> Option<SynthStep<S>>,
+) -> Result<Transducer, MachineError> {
+    assert_eq!(universes.len(), num_inputs);
+    let mut b = TransducerBuilder::new(name, num_inputs, end_marker);
+    for sub in subs {
+        b.sub(sub);
+    }
+
+    let mut ids: FxHashMap<S, StateId> = FxHashMap::default();
+    let mut queue: VecDeque<S> = VecDeque::new();
+    let q0 = b.state(describe(&initial));
+    ids.insert(initial.clone(), q0);
+    queue.push_back(initial);
+
+    // The read alphabet for each head: its universe plus ⊣.
+    let reads: Vec<Vec<Sym>> = universes
+        .iter()
+        .map(|u| {
+            let mut r = u.clone();
+            if !r.contains(&end_marker) {
+                r.push(end_marker);
+            }
+            r
+        })
+        .collect();
+
+    // Cartesian product of head readings.
+    let mut tuple = vec![0usize; num_inputs];
+    while let Some(state) = queue.pop_front() {
+        let from = ids[&state];
+        tuple.iter_mut().for_each(|i| *i = 0);
+        'tuples: loop {
+            let read: Vec<Sym> = tuple.iter().zip(&reads).map(|(&i, r)| r[i]).collect();
+            // Skip the all-⊣ tuple: the machine has already halted there.
+            if read.iter().any(|&s| s != end_marker) {
+                if let Some(act) = step(&state, &read) {
+                    let to = match ids.get(&act.next) {
+                        Some(&q) => q,
+                        None => {
+                            let q = b.state(describe(&act.next));
+                            ids.insert(act.next.clone(), q);
+                            queue.push_back(act.next.clone());
+                            q
+                        }
+                    };
+                    b.on(from, &read, to, &act.moves, act.output);
+                }
+            }
+            // Advance the product counter.
+            for pos in (0..num_inputs).rev() {
+                tuple[pos] += 1;
+                if tuple[pos] < reads[pos].len() {
+                    continue 'tuples;
+                }
+                tuple[pos] = 0;
+            }
+            break;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_to_vec;
+    use seqlog_sequence::Alphabet;
+
+    #[test]
+    fn builder_dedupes_state_names() {
+        let mut a = Alphabet::new();
+        let end = a.end_marker();
+        let mut b = TransducerBuilder::new("t", 1, end);
+        let q = b.state("q0");
+        let q2 = b.state("q0");
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting transition")]
+    fn builder_panics_on_nondeterminism() {
+        let mut a = Alphabet::new();
+        let x = a.intern_char('x');
+        let end = a.end_marker();
+        let mut b = TransducerBuilder::new("t", 1, end);
+        let q = b.state("q0");
+        b.on(q, &[x], q, &[HeadMove::Consume], OutputAction::Epsilon);
+        b.on(q, &[x], q, &[HeadMove::Consume], OutputAction::Emit(x));
+    }
+
+    #[test]
+    fn synthesized_identity_machine() {
+        let mut a = Alphabet::new();
+        let syms: Vec<Sym> = "ab".chars().map(|c| a.intern_char(c)).collect();
+        let end = a.end_marker();
+        let t = synthesize(
+            "identity",
+            1,
+            end,
+            &syms,
+            vec![],
+            (),
+            |_| "copy".to_string(),
+            |_, read| {
+                (read[0] != end).then(|| SynthStep {
+                    next: (),
+                    moves: vec![HeadMove::Consume],
+                    output: OutputAction::Emit(read[0]),
+                })
+            },
+        )
+        .unwrap();
+        assert_eq!(t.order(), 1);
+        let input = a.seq_of_str("abba");
+        let out = run_to_vec(&t, &[&input]).unwrap();
+        assert_eq!(a.render(&out), "abba");
+    }
+
+    #[test]
+    fn synthesize_explores_only_reachable_states() {
+        let mut a = Alphabet::new();
+        let syms: Vec<Sym> = "a".chars().map(|c| a.intern_char(c)).collect();
+        let end = a.end_marker();
+        // Abstract states 0..u64::MAX, but only 0 and 1 are reachable
+        // (parity machine).
+        let t = synthesize(
+            "parity",
+            1,
+            end,
+            &syms,
+            vec![],
+            0u64,
+            |s| format!("p{s}"),
+            |s, read| {
+                (read[0] != end).then(|| SynthStep {
+                    next: (s + 1) % 2,
+                    moves: vec![HeadMove::Consume],
+                    output: OutputAction::Epsilon,
+                })
+            },
+        )
+        .unwrap();
+        assert_eq!(t.num_states(), 2);
+    }
+}

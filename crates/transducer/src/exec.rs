@@ -1,0 +1,384 @@
+//! Execution of generalized transducers.
+//!
+//! The computation model of Section 6.1: all heads start at the leftmost
+//! symbol, the machine repeatedly applies δ to (state, symbols under heads),
+//! and it stops exactly when every head reads the end-of-tape marker `⊣`.
+//! Because every transition consumes at least one symbol (Definition 7.5(i)),
+//! termination on finite inputs is guaranteed; we nevertheless enforce
+//! explicit step and output budgets because order-3 machines legitimately
+//! produce hyperexponential outputs (Theorem 4) that would exhaust memory.
+//!
+//! Step accounting follows the paper: "we count the number of transitions
+//! performed by the top-level transducer and all its subtransducers."
+
+use crate::machine::{HeadMove, OutputAction, StateId, Transducer};
+use seqlog_sequence::{Alphabet, Sym};
+use std::fmt;
+
+/// Execution budgets. Termination is guaranteed by the model; these bound
+/// *resources*, not time-to-halt.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecLimits {
+    /// Maximum total transitions (top-level plus subtransducers).
+    pub max_steps: u64,
+    /// Maximum length of any output tape.
+    pub max_output_len: usize,
+}
+
+impl Default for ExecLimits {
+    fn default() -> Self {
+        Self {
+            max_steps: 50_000_000,
+            max_output_len: 1 << 24,
+        }
+    }
+}
+
+/// Counters accumulated across a run (and all nested subtransducer runs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecStats {
+    /// Transitions performed, including inside subtransducers.
+    pub steps: u64,
+    /// Subtransducer invocations.
+    pub subcalls: u64,
+    /// Symbols appended by `Emit` actions.
+    pub appended: u64,
+    /// The longest output tape observed anywhere in the run.
+    pub max_output_len: usize,
+}
+
+/// Execution failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// δ is undefined at the current (state, read) — the machine is stuck
+    /// and its output is undefined (δ is a partial mapping).
+    Stuck {
+        /// Machine name.
+        machine: String,
+        /// Control state name at the point of sticking.
+        state: String,
+        /// 0-based head positions.
+        heads: Vec<usize>,
+    },
+    /// The step budget was exhausted.
+    StepLimit(u64),
+    /// The output budget was exhausted.
+    OutputLimit(usize),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Stuck {
+                machine,
+                state,
+                heads,
+            } => {
+                write!(
+                    f,
+                    "{machine} stuck in state {state} at head positions {heads:?}"
+                )
+            }
+            Self::StepLimit(n) => write!(f, "step limit {n} exhausted"),
+            Self::OutputLimit(n) => write!(f, "output length limit {n} exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Run `t` on `inputs`, returning the output tape.
+///
+/// `inputs` must have exactly `t.num_inputs` elements; the end markers are
+/// implicit (supplied by the runtime, not stored in the sequences).
+pub fn run(
+    t: &Transducer,
+    inputs: &[&[Sym]],
+    limits: &ExecLimits,
+    stats: &mut ExecStats,
+) -> Result<Vec<Sym>, ExecError> {
+    assert_eq!(
+        inputs.len(),
+        t.num_inputs,
+        "{} expects {} inputs, got {}",
+        t.name,
+        t.num_inputs,
+        inputs.len()
+    );
+    let mut output = Vec::new();
+    run_inner(t, inputs, limits, stats, &mut output)?;
+    Ok(output)
+}
+
+/// Run with default limits and discarded stats (convenience for tests).
+pub fn run_to_vec(t: &Transducer, inputs: &[&[Sym]]) -> Result<Vec<Sym>, ExecError> {
+    run(t, inputs, &ExecLimits::default(), &mut ExecStats::default())
+}
+
+fn run_inner(
+    t: &Transducer,
+    inputs: &[&[Sym]],
+    limits: &ExecLimits,
+    stats: &mut ExecStats,
+    output: &mut Vec<Sym>,
+) -> Result<(), ExecError> {
+    let mut state = t.initial;
+    let mut pos = vec![0usize; inputs.len()];
+    let mut read: Vec<Sym> = Vec::with_capacity(inputs.len());
+
+    loop {
+        if pos.iter().zip(inputs).all(|(&p, inp)| p == inp.len()) {
+            return Ok(());
+        }
+        read.clear();
+        for (i, inp) in inputs.iter().enumerate() {
+            read.push(if pos[i] == inp.len() {
+                t.end_marker
+            } else {
+                inp[pos[i]]
+            });
+        }
+        let tr = t.transition(state, &read).ok_or_else(|| ExecError::Stuck {
+            machine: t.name.clone(),
+            state: t.state_name(state).to_string(),
+            heads: pos.clone(),
+        })?;
+
+        stats.steps += 1;
+        if stats.steps > limits.max_steps {
+            return Err(ExecError::StepLimit(limits.max_steps));
+        }
+
+        match tr.output {
+            OutputAction::Epsilon => {}
+            OutputAction::Emit(s) => {
+                output.push(s);
+                stats.appended += 1;
+                if output.len() > limits.max_output_len {
+                    return Err(ExecError::OutputLimit(limits.max_output_len));
+                }
+            }
+            OutputAction::Call(i) => {
+                stats.subcalls += 1;
+                let sub = &t.subtransducers[i];
+                // The subtransducer reads copies of the caller's inputs plus
+                // the caller's current output (Fig. 1); its output then
+                // overwrites the caller's output tape.
+                let snapshot = std::mem::take(output);
+                let mut sub_inputs: Vec<&[Sym]> = inputs.to_vec();
+                sub_inputs.push(&snapshot);
+                let mut sub_out = Vec::new();
+                run_inner(sub, &sub_inputs, limits, stats, &mut sub_out)?;
+                *output = sub_out;
+                if output.len() > limits.max_output_len {
+                    return Err(ExecError::OutputLimit(limits.max_output_len));
+                }
+            }
+        }
+        stats.max_output_len = stats.max_output_len.max(output.len());
+
+        for (i, mv) in tr.moves.iter().enumerate() {
+            if *mv == HeadMove::Consume {
+                debug_assert!(pos[i] < inputs[i].len(), "validated: cannot move past ⊣");
+                pos[i] += 1;
+            }
+        }
+        state = tr.next;
+    }
+}
+
+/// One row of a top-level execution trace (the shape of the paper's Fig. 2).
+#[derive(Clone, Debug)]
+pub struct TraceRow {
+    /// 1-based step number.
+    pub step: usize,
+    /// Control state before the step.
+    pub state: String,
+    /// 1-based head positions just before the step (`len+1` means `⊣`).
+    pub heads: Vec<usize>,
+    /// Rendered output tape just before the step.
+    pub output_before: String,
+    /// Description of the action ("append a", "ε", "run T_append").
+    pub operation: String,
+    /// Rendered output tape just after the step.
+    pub output_after: String,
+}
+
+/// Run `t` while recording one [`TraceRow`] per **top-level** transition
+/// (subtransducer steps are summarized by their effect, exactly as in the
+/// paper's Fig. 2). Returns the trace and the final output.
+pub fn trace(
+    t: &Transducer,
+    inputs: &[&[Sym]],
+    alphabet: &Alphabet,
+) -> Result<(Vec<TraceRow>, Vec<Sym>), ExecError> {
+    assert_eq!(inputs.len(), t.num_inputs);
+    let limits = ExecLimits::default();
+    let mut stats = ExecStats::default();
+    let mut rows = Vec::new();
+    let mut output: Vec<Sym> = Vec::new();
+    let mut state: StateId = t.initial;
+    let mut pos = vec![0usize; inputs.len()];
+
+    loop {
+        if pos.iter().zip(inputs).all(|(&p, inp)| p == inp.len()) {
+            return Ok((rows, output));
+        }
+        let read: Vec<Sym> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, inp)| {
+                if pos[i] == inp.len() {
+                    t.end_marker
+                } else {
+                    inp[pos[i]]
+                }
+            })
+            .collect();
+        let tr = t.transition(state, &read).ok_or_else(|| ExecError::Stuck {
+            machine: t.name.clone(),
+            state: t.state_name(state).to_string(),
+            heads: pos.clone(),
+        })?;
+
+        let before = alphabet.render(&output);
+        let operation = match tr.output {
+            OutputAction::Epsilon => "ε".to_string(),
+            OutputAction::Emit(s) => format!("append {}", alphabet.name(s)),
+            OutputAction::Call(i) => format!("run {}", t.subtransducers[i].name),
+        };
+
+        match tr.output {
+            OutputAction::Epsilon => {}
+            OutputAction::Emit(s) => output.push(s),
+            OutputAction::Call(i) => {
+                let sub = &t.subtransducers[i];
+                let snapshot = std::mem::take(&mut output);
+                let mut sub_inputs: Vec<&[Sym]> = inputs.to_vec();
+                sub_inputs.push(&snapshot);
+                let mut sub_out = Vec::new();
+                run_inner(sub, &sub_inputs, &limits, &mut stats, &mut sub_out)?;
+                output = sub_out;
+            }
+        }
+
+        rows.push(TraceRow {
+            step: rows.len() + 1,
+            state: t.state_name(state).to_string(),
+            heads: pos.iter().map(|&p| p + 1).collect(),
+            output_before: before,
+            operation,
+            output_after: alphabet.render(&output),
+        });
+
+        for (i, mv) in tr.moves.iter().enumerate() {
+            if *mv == HeadMove::Consume {
+                pos[i] += 1;
+            }
+        }
+        state = tr.next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TransducerBuilder;
+    use crate::machine::{HeadMove, OutputAction};
+    use seqlog_sequence::Alphabet;
+
+    /// A 1-input machine that emits `1` for each `0` and vice versa.
+    fn complement(a: &mut Alphabet) -> Transducer {
+        let zero = a.intern_char('0');
+        let one = a.intern_char('1');
+        let end = a.end_marker();
+        let mut b = TransducerBuilder::new("complement", 1, end);
+        let q0 = b.state("q0");
+        b.on(
+            q0,
+            &[zero],
+            q0,
+            &[HeadMove::Consume],
+            OutputAction::Emit(one),
+        );
+        b.on(
+            q0,
+            &[one],
+            q0,
+            &[HeadMove::Consume],
+            OutputAction::Emit(zero),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn complement_flips_bits() {
+        let mut a = Alphabet::new();
+        let t = complement(&mut a);
+        let input = a.seq_of_str("110000");
+        let out = run_to_vec(&t, &[&input]).unwrap();
+        assert_eq!(a.render(&out), "001111");
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let mut a = Alphabet::new();
+        let t = complement(&mut a);
+        let out = run_to_vec(&t, &[&[]]).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stuck_machine_reports_position() {
+        let mut a = Alphabet::new();
+        let t = complement(&mut a);
+        let x = a.intern_char('x'); // no transition reads 'x'
+        let input = vec![x];
+        match run_to_vec(&t, &[&input]) {
+            Err(ExecError::Stuck { machine, heads, .. }) => {
+                assert_eq!(machine, "complement");
+                assert_eq!(heads, vec![0]);
+            }
+            other => panic!("expected Stuck, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn step_accounting_counts_each_transition() {
+        let mut a = Alphabet::new();
+        let t = complement(&mut a);
+        let input = a.seq_of_str("0101");
+        let mut stats = ExecStats::default();
+        run(&t, &[&input], &ExecLimits::default(), &mut stats).unwrap();
+        assert_eq!(stats.steps, 4);
+        assert_eq!(stats.appended, 4);
+        assert_eq!(stats.subcalls, 0);
+    }
+
+    #[test]
+    fn step_limit_is_enforced() {
+        let mut a = Alphabet::new();
+        let t = complement(&mut a);
+        let input = a.seq_of_str("000000");
+        let limits = ExecLimits {
+            max_steps: 3,
+            ..Default::default()
+        };
+        let r = run(&t, &[&input], &limits, &mut ExecStats::default());
+        assert_eq!(r, Err(ExecError::StepLimit(3)));
+    }
+
+    #[test]
+    fn trace_records_every_top_level_step() {
+        let mut a = Alphabet::new();
+        let t = complement(&mut a);
+        let input = a.seq_of_str("01");
+        let (rows, out) = trace(&t, &[&input], &a).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].heads, vec![1]);
+        assert_eq!(rows[0].output_before, "");
+        assert_eq!(rows[0].output_after, "1");
+        assert_eq!(rows[1].output_after, "10");
+        assert_eq!(a.render(&out), "10");
+    }
+}

@@ -1,0 +1,32 @@
+//! Generalized sequence transducers (Sections 6 and 6.2 of Bonner & Mecca).
+//!
+//! A *generalized sequence transducer* is a multi-input, one-way finite-state
+//! transducer that may, at any step, hand its inputs **plus its current
+//! output** to a *subtransducer* whose result overwrites the output tape.
+//! Nesting depth stratifies the machines into orders: `T¹` are ordinary
+//! transducers, `T²` already computes outputs of polynomial length
+//! (Example 6.1 squares its input), and `T³` reaches hyperexponential
+//! lengths (Theorem 4).
+//!
+//! This crate provides:
+//!
+//! * the machine model with the Definition 7 well-formedness checks
+//!   ([`machine`]),
+//! * a direct interpreter with step/output accounting and resource budgets
+//!   ([`exec`]), including a Fig. 2-style tracer,
+//! * two construction APIs — an explicit builder and a reachability-driven
+//!   synthesizer ([`builder`]),
+//! * the machines used by the paper's examples and proofs ([`library`]),
+//! * acyclic transducer networks with diameter/order computation
+//!   ([`network`]).
+
+pub mod builder;
+pub mod exec;
+pub mod library;
+pub mod machine;
+pub mod network;
+
+pub use builder::{synthesize, synthesize_multi, SynthStep, TransducerBuilder};
+pub use exec::{run, run_to_vec, trace, ExecError, ExecLimits, ExecStats, TraceRow};
+pub use machine::{HeadMove, MachineError, OutputAction, StateId, Transducer, Transition};
+pub use network::{Network, NodeId};

@@ -1,0 +1,535 @@
+//! A library of generalized transducers used throughout the paper.
+//!
+//! * [`copy`], [`mapper`], [`complement01`] — order-1 restructurings
+//!   (Section 6: "transducers support a variety of low-complexity sequence
+//!   restructurings, including concatenation and complementation").
+//! * [`append`] / [`concat_ports`] — the concatenation machines; `T_append`
+//!   from Example 6.1 is [`concat_ports`] with emit order `[1, 0]`.
+//! * [`echo`] — the doubled-letters machine of Example 1.6, realized as a
+//!   2-input base transducer fed the same sequence twice.
+//! * [`square`] — `T_square` from Example 6.1 / Fig. 2 (order 2, quadratic
+//!   output).
+//! * [`exp`] — an order-3 machine whose output length is `2^(2^(n-2))`,
+//!   witnessing the Theorem 4 lower bound for order-3 networks.
+//! * [`transcribe`], [`translate`] — the DNA→RNA→protein machines of
+//!   Example 7.1 (with the full standard genetic code; stop codons emit ε,
+//!   mirroring the paper's simplification footnote).
+
+use crate::builder::{synthesize, SynthStep, TransducerBuilder};
+use crate::machine::{HeadMove, OutputAction, Transducer};
+use seqlog_sequence::{Alphabet, Sym};
+
+/// The 1-input identity machine over `syms`.
+pub fn copy(a: &mut Alphabet, syms: &[Sym]) -> Transducer {
+    mapper(
+        a,
+        "t_copy",
+        &syms.iter().map(|&s| (s, s)).collect::<Vec<_>>(),
+    )
+}
+
+/// A 1-input symbol-to-symbol mapper: emits `to` for each read `from`.
+pub fn mapper(a: &mut Alphabet, name: &str, pairs: &[(Sym, Sym)]) -> Transducer {
+    let end = a.end_marker();
+    let mut b = TransducerBuilder::new(name, 1, end);
+    let q0 = b.state("q0");
+    for &(from, to) in pairs {
+        b.on(
+            q0,
+            &[from],
+            q0,
+            &[HeadMove::Consume],
+            OutputAction::Emit(to),
+        );
+    }
+    b.build().expect("mapper is well-formed")
+}
+
+/// The bitwise complement machine over `{0, 1}` (a restructuring that
+/// stratified Sequence Datalog cannot express — Section 5).
+pub fn complement01(a: &mut Alphabet) -> Transducer {
+    let zero = a.intern_char('0');
+    let one = a.intern_char('1');
+    mapper(a, "t_complement", &[(zero, one), (one, zero)])
+}
+
+/// An m-input, single-state machine that first silently consumes every port
+/// not listed in `emit_order`, then copies the listed ports to the output in
+/// the given order. `concat_ports(a, "t_append", syms, 2, &[0, 1])` is plain
+/// concatenation; `&[1, 0]` is Example 6.1's `T_append` (output-first).
+pub fn concat_ports(
+    a: &mut Alphabet,
+    name: &str,
+    syms: &[Sym],
+    num_inputs: usize,
+    emit_order: &[usize],
+) -> Transducer {
+    let end = a.end_marker();
+    assert!(emit_order.iter().all(|&p| p < num_inputs));
+    // Schedule: silent ports in index order, then emit_order.
+    let mut schedule: Vec<(usize, bool)> = (0..num_inputs)
+        .filter(|p| !emit_order.contains(p))
+        .map(|p| (p, false))
+        .collect();
+    schedule.extend(emit_order.iter().map(|&p| (p, true)));
+
+    synthesize(
+        name,
+        num_inputs,
+        end,
+        syms,
+        vec![],
+        (),
+        |_| "q0".to_string(),
+        move |_, read| {
+            // Act on the first scheduled port that is not exhausted. Because
+            // only the scheduled port is ever consumed, earlier ports are
+            // exhausted before later ones are touched, so a single state
+            // suffices.
+            let (port, emits) = *schedule.iter().find(|(p, _)| read[*p] != end)?;
+            let mut moves = vec![HeadMove::Stay; read.len()];
+            moves[port] = HeadMove::Consume;
+            Some(SynthStep {
+                next: (),
+                moves,
+                output: if emits {
+                    OutputAction::Emit(read[port])
+                } else {
+                    OutputAction::Epsilon
+                },
+            })
+        },
+    )
+    .expect("concat_ports is well-formed")
+}
+
+/// Plain 2-input concatenation: output = input₁ · input₂.
+pub fn append(a: &mut Alphabet, syms: &[Sym]) -> Transducer {
+    concat_ports(a, "t_append", syms, 2, &[0, 1])
+}
+
+/// The echo machine of Example 1.6 as a 2-input base transducer: fed the
+/// same sequence on both ports it emits each symbol twice
+/// (`abcd ↦ aabbccdd`) by strictly alternating between the two heads.
+pub fn echo(a: &mut Alphabet, syms: &[Sym]) -> Transducer {
+    let end = a.end_marker();
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    enum S {
+        FromA,
+        FromB,
+    }
+    synthesize(
+        "t_echo",
+        2,
+        end,
+        syms,
+        vec![],
+        S::FromA,
+        |s| match s {
+            S::FromA => "emit_a".to_string(),
+            S::FromB => "emit_b".to_string(),
+        },
+        move |s, read| {
+            let (port, next) = match s {
+                S::FromA if read[0] != end => (0, S::FromB),
+                S::FromA => (1, S::FromA), // drain unequal inputs
+                S::FromB if read[1] != end => (1, S::FromA),
+                S::FromB => (0, S::FromB),
+            };
+            if read[port] == end {
+                return None;
+            }
+            let mut moves = vec![HeadMove::Stay; 2];
+            moves[port] = HeadMove::Consume;
+            Some(SynthStep {
+                next,
+                moves,
+                output: OutputAction::Emit(read[port]),
+            })
+        },
+    )
+    .expect("echo is well-formed")
+}
+
+/// `T_square` from Example 6.1 / Fig. 2: a 1-input, order-2 machine that at
+/// every step replaces its output `y` by `y · x` via the subtransducer
+/// `T_append(x, y) = y · x`. On input of length n the output has length n².
+pub fn square(a: &mut Alphabet, syms: &[Sym]) -> Transducer {
+    let end = a.end_marker();
+    let sub = concat_ports(a, "t_append", syms, 2, &[1, 0]);
+    let mut b = TransducerBuilder::new("t_square", 1, end);
+    let q0 = b.state("q0");
+    let si = b.sub(sub);
+    for &s in syms {
+        b.on(q0, &[s], q0, &[HeadMove::Consume], OutputAction::Call(si));
+    }
+    b.build().expect("square is well-formed")
+}
+
+/// A 2-input, order-2 machine computing `(x, y) ↦ y^{len(y)}` (output length
+/// `len(y)²`): it silently consumes `x`, then for every symbol of `y` calls a
+/// 3-input subtransducer computing `(x, y, out) ↦ out · y`. This is the
+/// "T2 squares its input" device from the Theorem 4 order-3 analysis.
+pub fn square_output(a: &mut Alphabet, syms: &[Sym]) -> Transducer {
+    let end = a.end_marker();
+    let sub = concat_ports(a, "t_append_y", syms, 3, &[2, 1]);
+    synthesize(
+        "t_square_output",
+        2,
+        end,
+        syms,
+        vec![sub],
+        (),
+        |_| "q0".to_string(),
+        move |_, read| {
+            if read[0] != end {
+                Some(SynthStep {
+                    next: (),
+                    moves: vec![HeadMove::Consume, HeadMove::Stay],
+                    output: OutputAction::Epsilon,
+                })
+            } else if read[1] != end {
+                Some(SynthStep {
+                    next: (),
+                    moves: vec![HeadMove::Stay, HeadMove::Consume],
+                    output: OutputAction::Call(0),
+                })
+            } else {
+                None
+            }
+        },
+    )
+    .expect("square_output is well-formed")
+}
+
+/// An order-3 machine realizing the Theorem 4 order-3 lower bound: it copies
+/// its first two input symbols, then on each further symbol replaces its
+/// output `y` by `y^{len(y)}` via [`square_output`]. On input length
+/// `n ≥ 3` the output length is `2^(2^(n-2))` — doubly exponential.
+pub fn exp(a: &mut Alphabet, syms: &[Sym]) -> Transducer {
+    let end = a.end_marker();
+    let sub = square_output(a, syms);
+    let mut b = TransducerBuilder::new("t_exp", 1, end);
+    let s0 = b.state("emit_first");
+    let s1 = b.state("emit_second");
+    let s2 = b.state("pump");
+    let si = b.sub(sub);
+    for &s in syms {
+        b.on(s0, &[s], s1, &[HeadMove::Consume], OutputAction::Emit(s));
+        b.on(s1, &[s], s2, &[HeadMove::Consume], OutputAction::Emit(s));
+        b.on(s2, &[s], s2, &[HeadMove::Consume], OutputAction::Call(si));
+    }
+    b.build().expect("exp is well-formed")
+}
+
+/// The DNA alphabet `{a, c, g, t}`.
+pub fn dna_syms(a: &mut Alphabet) -> Vec<Sym> {
+    "acgt".chars().map(|c| a.intern_char(c)).collect()
+}
+
+/// The RNA alphabet `{a, c, g, u}`.
+pub fn rna_syms(a: &mut Alphabet) -> Vec<Sym> {
+    "acgu".chars().map(|c| a.intern_char(c)).collect()
+}
+
+/// The 20-letter protein alphabet of Example 7.1.
+pub fn protein_syms(a: &mut Alphabet) -> Vec<Sym> {
+    "ARNDCQEGHILKMFPSTWYV"
+        .chars()
+        .map(|c| a.intern_char(c))
+        .collect()
+}
+
+/// `T_transcribe` (Example 7.1): DNA → RNA, `a↦u, c↦g, g↦c, t↦a`.
+pub fn transcribe(a: &mut Alphabet) -> Transducer {
+    let pairs: Vec<(Sym, Sym)> = [('a', 'u'), ('c', 'g'), ('g', 'c'), ('t', 'a')]
+        .iter()
+        .map(|&(f, t)| (a.intern_char(f), a.intern_char(t)))
+        .collect();
+    mapper(a, "t_transcribe", &pairs)
+}
+
+/// The standard genetic code: RNA codon → amino-acid letter, `None` for the
+/// three stop codons (which the Example 7.1 machine skips, per the paper's
+/// simplification footnote).
+pub fn amino_for(codon: [char; 3]) -> Option<char> {
+    let s: String = codon.iter().collect();
+    let aa = match s.as_str() {
+        "uuu" | "uuc" => 'F',
+        "uua" | "uug" | "cuu" | "cuc" | "cua" | "cug" => 'L',
+        "auu" | "auc" | "aua" => 'I',
+        "aug" => 'M',
+        "guu" | "guc" | "gua" | "gug" => 'V',
+        "ucu" | "ucc" | "uca" | "ucg" | "agu" | "agc" => 'S',
+        "ccu" | "ccc" | "cca" | "ccg" => 'P',
+        "acu" | "acc" | "aca" | "acg" => 'T',
+        "gcu" | "gcc" | "gca" | "gcg" => 'A',
+        "uau" | "uac" => 'Y',
+        "cau" | "cac" => 'H',
+        "caa" | "cag" => 'Q',
+        "aau" | "aac" => 'N',
+        "aaa" | "aag" => 'K',
+        "gau" | "gac" => 'D',
+        "gaa" | "gag" => 'E',
+        "ugu" | "ugc" => 'C',
+        "ugg" => 'W',
+        "cgu" | "cgc" | "cga" | "cgg" | "aga" | "agg" => 'R',
+        "ggu" | "ggc" | "gga" | "ggg" => 'G',
+        "uaa" | "uag" | "uga" => return None, // stop codons
+        _ => panic!("not an RNA codon: {s}"),
+    };
+    Some(aa)
+}
+
+/// `T_translate` (Example 7.1): RNA → protein. Ribonucleotides are grouped
+/// into codons by buffering up to two symbols in the control state; each
+/// completed codon emits one amino-acid symbol (stop codons emit ε). A
+/// trailing partial codon is consumed silently, matching the paper's
+/// reading-frame simplification.
+pub fn translate(a: &mut Alphabet) -> Transducer {
+    let rna = rna_syms(a);
+    protein_syms(a); // ensure the output alphabet is interned
+    let end = a.end_marker();
+    // Abstract state: the buffered codon prefix (0–2 symbols), stored as
+    // characters for readability of the synthesized state names.
+    let sym_char = {
+        let mut table: Vec<(Sym, char)> = Vec::new();
+        for (&s, c) in rna.iter().zip("acgu".chars()) {
+            table.push((s, c));
+        }
+        move |s: Sym| table.iter().find(|(x, _)| *x == s).map(|(_, c)| *c)
+    };
+    let aa_sym = {
+        let mut table: Vec<(char, Sym)> = Vec::new();
+        for c in "ARNDCQEGHILKMFPSTWYV".chars() {
+            let mut buf = [0u8; 4];
+            table.push((
+                c,
+                a.lookup(c.encode_utf8(&mut buf)).expect("interned above"),
+            ));
+        }
+        move |c: char| {
+            table
+                .iter()
+                .find(|(x, _)| *x == c)
+                .map(|(_, s)| *s)
+                .unwrap()
+        }
+    };
+    synthesize(
+        "t_translate",
+        1,
+        end,
+        &rna,
+        vec![],
+        Vec::<char>::new(),
+        |buf| {
+            if buf.is_empty() {
+                "codon_start".to_string()
+            } else {
+                format!("codon_{}", buf.iter().collect::<String>())
+            }
+        },
+        move |buf, read| {
+            if read[0] == end {
+                return None;
+            }
+            let c = sym_char(read[0])?;
+            let step = |next: Vec<char>, output| SynthStep {
+                next,
+                moves: vec![HeadMove::Consume],
+                output,
+            };
+            if buf.len() < 2 {
+                let mut next = buf.clone();
+                next.push(c);
+                Some(step(next, OutputAction::Epsilon))
+            } else {
+                let codon = [buf[0], buf[1], c];
+                let out = match amino_for(codon) {
+                    Some(aa) => OutputAction::Emit(aa_sym(aa)),
+                    None => OutputAction::Epsilon,
+                };
+                Some(step(Vec::new(), out))
+            }
+        },
+    )
+    .expect("translate is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{run, run_to_vec, trace, ExecLimits, ExecStats};
+
+    fn ab_alphabet() -> (Alphabet, Vec<Sym>) {
+        let mut a = Alphabet::new();
+        let syms: Vec<Sym> = "abc".chars().map(|c| a.intern_char(c)).collect();
+        (a, syms)
+    }
+
+    #[test]
+    fn copy_is_identity() {
+        let (mut a, syms) = ab_alphabet();
+        let t = copy(&mut a, &syms);
+        let x = a.seq_of_str("abccba");
+        assert_eq!(a.render(&run_to_vec(&t, &[&x]).unwrap()), "abccba");
+    }
+
+    #[test]
+    fn complement_is_an_involution() {
+        let mut a = Alphabet::new();
+        let t = complement01(&mut a);
+        let x = a.seq_of_str("110000");
+        let once = run_to_vec(&t, &[&x]).unwrap();
+        assert_eq!(a.render(&once), "001111");
+        let twice = run_to_vec(&t, &[&once]).unwrap();
+        assert_eq!(twice, x);
+    }
+
+    #[test]
+    fn append_concatenates() {
+        let (mut a, syms) = ab_alphabet();
+        let t = append(&mut a, &syms);
+        assert_eq!(t.num_inputs, 2);
+        assert_eq!(t.order(), 1);
+        let x = a.seq_of_str("ab");
+        let y = a.seq_of_str("ccc");
+        assert_eq!(a.render(&run_to_vec(&t, &[&x, &y]).unwrap()), "abccc");
+        // ε cases
+        assert_eq!(a.render(&run_to_vec(&t, &[&[], &y]).unwrap()), "ccc");
+        assert_eq!(a.render(&run_to_vec(&t, &[&x, &[]]).unwrap()), "ab");
+    }
+
+    #[test]
+    fn example_6_1_fig_2_square_trace() {
+        // Fig. 2: T_square on "abc" — three steps, each running T_append,
+        // outputs ε → abc → abcabc → abcabcabc.
+        let (mut a, syms) = ab_alphabet();
+        let t = square(&mut a, &syms);
+        assert_eq!(t.order(), 2);
+        let x = a.seq_of_str("abc");
+        let (rows, out) = trace(&t, &[&x], &a).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].output_before, "");
+        assert_eq!(rows[0].output_after, "abc");
+        assert_eq!(rows[1].output_after, "abcabc");
+        assert_eq!(rows[2].output_after, "abcabcabc");
+        assert!(rows.iter().all(|r| r.operation == "run t_append"));
+        assert_eq!(a.render(&out), "abcabcabc");
+        assert_eq!(out.len(), 9); // n² for n = 3
+    }
+
+    #[test]
+    fn square_output_length_is_quadratic() {
+        let (mut a, syms) = ab_alphabet();
+        let t = square(&mut a, &syms);
+        for n in 0..8 {
+            let x: Vec<Sym> = std::iter::repeat(syms[0]).take(n).collect();
+            let out = run_to_vec(&t, &[&x]).unwrap();
+            assert_eq!(out.len(), n * n);
+        }
+    }
+
+    #[test]
+    fn echo_doubles_each_symbol() {
+        // Example 1.6: abcd ↦ aabbccdd.
+        let mut a = Alphabet::new();
+        let syms: Vec<Sym> = "abcd".chars().map(|c| a.intern_char(c)).collect();
+        let t = echo(&mut a, &syms);
+        let x = a.seq_of_str("abcd");
+        assert_eq!(a.render(&run_to_vec(&t, &[&x, &x]).unwrap()), "aabbccdd");
+    }
+
+    #[test]
+    fn square_output_machine_matches_spec() {
+        let (mut a, syms) = ab_alphabet();
+        let t = square_output(&mut a, &syms);
+        assert_eq!(t.order(), 2);
+        let x = a.seq_of_str("ab");
+        let y = a.seq_of_str("abc");
+        let out = run_to_vec(&t, &[&x, &y]).unwrap();
+        // y^{len(y)} = abc·abc·abc, length 9.
+        assert_eq!(a.render(&out), "abcabcabc");
+        // len(y) = 0 gives ε.
+        assert!(run_to_vec(&t, &[&x, &[]]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn exp_is_doubly_exponential() {
+        let (mut a, syms) = ab_alphabet();
+        let t = exp(&mut a, &syms);
+        assert_eq!(t.order(), 3);
+        let mut stats = ExecStats::default();
+        for (n, expected) in [(1, 1), (2, 2), (3, 4), (4, 16), (5, 256), (6, 65_536)] {
+            let x: Vec<Sym> = std::iter::repeat(syms[0]).take(n).collect();
+            let out = run(&t, &[&x], &ExecLimits::default(), &mut stats).unwrap();
+            assert_eq!(out.len(), expected, "input length {n}");
+        }
+    }
+
+    #[test]
+    fn transcribe_matches_example_7_1() {
+        let mut a = Alphabet::new();
+        let t = transcribe(&mut a);
+        let dna = a.seq_of_str("acgtacgt");
+        assert_eq!(a.render(&run_to_vec(&t, &[&dna]).unwrap()), "ugcaugca");
+    }
+
+    #[test]
+    fn translate_matches_example_7_1() {
+        let mut a = Alphabet::new();
+        let t = translate(&mut a);
+        let rna = a.seq_of_str("gaugacuuacac");
+        assert_eq!(a.render(&run_to_vec(&t, &[&rna]).unwrap()), "DDLH");
+    }
+
+    #[test]
+    fn translate_skips_stop_codons_and_partial_tails() {
+        let mut a = Alphabet::new();
+        let t = translate(&mut a);
+        // aug (M) uaa (stop) gg (partial tail)
+        let rna = a.seq_of_str("auguaagg");
+        assert_eq!(a.render(&run_to_vec(&t, &[&rna]).unwrap()), "M");
+    }
+
+    #[test]
+    fn genetic_code_is_total_on_codons() {
+        let mut count = 0;
+        let mut stops = 0;
+        for a in "acgu".chars() {
+            for b in "acgu".chars() {
+                for c in "acgu".chars() {
+                    match amino_for([a, b, c]) {
+                        Some(aa) => {
+                            assert!("ARNDCQEGHILKMFPSTWYV".contains(aa));
+                            count += 1;
+                        }
+                        None => stops += 1,
+                    }
+                }
+            }
+        }
+        assert_eq!(count + stops, 64);
+        assert_eq!(stops, 3);
+    }
+
+    #[test]
+    fn base_transducer_output_bounded_by_input() {
+        // The Theorem 4 base case: |out| ≤ |in| for order-1 machines — here
+        // checked for every library order-1 machine on sample inputs.
+        let (mut a, syms) = ab_alphabet();
+        let machines = vec![
+            copy(&mut a, &syms),
+            append(&mut a, &syms),
+            echo(&mut a, &syms),
+        ];
+        let x = a.seq_of_str("abcabc");
+        for t in machines {
+            let inputs: Vec<&[Sym]> = (0..t.num_inputs).map(|_| x.as_slice()).collect();
+            let out = run_to_vec(&t, &inputs).unwrap();
+            assert!(out.len() <= x.len() * t.num_inputs, "{}", t.name);
+            assert_eq!(t.order(), 1, "{}", t.name);
+        }
+    }
+}

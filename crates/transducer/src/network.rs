@@ -1,0 +1,293 @@
+//! Acyclic transducer networks (Section 6.2).
+//!
+//! A network wires transducer outputs to transducer inputs; the paper only
+//! considers acyclic networks (so computations are finite) and measures two
+//! parameters that govern complexity: the **diameter** (longest path,
+//! Theorem 4's `d`) and the **order** (maximum machine order, Theorem 4's
+//! `k`). A network with designated input ports and one designated output
+//! node computes a sequence mapping `(Σ*)^m → Σ*`.
+//!
+//! Networks here are acyclic *by construction*: a machine node may only be
+//! fed from nodes that already exist, so edges always point from lower to
+//! higher node ids.
+
+use crate::exec::{run, ExecError, ExecLimits, ExecStats};
+use crate::machine::Transducer;
+use seqlog_sequence::Sym;
+use std::fmt;
+
+/// Handle of a node inside a [`Network`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+enum Node {
+    /// A network input port.
+    Input,
+    /// A transducer fed by earlier nodes (one feed per input tape, in tape
+    /// order). The same node may feed several tapes — that is how Example
+    /// 1.6's echo machine receives two copies of one sequence.
+    Machine { t: Transducer, feeds: Vec<NodeId> },
+}
+
+/// An acyclic network of generalized transducers with one output node.
+pub struct Network {
+    name: String,
+    nodes: Vec<Node>,
+    inputs: Vec<NodeId>,
+    output: Option<NodeId>,
+}
+
+impl Network {
+    /// Create an empty network.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            nodes: Vec::new(),
+            inputs: Vec::new(),
+            output: None,
+        }
+    }
+
+    /// Add a network input port.
+    pub fn add_input(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::Input);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Add a machine node fed by `feeds` (one existing node per input tape).
+    /// The most recently added node becomes the default output.
+    ///
+    /// # Panics
+    /// Panics if the arity does not match or a feed refers to a node that
+    /// does not exist yet (which is what makes cycles unrepresentable).
+    pub fn add_machine(&mut self, t: Transducer, feeds: &[NodeId]) -> NodeId {
+        assert_eq!(
+            feeds.len(),
+            t.num_inputs,
+            "{} expects {} feeds, got {}",
+            t.name,
+            t.num_inputs,
+            feeds.len()
+        );
+        for f in feeds {
+            assert!(f.index() < self.nodes.len(), "feed from nonexistent node");
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::Machine {
+            t,
+            feeds: feeds.to_vec(),
+        });
+        self.output = Some(id);
+        id
+    }
+
+    /// Designate the network output node.
+    pub fn set_output(&mut self, node: NodeId) {
+        assert!(node.index() < self.nodes.len());
+        self.output = Some(node);
+    }
+
+    /// Build a single-input chain `t1 ; t2 ; …` of 1-input machines.
+    pub fn chain(name: impl Into<String>, machines: Vec<Transducer>) -> Self {
+        let mut n = Self::new(name);
+        let mut prev = n.add_input();
+        for t in machines {
+            assert_eq!(t.num_inputs, 1, "chain requires 1-input machines");
+            prev = n.add_machine(t, &[prev]);
+        }
+        n
+    }
+
+    /// Number of network input ports.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of machine nodes.
+    pub fn num_machines(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Machine { .. }))
+            .count()
+    }
+
+    /// The network's **order**: the maximum order of any machine in it
+    /// (Section 6.2).
+    pub fn order(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Machine { t, .. } => Some(t.order()),
+                Node::Input => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The network's **diameter**: the maximum number of machine nodes on
+    /// any path (Section 6.2).
+    pub fn diameter(&self) -> usize {
+        let mut depth = vec![0usize; self.nodes.len()];
+        let mut max = 0;
+        for (i, node) in self.nodes.iter().enumerate() {
+            depth[i] = match node {
+                Node::Input => 0,
+                Node::Machine { feeds, .. } => {
+                    1 + feeds.iter().map(|f| depth[f.index()]).max().unwrap_or(0)
+                }
+            };
+            max = max.max(depth[i]);
+        }
+        max
+    }
+
+    /// Run the network on `inputs` (one sequence per input port, in creation
+    /// order), evaluating machine nodes in topological (= id) order.
+    pub fn run(
+        &self,
+        inputs: &[&[Sym]],
+        limits: &ExecLimits,
+        stats: &mut ExecStats,
+    ) -> Result<Vec<Sym>, ExecError> {
+        assert_eq!(
+            inputs.len(),
+            self.inputs.len(),
+            "{}: wrong input count",
+            self.name
+        );
+        let output = self.output.expect("network has no output node");
+        let mut values: Vec<Option<Vec<Sym>>> = vec![None; self.nodes.len()];
+        let mut next_input = 0usize;
+        for (i, node) in self.nodes.iter().enumerate() {
+            match node {
+                Node::Input => {
+                    values[i] = Some(inputs[next_input].to_vec());
+                    next_input += 1;
+                }
+                Node::Machine { t, feeds } => {
+                    let tapes: Vec<&[Sym]> = feeds
+                        .iter()
+                        .map(|f| values[f.index()].as_deref().expect("topological order"))
+                        .collect();
+                    values[i] = Some(run(t, &tapes, limits, stats)?);
+                }
+            }
+        }
+        Ok(values[output.index()].take().expect("output evaluated"))
+    }
+
+    /// Run with default limits and discarded stats.
+    pub fn run_simple(&self, inputs: &[&[Sym]]) -> Result<Vec<Sym>, ExecError> {
+        self.run(inputs, &ExecLimits::default(), &mut ExecStats::default())
+    }
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("name", &self.name)
+            .field("inputs", &self.inputs.len())
+            .field("machines", &self.num_machines())
+            .field("diameter", &self.diameter())
+            .field("order", &self.order())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+    use seqlog_sequence::Alphabet;
+
+    #[test]
+    fn chain_of_squares_gives_n_to_the_2_to_the_d() {
+        // Theorem 4, order 2: a diameter-d chain of T_square machines maps
+        // length n to length n^(2^d).
+        let mut a = Alphabet::new();
+        let syms: Vec<_> = "x".chars().map(|c| a.intern_char(c)).collect();
+        for d in 1..=3usize {
+            let machines: Vec<_> = (0..d).map(|_| library::square(&mut a, &syms)).collect();
+            let net = Network::chain(format!("square^{d}"), machines);
+            assert_eq!(net.diameter(), d);
+            assert_eq!(net.order(), 2);
+            let n = 3usize;
+            let input: Vec<_> = std::iter::repeat(syms[0]).take(n).collect();
+            let out = net.run_simple(&[&input]).unwrap();
+            assert_eq!(out.len(), n.pow(2u32.pow(d as u32)));
+        }
+    }
+
+    #[test]
+    fn fan_out_feeds_one_node_to_two_ports() {
+        // Echo needs the same sequence on both tapes (Example 1.6).
+        let mut a = Alphabet::new();
+        let syms: Vec<_> = "ab".chars().map(|c| a.intern_char(c)).collect();
+        let echo = library::echo(&mut a, &syms);
+        let mut net = Network::new("echo");
+        let x = net.add_input();
+        net.add_machine(echo, &[x, x]);
+        let input = a.seq_of_str("ab");
+        assert_eq!(a.render(&net.run_simple(&[&input]).unwrap()), "aabb");
+    }
+
+    #[test]
+    fn dna_pipeline_is_a_serial_network() {
+        // Example 7.1 as a diameter-2, order-1 network.
+        let mut a = Alphabet::new();
+        let machines = vec![library::transcribe(&mut a), library::translate(&mut a)];
+        let net = Network::chain("dna_to_protein", machines);
+        assert_eq!(net.diameter(), 2);
+        assert_eq!(net.order(), 1);
+        // ctactgaaggtg --transcribe--> gaugacuuccac --translate--> DDFH
+        let dna = a.seq_of_str("ctactgaaggtg");
+        let out = net.run_simple(&[&dna]).unwrap();
+        assert_eq!(a.render(&out), "DDFH");
+    }
+
+    #[test]
+    fn multi_input_network_routes_ports_in_order() {
+        let mut a = Alphabet::new();
+        let syms: Vec<_> = "ab".chars().map(|c| a.intern_char(c)).collect();
+        let app = library::append(&mut a, &syms);
+        let mut net = Network::new("cat");
+        let x = net.add_input();
+        let y = net.add_input();
+        net.add_machine(app, &[y, x]); // deliberately swapped
+        let sx = a.seq_of_str("aa");
+        let sy = a.seq_of_str("b");
+        assert_eq!(a.render(&net.run_simple(&[&sx, &sy]).unwrap()), "baa");
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 feeds")]
+    fn arity_mismatch_panics() {
+        let mut a = Alphabet::new();
+        let syms: Vec<_> = "a".chars().map(|c| a.intern_char(c)).collect();
+        let app = library::append(&mut a, &syms);
+        let mut net = Network::new("bad");
+        let x = net.add_input();
+        net.add_machine(app, &[x]);
+    }
+
+    #[test]
+    fn order_of_mixed_network_is_max_machine_order() {
+        let mut a = Alphabet::new();
+        let syms: Vec<_> = "a".chars().map(|c| a.intern_char(c)).collect();
+        let mut net = Network::new("mixed");
+        let x = net.add_input();
+        let c = net.add_machine(library::copy(&mut a, &syms), &[x]);
+        net.add_machine(library::square(&mut a, &syms), &[c]);
+        assert_eq!(net.order(), 2);
+        assert_eq!(net.diameter(), 2);
+        assert_eq!(net.num_machines(), 2);
+    }
+}

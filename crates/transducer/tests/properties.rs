@@ -1,0 +1,157 @@
+//! Property-based tests for the transducer substrate.
+//!
+//! The laws here are the quantitative backbone of Section 6: order-1
+//! machines cannot emit more symbols than they consume (`|out| ≤ Σ|in|`,
+//! the Theorem 4 base case), `T_square` realizes exactly the n² worst case,
+//! and every library machine terminates on every input over its alphabet.
+
+use proptest::prelude::*;
+use seqlog_sequence::{Alphabet, Sym};
+use seqlog_transducer::{library, run, run_to_vec, ExecLimits, ExecStats};
+
+fn word(max: usize) -> impl proptest::strategy::Strategy<Value = String> {
+    proptest::collection::vec(prop_oneof!["a", "b", "c"], 0..max).prop_map(|v| v.concat())
+}
+
+fn setup(text: &str) -> (Alphabet, Vec<Sym>, Vec<Sym>) {
+    let mut a = Alphabet::new();
+    let syms: Vec<Sym> = "abc".chars().map(|c| a.intern_char(c)).collect();
+    let input = a.seq_of_str(text);
+    (a, syms, input)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn order_1_output_is_bounded_by_total_input(x in word(20), y in word(20)) {
+        // Theorem 4 base case: |out| ≤ |in| for base transducers.
+        let (mut a, syms, _) = setup("");
+        let machines = vec![
+            library::copy(&mut a, &syms),
+            library::append(&mut a, &syms),
+            library::echo(&mut a, &syms),
+        ];
+        let xs = a.seq_of_str(&x);
+        let ys = a.seq_of_str(&y);
+        for t in machines {
+            prop_assert_eq!(t.order(), 1);
+            let inputs: Vec<&[Sym]> = if t.num_inputs == 1 {
+                vec![&xs]
+            } else {
+                vec![&xs, &ys]
+            };
+            let total: usize = inputs.iter().map(|i| i.len()).sum();
+            let mut stats = ExecStats::default();
+            let out = run(&t, &inputs, &ExecLimits::default(), &mut stats).unwrap();
+            prop_assert!(out.len() <= total, "{}: {} > {}", t.name, out.len(), total);
+            // …and so is the number of steps (one consumption per step).
+            prop_assert_eq!(stats.steps as usize, total);
+        }
+    }
+
+    #[test]
+    fn append_is_concatenation(x in word(15), y in word(15)) {
+        let (mut a, syms, _) = setup("");
+        let t = library::append(&mut a, &syms);
+        let xs = a.seq_of_str(&x);
+        let ys = a.seq_of_str(&y);
+        let out = run_to_vec(&t, &[&xs, &ys]).unwrap();
+        prop_assert_eq!(a.render(&out), format!("{x}{y}"));
+    }
+
+    #[test]
+    fn square_attains_the_quadratic_worst_case(x in word(12)) {
+        let (mut a, syms, input) = setup(&x);
+        let t = library::square(&mut a, &syms);
+        let mut stats = ExecStats::default();
+        let out = run(&t, &[&input], &ExecLimits::default(), &mut stats).unwrap();
+        let n = input.len();
+        prop_assert_eq!(out.len(), n * n);
+        prop_assert_eq!(stats.subcalls as usize, n);
+        prop_assert_eq!(a.render(&out), x.repeat(n));
+    }
+
+    #[test]
+    fn mapper_preserves_length_and_composes(x in word(20)) {
+        let (mut a, syms, input) = setup(&x);
+        // A rotation mapper a→b→c→a; applying it three times is the
+        // identity.
+        let rot: Vec<(Sym, Sym)> =
+            (0..3).map(|i| (syms[i], syms[(i + 1) % 3])).collect();
+        let t = library::mapper(&mut a, "rot", &rot);
+        let once = run_to_vec(&t, &[&input]).unwrap();
+        prop_assert_eq!(once.len(), input.len());
+        let twice = run_to_vec(&t, &[&once]).unwrap();
+        let thrice = run_to_vec(&t, &[&twice]).unwrap();
+        prop_assert_eq!(thrice, input);
+    }
+
+    #[test]
+    fn echo_fed_same_input_twice_doubles(x in word(20)) {
+        let (mut a, syms, input) = setup(&x);
+        let t = library::echo(&mut a, &syms);
+        let out = run_to_vec(&t, &[&input, &input]).unwrap();
+        let expected: String = x.chars().flat_map(|c| [c, c]).collect();
+        prop_assert_eq!(a.render(&out), expected);
+    }
+
+    #[test]
+    fn concat_ports_emits_in_the_requested_order(x in word(10), y in word(10), z in word(10)) {
+        let (mut a, syms, _) = setup("");
+        // Emit port 2 then port 0, consuming port 1 silently.
+        let t = library::concat_ports(&mut a, "t_zx", &syms, 3, &[2, 0]);
+        let (xs, ys, zs) = (a.seq_of_str(&x), a.seq_of_str(&y), a.seq_of_str(&z));
+        let out = run_to_vec(&t, &[&xs, &ys, &zs]).unwrap();
+        prop_assert_eq!(a.render(&out), format!("{z}{x}"));
+    }
+
+    #[test]
+    fn trace_rows_match_step_count(x in word(10)) {
+        let (mut a, syms, input) = setup(&x);
+        let t = library::copy(&mut a, &syms);
+        let (rows, out) = seqlog_transducer::trace(&t, &[&input], &a).unwrap();
+        prop_assert_eq!(rows.len(), input.len());
+        prop_assert_eq!(out, input);
+        // Head positions are 1-based and strictly increasing for a copier.
+        for (i, r) in rows.iter().enumerate() {
+            prop_assert_eq!(r.heads[0], i + 1);
+        }
+    }
+
+    #[test]
+    fn transcribe_translate_pipeline_length_law(dna in proptest::collection::vec(prop_oneof!["a", "c", "g", "t"], 0..30).prop_map(|v| v.concat())) {
+        let mut a = Alphabet::new();
+        let t1 = library::transcribe(&mut a);
+        let t2 = library::translate(&mut a);
+        let input = a.seq_of_str(&dna);
+        let rna = run_to_vec(&t1, &[&input]).unwrap();
+        prop_assert_eq!(rna.len(), input.len());
+        let protein = run_to_vec(&t2, &[&rna]).unwrap();
+        // One amino acid per full codon, minus stop codons.
+        prop_assert!(protein.len() <= rna.len() / 3);
+    }
+}
+
+#[test]
+fn square_output_on_empty_input_is_empty() {
+    let (mut a, syms, _) = setup("");
+    let t = library::square(&mut a, &syms);
+    assert!(run_to_vec(&t, &[&[]]).unwrap().is_empty());
+}
+
+#[test]
+fn output_limit_stops_the_order_3_pump() {
+    let (mut a, syms, _) = setup("");
+    let t = library::exp(&mut a, &syms);
+    let input: Vec<Sym> = std::iter::repeat(syms[0]).take(8).collect();
+    let limits = ExecLimits {
+        max_output_len: 1 << 16,
+        ..Default::default()
+    };
+    let err = run(&t, &[&input], &limits, &mut ExecStats::default()).unwrap_err();
+    assert!(matches!(
+        err,
+        seqlog_transducer::ExecError::OutputLimit(_) | seqlog_transducer::ExecError::StepLimit(_)
+    ));
+}

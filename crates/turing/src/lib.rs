@@ -1,0 +1,29 @@
+//! # seqlog-turing — the Turing-machine substrate of the expressibility
+//! proofs
+//!
+//! Bonner & Mecca's two central expressibility results both run through
+//! Turing machines:
+//!
+//! * **Theorem 1** — Sequence Datalog expresses every partial recursive
+//!   sequence function, by compiling a machine into `conf`-predicate rules
+//!   ([`to_seqlog`]);
+//! * **Theorem 5** — acyclic order-2 transducer networks express exactly
+//!   the PTIME sequence functions, by compiling a polynomial-time machine
+//!   into a pad → counter-chain → init → driver → decode network
+//!   ([`to_network`]).
+//!
+//! [`machine`] provides the deterministic single-tape model with a left-end
+//! marker (the Theorem 1 conventions); [`samples`] provides clean-tape
+//! machines (complement, parity, increment, bit sort, `aⁿbⁿcⁿ`) used by the
+//! differential tests and benchmarks.
+
+pub mod machine;
+pub mod samples;
+pub mod to_network;
+pub mod to_seqlog;
+
+pub use machine::{
+    strip_trailing_blanks, Move, TmBuilder, TmError, TmRun, TmState, TmTransition, TuringMachine,
+};
+pub use to_network::{tm_to_network, NetworkOptions};
+pub use to_seqlog::tm_to_seqlog;

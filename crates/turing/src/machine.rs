@@ -1,0 +1,394 @@
+//! Deterministic single-tape Turing machines with a left-end marker.
+//!
+//! This is the machine model of the Theorem 1 proof: the tape begins with
+//! `▷`, which the machine never overwrites and never moves left of; blank
+//! cells `␣` extend the tape on demand to the right. The machine halts when
+//! it enters a state with no applicable transition and that state is marked
+//! halting; entering a non-halting state with no transition is an error
+//! (a hung machine).
+//!
+//! The *output* of a halted machine is its tape contents minus the left-end
+//! marker. Because both the Theorem 1 Datalog simulation and the Theorem 5
+//! network simulation pad the tape with extra trailing blanks, comparisons
+//! use [`strip_trailing_blanks`] on both sides.
+
+use seqlog_sequence::{Alphabet, FxHashMap, Sym};
+use std::fmt;
+
+/// A machine control state.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TmState(pub u32);
+
+impl fmt::Debug for TmState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TmState({})", self.0)
+    }
+}
+
+/// Head movement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Move {
+    /// One cell left.
+    Left,
+    /// One cell right.
+    Right,
+    /// Stay.
+    Stay,
+}
+
+/// One transition: δ(state, scanned) = (next, write, move).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TmTransition {
+    /// Successor state.
+    pub next: TmState,
+    /// Symbol written over the scanned cell.
+    pub write: Sym,
+    /// Head movement.
+    pub mv: Move,
+}
+
+/// Errors from running a machine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TmError {
+    /// No transition from a non-halting state.
+    Hung {
+        /// State name.
+        state: String,
+        /// Head position (0-based; 0 is the marker).
+        position: usize,
+    },
+    /// Step budget exhausted (the machine may loop forever).
+    StepLimit(u64),
+    /// The machine tried to move left of, or overwrite, the marker.
+    MarkerViolation {
+        /// State name.
+        state: String,
+    },
+}
+
+impl fmt::Display for TmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Hung { state, position } => {
+                write!(f, "machine hung in state {state} at cell {position}")
+            }
+            Self::StepLimit(n) => write!(f, "step limit {n} exhausted"),
+            Self::MarkerViolation { state } => {
+                write!(f, "marker violation in state {state}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TmError {}
+
+/// The result of a halted run.
+#[derive(Clone, Debug)]
+pub struct TmRun {
+    /// Tape contents minus the left-end marker (including blanks).
+    pub output: Vec<Sym>,
+    /// Steps performed.
+    pub steps: u64,
+    /// The halting state.
+    pub final_state: TmState,
+}
+
+/// A deterministic single-tape Turing machine (Theorem 1 model).
+#[derive(Clone)]
+pub struct TuringMachine {
+    /// Machine name.
+    pub name: String,
+    /// State names, indexed by [`TmState`].
+    pub state_names: Vec<String>,
+    /// Initial state (head starts on the marker).
+    pub initial: TmState,
+    /// Halting states.
+    pub halting: Vec<TmState>,
+    /// δ.
+    pub transitions: FxHashMap<(TmState, Sym), TmTransition>,
+    /// The left-end marker `▷`.
+    pub left_marker: Sym,
+    /// The blank symbol `␣`.
+    pub blank: Sym,
+    /// Every tape symbol the machine may read or write, **excluding** the
+    /// marker and blank (data plus any working symbols).
+    pub tape_syms: Vec<Sym>,
+}
+
+impl TuringMachine {
+    /// The name of a state.
+    pub fn state_name(&self, q: TmState) -> &str {
+        &self.state_names[q.0 as usize]
+    }
+
+    /// Is `q` a halting state?
+    pub fn is_halting(&self, q: TmState) -> bool {
+        self.halting.contains(&q)
+    }
+
+    /// Run the machine on `input` (which must not contain the marker or
+    /// blank), with a step budget.
+    pub fn run(&self, input: &[Sym], max_steps: u64) -> Result<TmRun, TmError> {
+        let mut tape: Vec<Sym> = Vec::with_capacity(input.len() + 2);
+        tape.push(self.left_marker);
+        tape.extend_from_slice(input);
+        let mut head = 0usize;
+        let mut state = self.initial;
+        let mut steps = 0u64;
+
+        loop {
+            let scanned = tape[head];
+            let Some(&t) = self.transitions.get(&(state, scanned)) else {
+                if self.is_halting(state) {
+                    return Ok(TmRun {
+                        output: tape[1..].to_vec(),
+                        steps,
+                        final_state: state,
+                    });
+                }
+                return Err(TmError::Hung {
+                    state: self.state_name(state).to_string(),
+                    position: head,
+                });
+            };
+            steps += 1;
+            if steps > max_steps {
+                return Err(TmError::StepLimit(max_steps));
+            }
+            if head == 0 && (t.write != self.left_marker || t.mv == Move::Left) {
+                return Err(TmError::MarkerViolation {
+                    state: self.state_name(state).to_string(),
+                });
+            }
+            tape[head] = t.write;
+            match t.mv {
+                Move::Left => head -= 1,
+                Move::Stay => {}
+                Move::Right => {
+                    head += 1;
+                    if head == tape.len() {
+                        tape.push(self.blank);
+                    }
+                }
+            }
+            state = t.next;
+        }
+    }
+
+    /// Iterate over δ entries.
+    pub fn iter_transitions(&self) -> impl Iterator<Item = (TmState, Sym, TmTransition)> + '_ {
+        self.transitions.iter().map(|(&(q, s), &t)| (q, s, t))
+    }
+
+    /// All symbols that may appear on the tape: marker, blank, and
+    /// `tape_syms`.
+    pub fn full_tape_alphabet(&self) -> Vec<Sym> {
+        let mut out = vec![self.left_marker, self.blank];
+        for &s in &self.tape_syms {
+            if !out.contains(&s) {
+                out.push(s);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for TuringMachine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TuringMachine")
+            .field("name", &self.name)
+            .field("states", &self.state_names.len())
+            .field("transitions", &self.transitions.len())
+            .finish()
+    }
+}
+
+/// Builder for Turing machines.
+pub struct TmBuilder {
+    name: String,
+    state_names: Vec<String>,
+    by_name: FxHashMap<String, TmState>,
+    halting: Vec<TmState>,
+    transitions: FxHashMap<(TmState, Sym), TmTransition>,
+    left_marker: Sym,
+    blank: Sym,
+    tape_syms: Vec<Sym>,
+}
+
+impl TmBuilder {
+    /// Start building; interns `▷` and `␣` in `alphabet`.
+    pub fn new(name: impl Into<String>, alphabet: &mut Alphabet) -> Self {
+        Self {
+            name: name.into(),
+            state_names: Vec::new(),
+            by_name: FxHashMap::default(),
+            halting: Vec::new(),
+            transitions: FxHashMap::default(),
+            left_marker: alphabet.left_marker(),
+            blank: alphabet.blank(),
+            tape_syms: Vec::new(),
+        }
+    }
+
+    /// Declare (or fetch) a state. The first state is initial.
+    pub fn state(&mut self, name: impl Into<String>) -> TmState {
+        let name = name.into();
+        if let Some(&q) = self.by_name.get(&name) {
+            return q;
+        }
+        let q = TmState(self.state_names.len() as u32);
+        self.by_name.insert(name.clone(), q);
+        self.state_names.push(name);
+        q
+    }
+
+    /// Mark a state halting.
+    pub fn halt(&mut self, q: TmState) {
+        if !self.halting.contains(&q) {
+            self.halting.push(q);
+        }
+    }
+
+    /// Register a data/working tape symbol.
+    pub fn tape_sym(&mut self, s: Sym) {
+        if s != self.left_marker && s != self.blank && !self.tape_syms.contains(&s) {
+            self.tape_syms.push(s);
+        }
+    }
+
+    /// Add δ(from, read) = (to, write, mv).
+    ///
+    /// # Panics
+    /// Panics on duplicate (from, read) entries (determinism).
+    pub fn on(&mut self, from: TmState, read: Sym, to: TmState, write: Sym, mv: Move) -> &mut Self {
+        self.tape_sym(read);
+        self.tape_sym(write);
+        let prev = self.transitions.insert(
+            (from, read),
+            TmTransition {
+                next: to,
+                write,
+                mv,
+            },
+        );
+        assert!(prev.is_none(), "duplicate transition in {}", self.name);
+        self
+    }
+
+    /// Finalize.
+    pub fn build(self) -> TuringMachine {
+        TuringMachine {
+            name: self.name,
+            state_names: self.state_names,
+            initial: TmState(0),
+            halting: self.halting,
+            transitions: self.transitions,
+            left_marker: self.left_marker,
+            blank: self.blank,
+            tape_syms: self.tape_syms,
+        }
+    }
+}
+
+/// Remove trailing blanks from a tape image (both simulations pad the tape
+/// to the right; see the module docs).
+pub fn strip_trailing_blanks(mut tape: Vec<Sym>, blank: Sym) -> Vec<Sym> {
+    while tape.last() == Some(&blank) {
+        tape.pop();
+    }
+    tape
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-state machine that erases its input.
+    fn eraser(a: &mut Alphabet) -> TuringMachine {
+        let x = a.intern_char('x');
+        let blank = a.blank();
+        let marker = a.left_marker();
+        let mut b = TmBuilder::new("eraser", a);
+        let q0 = b.state("q0");
+        let scan = b.state("scan");
+        let qh = b.state("halt");
+        b.halt(qh);
+        b.on(q0, marker, scan, marker, Move::Right);
+        b.on(scan, x, scan, blank, Move::Right);
+        b.on(scan, blank, qh, blank, Move::Stay);
+        b.build()
+    }
+
+    #[test]
+    fn eraser_erases() {
+        let mut a = Alphabet::new();
+        let m = eraser(&mut a);
+        let x = a.intern_char('x');
+        let run = m.run(&[x, x, x], 1000).unwrap();
+        let out = strip_trailing_blanks(run.output, m.blank);
+        assert!(out.is_empty());
+        assert_eq!(run.steps, 5); // marker + 3 erases + final blank read
+    }
+
+    #[test]
+    fn empty_input_halts_immediately_after_scan() {
+        let mut a = Alphabet::new();
+        let m = eraser(&mut a);
+        let run = m.run(&[], 1000).unwrap();
+        assert!(strip_trailing_blanks(run.output, m.blank).is_empty());
+    }
+
+    #[test]
+    fn hung_machine_reports_state() {
+        let mut a = Alphabet::new();
+        let m = eraser(&mut a);
+        let y = a.intern_char('y'); // no transition on 'y'
+        match m.run(&[y], 1000) {
+            Err(TmError::Hung { state, position }) => {
+                assert_eq!(state, "scan");
+                assert_eq!(position, 1);
+            }
+            other => panic!("expected Hung, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn step_limit_fires_on_loops() {
+        let mut a = Alphabet::new();
+        let marker = a.left_marker();
+        let mut b = TmBuilder::new("loop", &mut a);
+        let q0 = b.state("q0");
+        b.on(q0, marker, q0, marker, Move::Stay);
+        let m = b.build();
+        match m.run(&[], 100) {
+            Err(TmError::StepLimit(100)) => {}
+            other => panic!("expected StepLimit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn marker_violation_is_detected() {
+        let mut a = Alphabet::new();
+        let marker = a.left_marker();
+        let blank = a.blank();
+        let mut b = TmBuilder::new("bad", &mut a);
+        let q0 = b.state("q0");
+        b.on(q0, marker, q0, blank, Move::Stay); // overwrites ▷
+        let m = b.build();
+        assert!(matches!(
+            m.run(&[], 10),
+            Err(TmError::MarkerViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn strip_trailing_blanks_only_strips_tail() {
+        let mut a = Alphabet::new();
+        let x = a.intern_char('x');
+        let blank = a.blank();
+        assert_eq!(
+            strip_trailing_blanks(vec![x, blank, x, blank, blank], blank),
+            vec![x, blank, x]
+        );
+    }
+}

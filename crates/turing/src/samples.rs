@@ -1,0 +1,340 @@
+//! Sample Turing machines used by the expressibility experiments.
+//!
+//! Each machine follows the Theorem 1 conventions (left-end marker, blank
+//! padding) and halts with a *clean* tape — the meaningful output followed
+//! only by blanks — so that outputs are comparable across the three
+//! execution routes (direct, Theorem 1 Datalog simulation, Theorem 5
+//! network simulation) after stripping trailing blanks.
+//!
+//! | machine | function | time |
+//! |---------|----------|------|
+//! | [`complement_tm`] | bitwise complement | O(n) |
+//! | [`parity_tm`] | parity of the number of 1s | O(n) |
+//! | [`increment_tm`] | binary increment, LSB first | O(n) |
+//! | [`sort_bits_tm`] | sort bits (0s before 1s), bubble style | O(n²) |
+//! | [`abc_recognizer_tm`] | decide `aⁿbⁿcⁿ` (Example 1.3's language) | O(n²) |
+
+use crate::machine::{Move, TmBuilder, TuringMachine};
+use seqlog_sequence::Alphabet;
+
+/// Bitwise complement of a binary string (the restructuring stratified
+/// Sequence Datalog cannot express, Section 5).
+pub fn complement_tm(a: &mut Alphabet) -> TuringMachine {
+    let zero = a.intern_char('0');
+    let one = a.intern_char('1');
+    let marker = a.left_marker();
+    let blank = a.blank();
+    let mut b = TmBuilder::new("tm_complement", a);
+    let q0 = b.state("q0");
+    let scan = b.state("scan");
+    let done = b.state("done");
+    b.halt(done);
+    b.on(q0, marker, scan, marker, Move::Right);
+    b.on(scan, zero, scan, one, Move::Right);
+    b.on(scan, one, scan, zero, Move::Right);
+    b.on(scan, blank, done, blank, Move::Stay);
+    b.build()
+}
+
+/// Parity of the number of 1s: input erased, answer (`0` or `1`) written in
+/// the first cell.
+pub fn parity_tm(a: &mut Alphabet) -> TuringMachine {
+    let zero = a.intern_char('0');
+    let one = a.intern_char('1');
+    let marker = a.left_marker();
+    let blank = a.blank();
+    let mut b = TmBuilder::new("tm_parity", a);
+    let q0 = b.state("q0");
+    let even = b.state("even");
+    let odd = b.state("odd");
+    let ret_even = b.state("ret_even");
+    let ret_odd = b.state("ret_odd");
+    let write_even = b.state("write_even");
+    let write_odd = b.state("write_odd");
+    let done = b.state("done");
+    b.halt(done);
+    b.on(q0, marker, even, marker, Move::Right);
+    // Scan right, erasing, tracking parity in the state.
+    b.on(even, zero, even, blank, Move::Right);
+    b.on(even, one, odd, blank, Move::Right);
+    b.on(odd, zero, odd, blank, Move::Right);
+    b.on(odd, one, even, blank, Move::Right);
+    b.on(even, blank, ret_even, blank, Move::Left);
+    b.on(odd, blank, ret_odd, blank, Move::Left);
+    // Return to the marker.
+    b.on(ret_even, blank, ret_even, blank, Move::Left);
+    b.on(ret_odd, blank, ret_odd, blank, Move::Left);
+    b.on(ret_even, marker, write_even, marker, Move::Right);
+    b.on(ret_odd, marker, write_odd, marker, Move::Right);
+    // Write the answer in cell 1.
+    b.on(write_even, blank, done, zero, Move::Stay);
+    b.on(write_odd, blank, done, one, Move::Stay);
+    b.build()
+}
+
+/// Binary increment with the least significant bit first: flip 1s to 0s
+/// until a 0 (or the tape end) absorbs the carry.
+pub fn increment_tm(a: &mut Alphabet) -> TuringMachine {
+    let zero = a.intern_char('0');
+    let one = a.intern_char('1');
+    let marker = a.left_marker();
+    let blank = a.blank();
+    let mut b = TmBuilder::new("tm_increment", a);
+    let q0 = b.state("q0");
+    let carry = b.state("carry");
+    let done = b.state("done");
+    b.halt(done);
+    b.on(q0, marker, carry, marker, Move::Right);
+    b.on(carry, one, carry, zero, Move::Right);
+    b.on(carry, zero, done, one, Move::Stay);
+    b.on(carry, blank, done, one, Move::Stay); // all ones: grow the tape
+    b.build()
+}
+
+/// Sort the bits of a binary string (all 0s before all 1s) by repeated
+/// adjacent swaps — a clean-tape O(n²) machine for the Theorem 5 tests.
+pub fn sort_bits_tm(a: &mut Alphabet) -> TuringMachine {
+    let zero = a.intern_char('0');
+    let one = a.intern_char('1');
+    let marker = a.left_marker();
+    let blank = a.blank();
+    let mut b = TmBuilder::new("tm_sort_bits", a);
+    let q0 = b.state("q0");
+    // p(prev1?, dirty?) — scanning a pass; prev1 means the previous cell
+    // holds a 1 (a potential "10" swap); dirty means this pass swapped.
+    let p_fc = b.state("p_prev0_clean");
+    let p_tc = b.state("p_prev1_clean");
+    let p_fd = b.state("p_prev0_dirty");
+    let p_td = b.state("p_prev1_dirty");
+    let swapback = b.state("swapback");
+    let resume = b.state("resume");
+    let rewind = b.state("rewind");
+    let done = b.state("done");
+    b.halt(done);
+
+    b.on(q0, marker, p_fc, marker, Move::Right);
+    // prev is not 1: just remember the current bit.
+    b.on(p_fc, zero, p_fc, zero, Move::Right);
+    b.on(p_fc, one, p_tc, one, Move::Right);
+    b.on(p_fd, zero, p_fd, zero, Move::Right);
+    b.on(p_fd, one, p_td, one, Move::Right);
+    // prev is 1: a 0 here means "10" → swap to "01".
+    b.on(p_tc, one, p_tc, one, Move::Right);
+    b.on(p_td, one, p_td, one, Move::Right);
+    b.on(p_tc, zero, swapback, one, Move::Left);
+    b.on(p_td, zero, swapback, one, Move::Left);
+    b.on(swapback, one, resume, zero, Move::Right);
+    b.on(resume, one, p_td, one, Move::Right);
+    // End of pass.
+    b.on(p_fc, blank, done, blank, Move::Stay);
+    b.on(p_tc, blank, done, blank, Move::Stay);
+    b.on(p_fd, blank, rewind, blank, Move::Left);
+    b.on(p_td, blank, rewind, blank, Move::Left);
+    b.on(rewind, zero, rewind, zero, Move::Left);
+    b.on(rewind, one, rewind, one, Move::Left);
+    b.on(rewind, marker, p_fc, marker, Move::Right);
+    b.build()
+}
+
+/// Decide the non-context-free language `aⁿbⁿcⁿ` of Example 1.3 by the
+/// classic crossing-off construction; the tape is erased at the end and the
+/// verdict (`1` accept / `0` reject) written in cell 1.
+pub fn abc_recognizer_tm(a: &mut Alphabet) -> TuringMachine {
+    let sa = a.intern_char('a');
+    let sb = a.intern_char('b');
+    let sc = a.intern_char('c');
+    let ca = a.intern_char('A'); // crossed-off working symbols
+    let cb = a.intern_char('B');
+    let cc = a.intern_char('C');
+    let zero = a.intern_char('0');
+    let one = a.intern_char('1');
+    let marker = a.left_marker();
+    let blank = a.blank();
+    let mut b = TmBuilder::new("tm_abc", a);
+
+    let q0 = b.state("q0");
+    let find_a = b.state("find_a");
+    let find_b = b.state("find_b");
+    let find_c = b.state("find_c");
+    let rewind = b.state("rewind");
+    let check_rest = b.state("check_rest");
+    let acc_erase = b.state("accept_erase");
+    let acc_write = b.state("accept_write");
+    let rej_seek = b.state("reject_seekend");
+    let rej_erase = b.state("reject_erase");
+    let rej_write = b.state("reject_write");
+    let done = b.state("done");
+    b.halt(done);
+
+    b.on(q0, marker, find_a, marker, Move::Right);
+
+    // Cross off one 'a'.
+    b.on(find_a, ca, find_a, ca, Move::Right);
+    b.on(find_a, sa, find_b, ca, Move::Right);
+    b.on(find_a, cb, check_rest, cb, Move::Right); // no plain a's left
+    b.on(find_a, blank, acc_erase, blank, Move::Left); // empty input
+    b.on(find_a, sb, rej_seek, sb, Move::Right);
+    b.on(find_a, sc, rej_seek, sc, Move::Right);
+
+    // Cross off one 'b'.
+    b.on(find_b, sa, find_b, sa, Move::Right);
+    b.on(find_b, cb, find_b, cb, Move::Right);
+    b.on(find_b, sb, find_c, cb, Move::Right);
+    b.on(find_b, sc, rej_seek, sc, Move::Right);
+    b.on(find_b, cc, rej_seek, cc, Move::Right);
+    b.on(find_b, blank, rej_erase, blank, Move::Left);
+
+    // Cross off one 'c'.
+    b.on(find_c, sb, find_c, sb, Move::Right);
+    b.on(find_c, cc, find_c, cc, Move::Right);
+    b.on(find_c, sc, rewind, cc, Move::Left);
+    b.on(find_c, sa, rej_seek, sa, Move::Right);
+    b.on(find_c, blank, rej_erase, blank, Move::Left);
+
+    // Back to the left end for the next round.
+    for s in [sa, sb, sc, ca, cb, cc] {
+        b.on(rewind, s, rewind, s, Move::Left);
+    }
+    b.on(rewind, marker, find_a, marker, Move::Right);
+
+    // All a's crossed: the rest must be crossed b's and c's only.
+    b.on(check_rest, cb, check_rest, cb, Move::Right);
+    b.on(check_rest, cc, check_rest, cc, Move::Right);
+    b.on(check_rest, blank, acc_erase, blank, Move::Left);
+    for s in [sa, sb, sc, ca] {
+        b.on(check_rest, s, rej_seek, s, Move::Right);
+    }
+
+    // Accept: erase leftwards, write 1.
+    for s in [sa, sb, sc, ca, cb, cc] {
+        b.on(acc_erase, s, acc_erase, blank, Move::Left);
+    }
+    b.on(acc_erase, blank, acc_erase, blank, Move::Left);
+    b.on(acc_erase, marker, acc_write, marker, Move::Right);
+    b.on(acc_write, blank, done, one, Move::Stay);
+
+    // Reject: sweep right to the end, erase leftwards, write 0.
+    for s in [sa, sb, sc, ca, cb, cc] {
+        b.on(rej_seek, s, rej_seek, s, Move::Right);
+    }
+    b.on(rej_seek, blank, rej_erase, blank, Move::Left);
+    for s in [sa, sb, sc, ca, cb, cc] {
+        b.on(rej_erase, s, rej_erase, blank, Move::Left);
+    }
+    b.on(rej_erase, blank, rej_erase, blank, Move::Left);
+    b.on(rej_erase, marker, rej_write, marker, Move::Right);
+    b.on(rej_write, blank, done, zero, Move::Stay);
+    b.on(rej_write, zero, done, zero, Move::Stay);
+    b.on(rej_write, one, done, zero, Move::Stay);
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::strip_trailing_blanks;
+
+    fn run_str(m: &TuringMachine, a: &mut Alphabet, input: &str) -> String {
+        let syms = a.seq_of_str(input);
+        let run = m.run(&syms, 1_000_000).unwrap();
+        let out = strip_trailing_blanks(run.output, m.blank);
+        a.render(&out)
+    }
+
+    #[test]
+    fn complement_flips() {
+        let mut a = Alphabet::new();
+        let m = complement_tm(&mut a);
+        assert_eq!(run_str(&m, &mut a, "110000"), "001111");
+        assert_eq!(run_str(&m, &mut a, ""), "");
+        assert_eq!(run_str(&m, &mut a, "0"), "1");
+    }
+
+    #[test]
+    fn parity_counts_ones() {
+        let mut a = Alphabet::new();
+        let m = parity_tm(&mut a);
+        assert_eq!(run_str(&m, &mut a, "1101"), "1");
+        assert_eq!(run_str(&m, &mut a, "11"), "0");
+        assert_eq!(run_str(&m, &mut a, ""), "0");
+        assert_eq!(run_str(&m, &mut a, "0000"), "0");
+    }
+
+    #[test]
+    fn increment_lsb_first() {
+        let mut a = Alphabet::new();
+        let m = increment_tm(&mut a);
+        // 3 = "11" (LSB first) + 1 = 4 = "001".
+        assert_eq!(run_str(&m, &mut a, "11"), "001");
+        // 2 = "01" + 1 = 3 = "11".
+        assert_eq!(run_str(&m, &mut a, "01"), "11");
+        // 0 = "0" + 1 = "1".
+        assert_eq!(run_str(&m, &mut a, "0"), "1");
+        // "" + 1 = "1".
+        assert_eq!(run_str(&m, &mut a, ""), "1");
+    }
+
+    #[test]
+    fn increment_matches_arithmetic_exhaustively() {
+        let mut a = Alphabet::new();
+        let m = increment_tm(&mut a);
+        for value in 0u32..64 {
+            // LSB-first encoding with enough digits.
+            let input: String = (0..7)
+                .map(|i| char::from(b'0' + ((value >> i) & 1) as u8))
+                .collect();
+            let output = run_str(&m, &mut a, &input);
+            let decoded = output
+                .chars()
+                .enumerate()
+                .map(|(i, c)| if c == '1' { 1u32 << i } else { 0 })
+                .sum::<u32>();
+            assert_eq!(decoded, value + 1, "increment of {value}");
+        }
+    }
+
+    #[test]
+    fn sort_bits_sorts() {
+        let mut a = Alphabet::new();
+        let m = sort_bits_tm(&mut a);
+        assert_eq!(run_str(&m, &mut a, "1010"), "0011");
+        assert_eq!(run_str(&m, &mut a, "1110"), "0111");
+        assert_eq!(run_str(&m, &mut a, "0001"), "0001");
+        assert_eq!(run_str(&m, &mut a, ""), "");
+        assert_eq!(run_str(&m, &mut a, "1"), "1");
+    }
+
+    #[test]
+    fn sort_bits_exhaustive_up_to_length_7() {
+        let mut a = Alphabet::new();
+        let m = sort_bits_tm(&mut a);
+        for len in 0..=7usize {
+            for bits in 0..(1u32 << len) {
+                let input: String = (0..len)
+                    .map(|i| char::from(b'0' + ((bits >> i) & 1) as u8))
+                    .collect();
+                let mut expected: Vec<char> = input.chars().collect();
+                expected.sort_unstable();
+                let expected: String = expected.into_iter().collect();
+                assert_eq!(run_str(&m, &mut a, &input), expected, "input {input}");
+            }
+        }
+    }
+
+    #[test]
+    fn abc_recognizer_decides_the_language() {
+        let mut a = Alphabet::new();
+        let m = abc_recognizer_tm(&mut a);
+        assert_eq!(run_str(&m, &mut a, ""), "1");
+        assert_eq!(run_str(&m, &mut a, "abc"), "1");
+        assert_eq!(run_str(&m, &mut a, "aabbcc"), "1");
+        assert_eq!(run_str(&m, &mut a, "aaabbbccc"), "1");
+        assert_eq!(run_str(&m, &mut a, "aabbc"), "0");
+        assert_eq!(run_str(&m, &mut a, "abcabc"), "0");
+        assert_eq!(run_str(&m, &mut a, "acb"), "0");
+        assert_eq!(run_str(&m, &mut a, "ba"), "0");
+        assert_eq!(run_str(&m, &mut a, "c"), "0");
+        assert_eq!(run_str(&m, &mut a, "aab"), "0");
+    }
+}

@@ -1,0 +1,699 @@
+//! The Theorem 5 compiler: Turing machine → acyclic order-2 transducer
+//! network.
+//!
+//! The network follows the proof's four-part layout:
+//!
+//! 1. **Pad** — an order-1, 3-input machine computing `w ↦ w·␣·␣`, so the
+//!    counter chain works for short inputs;
+//! 2. **Counter chain** — `d` copies of Example 6.1's `T_square`, producing
+//!    a sequence of length `(n+2)^(2^d)` ≥ the machine's running time (the
+//!    proof's σ_count; `d` plays the role of ⌈log₂ k⌉ for an `n^k`-time
+//!    machine);
+//! 3. **Init** — an order-1 machine emitting the initial configuration
+//!    `q0 ▷ w`;
+//! 4. **Driver** — the order-2 machine `T_M`: it first copies the initial
+//!    configuration to its output, then, for every counter symbol, invokes
+//!    the **step subtransducer**, which rewrites one machine configuration
+//!    into the next (encoded `b1 … b_{i-1} q b_i … b_L`, state symbol
+//!    before the scanned cell). A halted configuration passes through
+//!    unchanged, so surplus counter steps are harmless;
+//! 5. **Decode** — an order-1 machine stripping the marker, blanks, and the
+//!    state symbol from the final configuration.
+//!
+//! The step subtransducer is a *base* transducer synthesized from the TM's
+//! δ: it scans the old configuration with a one-symbol delay buffer (a left
+//! move must emit the new state symbol *before* the already-read previous
+//! cell), holds at most three pending symbols in its control state, and
+//! flushes them while draining its other tapes. Appendix-level care: a right
+//! move off the tape end appends a blank (the configuration grows), exactly
+//! like footnote 4's padding in the Theorem 1 construction.
+
+use crate::machine::{Move, TuringMachine};
+use seqlog_sequence::{Alphabet, FxHashMap, Sym};
+use seqlog_transducer::{
+    library, synthesize_multi, HeadMove, Network, OutputAction, SynthStep, Transducer,
+};
+
+/// Options for [`tm_to_network`].
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkOptions {
+    /// Number of squarings in the counter chain: the counter has length
+    /// `(n+2)^(2^d)`, which must dominate the machine's running time.
+    /// Use 1 for linear-time machines, 2 for quadratic-time ones.
+    pub counter_squarings: usize,
+}
+
+impl Default for NetworkOptions {
+    fn default() -> Self {
+        Self {
+            counter_squarings: 1,
+        }
+    }
+}
+
+/// Per-machine symbol environment for the configuration encoding.
+struct ConfigSyms {
+    /// State symbol per TM state, `q:{name}:{state}`.
+    state_syms: Vec<Sym>,
+    /// All tape symbols (marker, blank, data/working).
+    tape_syms: Vec<Sym>,
+    blank: Sym,
+}
+
+impl ConfigSyms {
+    fn new(tm: &TuringMachine, alphabet: &mut Alphabet) -> Self {
+        let state_syms: Vec<Sym> = (0..tm.state_names.len())
+            .map(|i| alphabet.intern(&format!("q:{}:{}", tm.name, tm.state_names[i])))
+            .collect();
+        Self {
+            state_syms,
+            tape_syms: tm.full_tape_alphabet(),
+            blank: tm.blank,
+        }
+    }
+
+    fn all_config_syms(&self) -> Vec<Sym> {
+        let mut v = self.tape_syms.clone();
+        v.extend_from_slice(&self.state_syms);
+        v
+    }
+}
+
+/// Compile `tm` into an order-2 network computing the same sequence
+/// function (Theorem 5). The network requires non-empty inputs.
+pub fn tm_to_network(tm: &TuringMachine, alphabet: &mut Alphabet, opts: NetworkOptions) -> Network {
+    let syms = ConfigSyms::new(tm, alphabet);
+    let end = alphabet.end_marker();
+
+    // Data symbols that may appear in the input sequence.
+    let data_syms: Vec<Sym> = tm.tape_syms.clone();
+    // Counter tape symbols: padded input = data plus blank.
+    let counter_syms: Vec<Sym> = {
+        let mut v = data_syms.clone();
+        v.push(tm.blank);
+        v
+    };
+
+    let pad = pad3(alphabet, &data_syms, syms.blank, end);
+    let square = library::square(alphabet, &counter_syms);
+    let init = init_machine(tm, alphabet, &counter_syms, &data_syms, &syms, end);
+    let step = step_machine(tm, alphabet, &counter_syms, &syms, end);
+    let driver = driver_machine(tm, alphabet, &counter_syms, &syms, step, end);
+    let decode = decode_machine(tm, alphabet, &syms, end);
+
+    let mut net = Network::new(format!("net_{}", tm.name));
+    let w = net.add_input();
+    let padded = net.add_machine(pad, &[w, w, w]);
+    let mut counter = padded;
+    for _ in 0..opts.counter_squarings {
+        counter = net.add_machine(square.clone(), &[counter]);
+    }
+    let init_cfg = net.add_machine(init, &[counter, w]);
+    let run = net.add_machine(driver, &[counter, init_cfg]);
+    net.add_machine(decode, &[run]);
+    net
+}
+
+/// `(w, w, w) ↦ w·␣·␣` — order-1 padding so the counter is long enough even
+/// for length-1 inputs.
+fn pad3(_alphabet: &mut Alphabet, data_syms: &[Sym], blank: Sym, end: Sym) -> Transducer {
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    enum S {
+        CopyW,
+        Pad1,
+        Pad2,
+    }
+    let universes = vec![data_syms.to_vec(); 3];
+    synthesize_multi(
+        "t_pad3",
+        3,
+        end,
+        &universes,
+        vec![],
+        S::CopyW,
+        |s| {
+            match s {
+                S::CopyW => "copy_w",
+                S::Pad1 => "pad_1",
+                S::Pad2 => "pad_2",
+            }
+            .to_string()
+        },
+        move |s, read| {
+            let mv = |i: usize| {
+                let mut m = vec![HeadMove::Stay; 3];
+                m[i] = HeadMove::Consume;
+                m
+            };
+            match s {
+                S::CopyW if read[0] != end => Some(SynthStep {
+                    next: S::CopyW,
+                    moves: mv(0),
+                    output: OutputAction::Emit(read[0]),
+                }),
+                S::CopyW if read[1] != end => Some(SynthStep {
+                    next: S::Pad1,
+                    moves: mv(1),
+                    output: OutputAction::Emit(blank),
+                }),
+                S::CopyW => None,
+                S::Pad1 if read[1] != end => Some(SynthStep {
+                    next: S::Pad1,
+                    moves: mv(1),
+                    output: OutputAction::Epsilon,
+                }),
+                S::Pad1 if read[2] != end => Some(SynthStep {
+                    next: S::Pad2,
+                    moves: mv(2),
+                    output: OutputAction::Emit(blank),
+                }),
+                S::Pad1 => None,
+                S::Pad2 if read[2] != end => Some(SynthStep {
+                    next: S::Pad2,
+                    moves: mv(2),
+                    output: OutputAction::Epsilon,
+                }),
+                S::Pad2 => None,
+            }
+        },
+    )
+    .expect("pad3 is well-formed")
+}
+
+/// `(counter, w) ↦ q0 ▷ w` — the initial configuration (the counter tape
+/// supplies the two extra steps needed to emit `q0` and `▷`).
+fn init_machine(
+    tm: &TuringMachine,
+    alphabet: &mut Alphabet,
+    counter_syms: &[Sym],
+    data_syms: &[Sym],
+    syms: &ConfigSyms,
+    end: Sym,
+) -> Transducer {
+    let _ = alphabet;
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    enum S {
+        EmitState,
+        EmitMarker,
+        CopyW,
+        Drain,
+    }
+    let q0_sym = syms.state_syms[tm.initial.0 as usize];
+    let marker = tm.left_marker;
+    let universes = vec![counter_syms.to_vec(), data_syms.to_vec()];
+    synthesize_multi(
+        format!("t_init_{}", tm.name),
+        2,
+        end,
+        &universes,
+        vec![],
+        S::EmitState,
+        |s| {
+            match s {
+                S::EmitState => "emit_state",
+                S::EmitMarker => "emit_marker",
+                S::CopyW => "copy_w",
+                S::Drain => "drain",
+            }
+            .to_string()
+        },
+        move |s, read| {
+            let mv = |i: usize| {
+                let mut m = vec![HeadMove::Stay; 2];
+                m[i] = HeadMove::Consume;
+                m
+            };
+            match s {
+                S::EmitState if read[0] != end => Some(SynthStep {
+                    next: S::EmitMarker,
+                    moves: mv(0),
+                    output: OutputAction::Emit(q0_sym),
+                }),
+                S::EmitState => None, // counter too short (input was empty)
+                S::EmitMarker if read[0] != end => Some(SynthStep {
+                    next: S::CopyW,
+                    moves: mv(0),
+                    output: OutputAction::Emit(marker),
+                }),
+                S::EmitMarker => None,
+                S::CopyW if read[1] != end => Some(SynthStep {
+                    next: S::CopyW,
+                    moves: mv(1),
+                    output: OutputAction::Emit(read[1]),
+                }),
+                S::CopyW | S::Drain if read[0] != end => Some(SynthStep {
+                    next: S::Drain,
+                    moves: mv(0),
+                    output: OutputAction::Epsilon,
+                }),
+                S::CopyW | S::Drain => None,
+            }
+        },
+    )
+    .expect("init is well-formed")
+}
+
+/// The configuration-step base transducer: 3 inputs `(counter, init-config,
+/// old-config)`, output = the successor configuration (or the same
+/// configuration if halted). See the module docs for the buffering scheme.
+fn step_machine(
+    tm: &TuringMachine,
+    alphabet: &mut Alphabet,
+    counter_syms: &[Sym],
+    syms: &ConfigSyms,
+    end: Sym,
+) -> Transducer {
+    let _ = alphabet;
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    enum S {
+        Scan { prev: Option<Sym> },
+        AfterState { prev: Option<Sym>, q: Sym },
+        Flush { queue: Vec<Sym> },
+        Drain { queue: Vec<Sym> },
+    }
+
+    let delta: FxHashMap<(Sym, Sym), (Sym, Sym, Move)> = tm
+        .iter_transitions()
+        .map(|(q, read, t)| {
+            (
+                (syms.state_syms[q.0 as usize], read),
+                (syms.state_syms[t.next.0 as usize], t.write, t.mv),
+            )
+        })
+        .collect();
+    let state_set: Vec<Sym> = syms.state_syms.clone();
+    let blank = syms.blank;
+
+    // Universe per tape: counter / initial config / configurations.
+    let init_cfg_syms: Vec<Sym> = {
+        let mut v = tm.full_tape_alphabet();
+        v.push(syms.state_syms[tm.initial.0 as usize]);
+        v
+    };
+    let universes = vec![counter_syms.to_vec(), init_cfg_syms, syms.all_config_syms()];
+
+    let is_state = move |s: Sym| state_set.contains(&s);
+    let is_state = &is_state;
+
+    let describe = |s: &S| match s {
+        S::Scan { prev: None } => "scan".to_string(),
+        S::Scan { prev: Some(p) } => format!("scan_p{}", p.0),
+        S::AfterState { prev, q } => {
+            format!("after_q{}_p{}", q.0, prev.map(|p| p.0 as i64).unwrap_or(-1))
+        }
+        S::Flush { queue } => {
+            format!(
+                "flush_{}",
+                queue
+                    .iter()
+                    .map(|s| s.0.to_string())
+                    .collect::<Vec<_>>()
+                    .join("_")
+            )
+        }
+        S::Drain { queue } => {
+            format!(
+                "drain_{}",
+                queue
+                    .iter()
+                    .map(|s| s.0.to_string())
+                    .collect::<Vec<_>>()
+                    .join("_")
+            )
+        }
+    };
+
+    synthesize_multi(
+        format!("t_step_{}", tm.name),
+        3,
+        end,
+        &universes,
+        vec![],
+        S::Scan { prev: None },
+        describe,
+        move |s, read| {
+            let mv = |i: usize| {
+                let mut m = vec![HeadMove::Stay; 3];
+                m[i] = HeadMove::Consume;
+                m
+            };
+            // Consuming a non-config tape while flushing/draining: prefer
+            // the counter, fall back to the init-config tape.
+            let drain_mv = || {
+                if read[0] != end {
+                    Some(mv(0))
+                } else if read[1] != end {
+                    Some(mv(1))
+                } else {
+                    None
+                }
+            };
+            // Entering Drain: pad a trailing state symbol with a blank (the
+            // head moved right past the tape end — the configuration grows).
+            let to_drain = |mut queue: Vec<Sym>| {
+                if queue.last().copied().is_some_and(is_state) {
+                    queue.push(blank);
+                }
+                let moves = drain_mv()?;
+                let output = if queue.is_empty() {
+                    OutputAction::Epsilon
+                } else {
+                    OutputAction::Emit(queue.remove(0))
+                };
+                Some(SynthStep {
+                    next: S::Drain { queue },
+                    moves,
+                    output,
+                })
+            };
+
+            let c2 = read[2];
+            match s {
+                S::Scan { prev } => {
+                    if c2 == end {
+                        return to_drain(prev.map(|p| vec![p]).unwrap_or_default());
+                    }
+                    if is_state(c2) {
+                        return Some(SynthStep {
+                            next: S::AfterState { prev: *prev, q: c2 },
+                            moves: mv(2),
+                            output: OutputAction::Epsilon,
+                        });
+                    }
+                    Some(SynthStep {
+                        next: S::Scan { prev: Some(c2) },
+                        moves: mv(2),
+                        output: match prev {
+                            Some(p) => OutputAction::Emit(*p),
+                            None => OutputAction::Epsilon,
+                        },
+                    })
+                }
+                S::AfterState { prev, q } => {
+                    if c2 == end {
+                        // State symbol at the very end: pass through (and
+                        // pad, via to_drain's trailing-state rule).
+                        let mut queue = Vec::new();
+                        if let Some(p) = prev {
+                            queue.push(*p);
+                        }
+                        queue.push(*q);
+                        return to_drain(queue);
+                    }
+                    if is_state(c2) {
+                        return None; // malformed: two adjacent state symbols
+                    }
+                    let b = c2;
+                    let mut queue: Vec<Sym> = Vec::with_capacity(4);
+                    match delta.get(&(*q, b)) {
+                        None => {
+                            // Halted (or stuck) configuration: pass through.
+                            if let Some(p) = prev {
+                                queue.push(*p);
+                            }
+                            queue.push(*q);
+                            queue.push(b);
+                        }
+                        Some(&(qn, w, mvmt)) => match mvmt {
+                            Move::Stay => {
+                                if let Some(p) = prev {
+                                    queue.push(*p);
+                                }
+                                queue.push(qn);
+                                queue.push(w);
+                            }
+                            Move::Left => {
+                                // ... p q b ... ↦ ... q' p w ...
+                                let p = (*prev)?; // left of the marker: reject
+                                queue.push(qn);
+                                queue.push(p);
+                                queue.push(w);
+                            }
+                            Move::Right => {
+                                // ... p q b ... ↦ ... p w q' ...
+                                if let Some(p) = prev {
+                                    queue.push(*p);
+                                }
+                                queue.push(w);
+                                queue.push(qn);
+                            }
+                        },
+                    }
+                    let front = queue.remove(0);
+                    Some(SynthStep {
+                        next: S::Flush { queue },
+                        moves: mv(2),
+                        output: OutputAction::Emit(front),
+                    })
+                }
+                S::Flush { queue } => {
+                    if c2 == end {
+                        return to_drain(queue.clone());
+                    }
+                    if is_state(c2) {
+                        return None; // malformed: second state symbol
+                    }
+                    let mut queue = queue.clone();
+                    queue.push(c2);
+                    let front = queue.remove(0);
+                    Some(SynthStep {
+                        next: S::Flush { queue },
+                        moves: mv(2),
+                        output: OutputAction::Emit(front),
+                    })
+                }
+                S::Drain { queue } => {
+                    let moves = drain_mv()?;
+                    let mut queue = queue.clone();
+                    let output = if queue.is_empty() {
+                        OutputAction::Epsilon
+                    } else {
+                        OutputAction::Emit(queue.remove(0))
+                    };
+                    Some(SynthStep {
+                        next: S::Drain { queue },
+                        moves,
+                        output,
+                    })
+                }
+            }
+        },
+    )
+    .expect("step machine is well-formed")
+}
+
+/// The order-2 driver `T_M`: copy the initial configuration to the output,
+/// then call the step subtransducer once per counter symbol.
+fn driver_machine(
+    tm: &TuringMachine,
+    alphabet: &mut Alphabet,
+    counter_syms: &[Sym],
+    syms: &ConfigSyms,
+    step: Transducer,
+    end: Sym,
+) -> Transducer {
+    let _ = alphabet;
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    enum S {
+        Copy,
+        Pump,
+    }
+    let init_cfg_syms: Vec<Sym> = {
+        let mut v = tm.full_tape_alphabet();
+        v.push(syms.state_syms[tm.initial.0 as usize]);
+        v
+    };
+    let universes = vec![counter_syms.to_vec(), init_cfg_syms];
+    synthesize_multi(
+        format!("t_driver_{}", tm.name),
+        2,
+        end,
+        &universes,
+        vec![step],
+        S::Copy,
+        |s| match s {
+            S::Copy => "copy_init".to_string(),
+            S::Pump => "pump".to_string(),
+        },
+        move |s, read| {
+            let mv = |i: usize| {
+                let mut m = vec![HeadMove::Stay; 2];
+                m[i] = HeadMove::Consume;
+                m
+            };
+            match s {
+                S::Copy if read[1] != end => Some(SynthStep {
+                    next: S::Copy,
+                    moves: mv(1),
+                    output: OutputAction::Emit(read[1]),
+                }),
+                S::Copy | S::Pump if read[0] != end => Some(SynthStep {
+                    next: S::Pump,
+                    moves: mv(0),
+                    output: OutputAction::Call(0),
+                }),
+                S::Copy | S::Pump => None,
+            }
+        },
+    )
+    .expect("driver is well-formed")
+}
+
+/// Strip marker, blanks and state symbols from the final configuration.
+fn decode_machine(
+    tm: &TuringMachine,
+    alphabet: &mut Alphabet,
+    syms: &ConfigSyms,
+    end: Sym,
+) -> Transducer {
+    let _ = alphabet;
+    let data: Vec<Sym> = tm
+        .tape_syms
+        .iter()
+        .copied()
+        .filter(|&s| s != tm.blank)
+        .collect();
+    let universes = vec![syms.all_config_syms()];
+    let keep = data;
+    synthesize_multi(
+        format!("t_decode_{}", tm.name),
+        1,
+        end,
+        &universes,
+        vec![],
+        (),
+        |_| "decode".to_string(),
+        move |_, read| {
+            if read[0] == end {
+                return None;
+            }
+            Some(SynthStep {
+                next: (),
+                moves: vec![HeadMove::Consume],
+                output: if keep.contains(&read[0]) {
+                    OutputAction::Emit(read[0])
+                } else {
+                    OutputAction::Epsilon
+                },
+            })
+        },
+    )
+    .expect("decode is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::strip_trailing_blanks;
+    use crate::samples;
+    use seqlog_transducer::{ExecLimits, ExecStats};
+
+    /// Direct TM output (blanks stripped everywhere — decode drops inner
+    /// blanks too, and our sample machines leave none in the payload).
+    fn direct(tm: &TuringMachine, a: &mut Alphabet, input: &str) -> String {
+        let syms = a.seq_of_str(input);
+        let run = tm.run(&syms, 10_000_000).unwrap();
+        let out = strip_trailing_blanks(run.output, tm.blank);
+        a.render(&out)
+    }
+
+    fn via_network(tm: &TuringMachine, a: &mut Alphabet, input: &str, squarings: usize) -> String {
+        let net = tm_to_network(
+            tm,
+            a,
+            NetworkOptions {
+                counter_squarings: squarings,
+            },
+        );
+        assert_eq!(net.order(), 2, "Theorem 5 networks have order 2");
+        let syms = a.seq_of_str(input);
+        let mut stats = ExecStats::default();
+        let out = net
+            .run(&[&syms], &ExecLimits::default(), &mut stats)
+            .expect("network run succeeds");
+        a.render(&out)
+    }
+
+    #[test]
+    fn theorem_5_complement() {
+        let mut a = Alphabet::new();
+        let tm = samples::complement_tm(&mut a);
+        for input in ["0", "1", "01", "110010"] {
+            assert_eq!(
+                via_network(&tm, &mut a, input, 1),
+                direct(&tm, &mut a, input),
+                "input {input}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_5_increment() {
+        let mut a = Alphabet::new();
+        let tm = samples::increment_tm(&mut a);
+        for input in ["0", "1", "11", "1011"] {
+            assert_eq!(
+                via_network(&tm, &mut a, input, 1),
+                direct(&tm, &mut a, input),
+                "input {input}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_5_parity() {
+        let mut a = Alphabet::new();
+        let tm = samples::parity_tm(&mut a);
+        for input in ["0", "1", "101", "1111"] {
+            assert_eq!(
+                via_network(&tm, &mut a, input, 1),
+                direct(&tm, &mut a, input),
+                "input {input}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_5_quadratic_time_sort() {
+        let mut a = Alphabet::new();
+        let tm = samples::sort_bits_tm(&mut a);
+        for input in ["10", "110", "1010"] {
+            assert_eq!(
+                via_network(&tm, &mut a, input, 2),
+                direct(&tm, &mut a, input),
+                "input {input}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_5_abc_recognizer() {
+        let mut a = Alphabet::new();
+        let tm = samples::abc_recognizer_tm(&mut a);
+        for input in ["abc", "aabbcc", "acb", "ab"] {
+            assert_eq!(
+                via_network(&tm, &mut a, input, 2),
+                direct(&tm, &mut a, input),
+                "input {input}"
+            );
+        }
+    }
+
+    #[test]
+    fn network_shape_matches_the_proof() {
+        let mut a = Alphabet::new();
+        let tm = samples::complement_tm(&mut a);
+        let net = tm_to_network(
+            &tm,
+            &mut a,
+            NetworkOptions {
+                counter_squarings: 2,
+            },
+        );
+        // pad + 2 squarers + init + driver + decode.
+        assert_eq!(net.num_machines(), 6);
+        assert_eq!(net.order(), 2);
+        // Longest path: pad → sq → sq → init → driver → decode.
+        assert_eq!(net.diameter(), 6);
+    }
+}

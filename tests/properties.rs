@@ -1,0 +1,225 @@
+//! Cross-crate property-based tests (proptest).
+//!
+//! These pin the semantic invariants that the paper's theorems rest on,
+//! over randomized inputs: structural recursion stays inside the extended
+//! active domain, reversal/complement are involutions whichever route
+//! computes them, machine simulations agree with direct execution, and the
+//! two evaluation strategies compute the same least fixpoint.
+
+use proptest::prelude::*;
+use sequence_datalog::core::prelude::{guard_program, is_model};
+use sequence_datalog::core::Strategy as EvalStrategy;
+use sequence_datalog::core::{Database, Engine, EvalConfig};
+use sequence_datalog::transducer::library;
+use sequence_datalog::turing::{samples, strip_trailing_blanks};
+
+fn bits() -> impl proptest::strategy::Strategy<Value = String> {
+    proptest::collection::vec(prop_oneof!["0", "1"], 0..8).prop_map(|v| v.concat())
+}
+
+fn dna() -> impl proptest::strategy::Strategy<Value = String> {
+    proptest::collection::vec(prop_oneof!["a", "c", "g", "t"], 0..15).prop_map(|v| v.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn suffix_program_computes_exactly_the_suffixes(word in dna()) {
+        let mut e = Engine::new();
+        let p = e.parse_program("suffix(X[N:end]) :- r(X).").unwrap();
+        let mut db = Database::new();
+        e.add_fact(&mut db, "r", &[&word]);
+        let m = e.evaluate(&p, &db).unwrap();
+        let mut got = e.answers(&m, "suffix");
+        got.sort();
+        let mut expected: Vec<String> =
+            (0..=word.len()).map(|i| word[i..].to_string()).collect();
+        expected.sort();
+        expected.dedup();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn reverse_program_reverses(word in bits()) {
+        let mut e = Engine::new();
+        let p = e.parse_program(
+            r#"
+            answer(Y) :- r(X), rev(X, Y).
+            rev("", "") :- true.
+            rev(X[1:N+1], X[N+1] ++ Y) :- r(X), rev(X[1:N], Y).
+            "#,
+        ).unwrap();
+        let mut db = Database::new();
+        e.add_fact(&mut db, "r", &[&word]);
+        let m = e.evaluate(&p, &db).unwrap();
+        let expected: String = word.chars().rev().collect();
+        prop_assert!(e.answers(&m, "answer").contains(&expected));
+    }
+
+    #[test]
+    fn structural_recursion_never_grows_the_domain(word in dna()) {
+        // Theorem 3's engine-level content: a non-constructive program's
+        // extended active domain equals the database's.
+        let mut e = Engine::new();
+        let p = e.parse_program(
+            r#"
+            rep1(X, X) :- true.
+            rep1(X, X[1:N]) :- rep1(X[N+1:end], X[1:N]).
+            "#,
+        ).unwrap();
+        let mut db = Database::new();
+        e.add_fact(&mut db, "seq", &[&word]);
+        let m = e.evaluate(&p, &db).unwrap();
+        let k = word.chars().count();
+        prop_assert!(m.domain.len() <= k * (k + 1) / 2 + 1);
+        prop_assert_eq!(m.domain.max_len(), k);
+    }
+
+    #[test]
+    fn rep1_accepts_exactly_the_powers(base in proptest::collection::vec(prop_oneof!["a", "b"], 1..4), n in 1usize..4) {
+        let base: String = base.concat();
+        let word = base.repeat(n);
+        let mut e = Engine::new();
+        let p = e.parse_program(
+            r#"
+            rep1(X, X) :- true.
+            rep1(X, X[1:N]) :- rep1(X[N+1:end], X[1:N]).
+            "#,
+        ).unwrap();
+        let mut db = Database::new();
+        e.add_fact(&mut db, "seq", &[&word]);
+        let m = e.evaluate(&p, &db).unwrap();
+        let w = e.seq(&word);
+        let b = e.seq(&base);
+        prop_assert!(m.contains("rep1", &[w, b]), "{word} = {base}^{n}");
+    }
+
+    #[test]
+    fn complement_machine_is_an_involution(word in bits()) {
+        let mut e = Engine::new();
+        let t = library::complement01(&mut e.alphabet);
+        let syms = e.alphabet.seq_of_str(&word);
+        let once = sequence_datalog::transducer::run_to_vec(&t, &[&syms]).unwrap();
+        let twice = sequence_datalog::transducer::run_to_vec(&t, &[&once]).unwrap();
+        prop_assert_eq!(twice, syms);
+    }
+
+    #[test]
+    fn square_machine_output_is_quadratic(word in proptest::collection::vec(prop_oneof!["a", "b", "c"], 0..7)) {
+        let word: String = word.concat();
+        let mut e = Engine::new();
+        let syms: Vec<_> = "abc".chars().map(|c| e.alphabet.intern_char(c)).collect();
+        let t = library::square(&mut e.alphabet, &syms);
+        let input = e.alphabet.seq_of_str(&word);
+        let out = sequence_datalog::transducer::run_to_vec(&t, &[&input]).unwrap();
+        let n = word.chars().count();
+        prop_assert_eq!(out.len(), n * n);
+        // The output is the input repeated n times.
+        prop_assert_eq!(e.alphabet.render(&out), word.repeat(n));
+    }
+
+    #[test]
+    fn tm_complement_agrees_with_rust(word in bits()) {
+        let mut e = Engine::new();
+        let tm = samples::complement_tm(&mut e.alphabet);
+        let syms = e.alphabet.seq_of_str(&word);
+        let run = tm.run(&syms, 100_000).unwrap();
+        let got = e.alphabet.render(&strip_trailing_blanks(run.output, tm.blank));
+        let expected: String =
+            word.chars().map(|c| if c == '0' { '1' } else { '0' }).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn tm_sort_agrees_with_rust(word in bits()) {
+        let mut e = Engine::new();
+        let tm = samples::sort_bits_tm(&mut e.alphabet);
+        let syms = e.alphabet.seq_of_str(&word);
+        let run = tm.run(&syms, 1_000_000).unwrap();
+        let got = e.alphabet.render(&strip_trailing_blanks(run.output, tm.blank));
+        let mut chars: Vec<char> = word.chars().collect();
+        chars.sort_unstable();
+        let expected: String = chars.into_iter().collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn strategies_agree_on_random_databases(words in proptest::collection::vec(dna(), 1..4)) {
+        let mut e = Engine::new();
+        let p = e.parse_program(
+            r#"
+            pre(X[1:N]) :- r(X).
+            pair(X, Y) :- pre(X), pre(Y), X != Y.
+            cat(X ++ Y) :- pre(X), r(Y).
+            "#,
+        ).unwrap();
+        let mut db = Database::new();
+        for w in &words {
+            e.add_fact(&mut db, "r", &[w]);
+        }
+        let naive = e.evaluate_with(&p, &db, &EvalConfig {
+            strategy: EvalStrategy::Naive, ..Default::default()
+        }).unwrap();
+        let semi = e.evaluate_with(&p, &db, &EvalConfig {
+            strategy: EvalStrategy::SemiNaive, ..Default::default()
+        }).unwrap();
+        prop_assert_eq!(naive.facts.total_facts(), semi.facts.total_facts());
+        for pred in ["pre", "pair", "cat"] {
+            let mut a = e.rendered_tuples(&naive, pred);
+            let mut b = e.rendered_tuples(&semi, pred);
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b, "{}", pred);
+        }
+    }
+
+    #[test]
+    fn least_fixpoint_is_a_model_of_random_instances(words in proptest::collection::vec(bits(), 1..4)) {
+        // Appendix A: lfp(T_{P,db}) is a model (Corollary 5).
+        let mut e = Engine::new();
+        let p = e.parse_program(
+            r#"
+            pre(X[1:N]) :- r(X).
+            anchored(X) :- pre(X), X[1] = "1".
+            "#,
+        ).unwrap();
+        let mut db = Database::new();
+        for w in &words {
+            e.add_fact(&mut db, "r", &[w]);
+        }
+        let m = e.evaluate(&p, &db).unwrap();
+        let ok = is_model(&p, &db, &m, &mut e.store, &e.registry, &EvalConfig::default())
+            .unwrap();
+        prop_assert!(ok);
+    }
+
+    #[test]
+    fn echo_machine_doubles_every_symbol(word in dna()) {
+        let mut e = Engine::new();
+        let syms: Vec<_> = "acgt".chars().map(|c| e.alphabet.intern_char(c)).collect();
+        let t = library::echo(&mut e.alphabet, &syms);
+        let input = e.alphabet.seq_of_str(&word);
+        let out = sequence_datalog::transducer::run_to_vec(&t, &[&input, &input]).unwrap();
+        let expected: String = word.chars().flat_map(|c| [c, c]).collect();
+        prop_assert_eq!(e.alphabet.render(&out), expected);
+    }
+
+    #[test]
+    fn guarding_preserves_random_queries(word in dna(), probe in dna()) {
+        let mut e = Engine::new();
+        let p = e.parse_program("p(X) :- q(X[1:2]).").unwrap();
+        let g = guard_program(&p, &[("seed".into(), 1)]);
+        let mut db = Database::new();
+        e.add_fact(&mut db, "seed", &[&word]);
+        let probe2: String = probe.chars().take(2).collect();
+        e.add_fact(&mut db, "q", &[&probe2]);
+        let m1 = e.evaluate(&p, &db).unwrap();
+        let m2 = e.evaluate(&g, &db).unwrap();
+        let mut a = e.answers(&m1, "p");
+        let mut b = e.answers(&m2, "p");
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+}
