@@ -17,6 +17,97 @@ use crate::ast::{Atom, BodyLit, Clause, IndexTerm, IndexedBase, Program, SeqTerm
 use seqlog_sequence::{FxHashMap, SeqId};
 use std::fmt;
 
+/// Dense handle of an interned predicate name (see [`PredTable`]).
+///
+/// All hot-path data structures — [`crate::eval::interp::FactStore`]
+/// relations, semi-naive size snapshots, the evaluator's `new_facts`
+/// buffer — are addressed by `PredId`, so the steady-state evaluation loop
+/// never hashes or allocates a predicate-name `String`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredId(pub u32);
+
+impl PredId {
+    /// The raw table index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PredId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PredId({})", self.0)
+    }
+}
+
+/// An append-only interner of predicate names.
+///
+/// Compilation interns every head/body predicate; evaluation seeds its
+/// [`crate::eval::interp::FactStore`] from the program's table so compiled
+/// `PredId`s index the store's relation vector directly, and extends the
+/// same table with database-only predicates.
+#[derive(Clone, Debug, Default)]
+pub struct PredTable {
+    names: Vec<String>,
+    ids: FxHashMap<String, u32>,
+}
+
+impl PredTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its dense id. Idempotent.
+    pub fn intern(&mut self, name: &str) -> PredId {
+        if let Some(&id) = self.ids.get(name) {
+            return PredId(id);
+        }
+        let id = u32::try_from(self.names.len()).expect("predicate table overflow");
+        self.ids.insert(name.to_string(), id);
+        self.names.push(name.to_string());
+        PredId(id)
+    }
+
+    /// Look up a name without interning it.
+    pub fn lookup(&self, name: &str) -> Option<PredId> {
+        self.ids.get(name).copied().map(PredId)
+    }
+
+    /// The name of an interned predicate.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this table.
+    pub fn name(&self, id: PredId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned predicates.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no predicate has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (PredId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (PredId(i as u32), n.as_str()))
+    }
+
+    /// True when `other`'s ids are a prefix-compatible extension of this
+    /// table (same names at the same ids for all of `self`).
+    pub fn is_prefix_of(&self, other: &PredTable) -> bool {
+        self.names.len() <= other.names.len()
+            && self.names.iter().zip(&other.names).all(|(a, b)| a == b)
+    }
+}
+
 /// A compiled index term: variables are slots into the index bindings.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CIdx {
@@ -126,8 +217,8 @@ impl CSeq {
 /// A compiled atom.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CAtom {
-    /// Predicate name.
-    pub pred: String,
+    /// Interned predicate id (resolve names via [`CompiledProgram::preds`]).
+    pub pred: PredId,
     /// Compiled argument terms.
     pub args: Vec<CSeq>,
 }
@@ -180,6 +271,8 @@ impl CompiledClause {
 pub struct CompiledProgram {
     /// Compiled clauses in source order.
     pub clauses: Vec<CompiledClause>,
+    /// Predicate-name interner; every `PredId` in `clauses` indexes it.
+    pub preds: PredTable,
 }
 
 /// Static validation errors (Section 3.1 / 7.1 restrictions).
@@ -197,6 +290,14 @@ pub enum CompileError {
         /// Offending variable name.
         var: String,
     },
+    /// A clause body exceeds the evaluator's literal limit (the matcher
+    /// tracks the unsolved-literal set in a 128-bit mask).
+    BodyTooLarge {
+        /// 0-based clause index.
+        clause: usize,
+        /// Number of body literals.
+        len: usize,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -210,6 +311,10 @@ impl fmt::Display for CompileError {
                 f,
                 "clause {clause}: variable {var} is used both as a sequence and as an index variable"
             ),
+            Self::BodyTooLarge { clause, len } => write!(
+                f,
+                "clause {clause}: body has {len} literals, exceeding the evaluator limit of 128"
+            ),
         }
     }
 }
@@ -218,13 +323,14 @@ impl std::error::Error for CompileError {}
 
 /// Compile and validate a program.
 pub fn compile(program: &Program) -> Result<CompiledProgram, CompileError> {
+    let mut preds = PredTable::new();
     let clauses = program
         .clauses
         .iter()
         .enumerate()
-        .map(|(i, c)| compile_clause(i, c))
+        .map(|(i, c)| compile_clause(i, c, &mut preds))
         .collect::<Result<Vec<_>, _>>()?;
-    Ok(CompiledProgram { clauses })
+    Ok(CompiledProgram { clauses, preds })
 }
 
 struct VarTable {
@@ -269,7 +375,17 @@ impl VarTable {
     }
 }
 
-fn compile_clause(ci: usize, clause: &Clause) -> Result<CompiledClause, CompileError> {
+fn compile_clause(
+    ci: usize,
+    clause: &Clause,
+    preds: &mut PredTable,
+) -> Result<CompiledClause, CompileError> {
+    if clause.body.len() > 128 {
+        return Err(CompileError::BodyTooLarge {
+            clause: ci,
+            len: clause.body.len(),
+        });
+    }
     let mut vt = VarTable {
         clause: ci,
         seq: FxHashMap::default(),
@@ -289,7 +405,7 @@ fn compile_clause(ci: usize, clause: &Clause) -> Result<CompiledClause, CompileE
                         return Err(CompileError::ConstructiveInBody { clause: ci });
                     }
                 }
-                body.push(CBody::Atom(compile_atom(a, &mut vt)?));
+                body.push(CBody::Atom(compile_atom(a, &mut vt, preds)?));
             }
             BodyLit::Eq(l, r) | BodyLit::Neq(l, r) => {
                 if l.is_constructive() || r.is_constructive() {
@@ -304,7 +420,7 @@ fn compile_clause(ci: usize, clause: &Clause) -> Result<CompiledClause, CompileE
             }
         }
     }
-    let head = compile_atom(&clause.head, &mut vt)?;
+    let head = compile_atom(&clause.head, &mut vt, preds)?;
 
     // Guardedness (Appendix B): a sequence variable is guarded when it
     // occurs as a *whole argument* of some body atom.
@@ -350,9 +466,9 @@ fn compile_clause(ci: usize, clause: &Clause) -> Result<CompiledClause, CompileE
     })
 }
 
-fn compile_atom(a: &Atom, vt: &mut VarTable) -> Result<CAtom, CompileError> {
+fn compile_atom(a: &Atom, vt: &mut VarTable, preds: &mut PredTable) -> Result<CAtom, CompileError> {
     Ok(CAtom {
-        pred: a.pred.clone(),
+        pred: preds.intern(&a.pred),
         args: a
             .args
             .iter()

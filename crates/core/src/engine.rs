@@ -101,22 +101,26 @@ impl Engine {
 
     /// The tuples of `pred` in `model`, rendered to strings.
     pub fn rendered_tuples(&self, model: &Model, pred: &str) -> Vec<Vec<String>> {
-        model
-            .tuples(pred)
-            .into_iter()
-            .map(|t| t.iter().map(|&id| self.render(id)).collect())
-            .collect()
+        match model.facts.relation_named(pred) {
+            None => Vec::new(),
+            Some(rel) => rel
+                .iter()
+                .map(|t| t.iter().map(|&id| self.render(id)).collect())
+                .collect(),
+        }
     }
 
     /// Rendered, sorted, deduplicated single-column answers for `pred`
     /// (convenience for the common `output(Y)` query shape, Definition 5).
     pub fn answers(&self, model: &Model, pred: &str) -> Vec<String> {
-        let mut out: Vec<String> = model
-            .tuples(pred)
-            .into_iter()
-            .filter(|t| t.len() == 1)
-            .map(|t| self.render(t[0]))
-            .collect();
+        let mut out: Vec<String> = match model.facts.relation_named(pred) {
+            None => Vec::new(),
+            Some(rel) => rel
+                .iter()
+                .filter(|t| t.len() == 1)
+                .map(|t| self.render(t[0]))
+                .collect(),
+        };
         out.sort();
         out.dedup();
         out

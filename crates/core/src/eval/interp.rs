@@ -1,43 +1,143 @@
 //! Interpretations as indexed fact stores.
 //!
 //! An interpretation is a set of ground atoms over interned sequences
-//! (Section 3.3). [`FactStore`] keeps, per predicate, the tuple list in
-//! insertion order (so semi-naive evaluation can address the delta added in
-//! a round by index range), a hash set for O(1) duplicate detection, and
-//! per-column hash indexes for join candidate selection.
+//! (Section 3.3). [`FactStore`] keeps one [`Relation`] per interned
+//! predicate ([`PredId`]), addressed by direct vector index — the
+//! steady-state evaluation loop never hashes a predicate name. Each
+//! relation keeps its tuple list in insertion order (so semi-naive
+//! evaluation can address the delta added in a round by index range), an
+//! open-addressing tuple index for **single-probe** duplicate detection
+//! (one hash + one probe sequence per [`Relation::insert`], no tuple
+//! clone), and per-column hash indexes for join candidate selection.
 
-use seqlog_sequence::{FxHashMap, FxHashSet, SeqId};
+use crate::compile::{PredId, PredTable};
+use seqlog_sequence::{FxHashMap, FxHasher, SeqId};
+use std::hash::Hasher;
+
+#[inline]
+fn hash_tuple(tuple: &[SeqId]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_usize(tuple.len());
+    for &id in tuple {
+        h.write_u32(id.0);
+    }
+    h.finish()
+}
+
+/// Open-addressing index from tuple hash to tuple position: `slots` holds
+/// `pos + 1` (0 = empty) in a power-of-two table with linear probing.
+/// Duplicate detection therefore costs exactly one hash computation and one
+/// probe walk per insert — no separate `contains` + `insert` pair, and no
+/// tuple clone into a side set.
+#[derive(Clone, Debug, Default)]
+struct TupleIndex {
+    slots: Box<[u32]>,
+}
+
+impl TupleIndex {
+    fn with_capacity(cap: usize) -> Self {
+        Self {
+            slots: vec![0u32; cap.next_power_of_two()].into_boxed_slice(),
+        }
+    }
+
+    /// Walk the probe sequence for `hash`; `matches(pos)` decides equality.
+    /// Returns `Ok(pos)` when an equal tuple exists, `Err(slot)` with the
+    /// insertion slot otherwise.
+    #[inline]
+    fn probe(&self, hash: u64, matches: impl Fn(u32) -> bool) -> Result<u32, usize> {
+        debug_assert!(!self.slots.is_empty());
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            match self.slots[i] {
+                0 => return Err(i),
+                stored => {
+                    let pos = stored - 1;
+                    if matches(pos) {
+                        return Ok(pos);
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    #[inline]
+    fn occupy(&mut self, slot: usize, pos: u32) {
+        self.slots[slot] = pos + 1;
+    }
+
+    fn rebuild(&mut self, hashes: &[u64]) {
+        let cap = (hashes.len() * 2).max(8).next_power_of_two();
+        self.slots = vec![0u32; cap].into_boxed_slice();
+        let mask = cap - 1;
+        for (pos, &hash) in hashes.iter().enumerate() {
+            let mut i = (hash as usize) & mask;
+            while self.slots[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = pos as u32 + 1;
+        }
+    }
+}
 
 /// The tuples of one predicate.
 #[derive(Clone, Debug, Default)]
 pub struct Relation {
     tuples: Vec<Box<[SeqId]>>,
-    set: FxHashSet<Box<[SeqId]>>,
+    /// Cached tuple hashes, parallel to `tuples` (reused on index growth).
+    hashes: Vec<u64>,
+    index: TupleIndex,
     /// `col_index[c][v]` = positions of tuples with value `v` in column `c`.
     col_index: Vec<FxHashMap<SeqId, Vec<u32>>>,
 }
 
 impl Relation {
-    /// Insert a tuple; returns `true` when it was new.
+    /// Insert a tuple; returns `true` when it was new. Exactly one hash
+    /// computation and one probe walk; the tuple is moved, never cloned.
     pub fn insert(&mut self, tuple: Box<[SeqId]>) -> bool {
-        if self.set.contains(&tuple) {
-            return false;
+        if self.index.slots.is_empty() {
+            self.index = TupleIndex::with_capacity(8);
         }
+        let hash = hash_tuple(&tuple);
+        let slot = match self.index.probe(hash, |pos| {
+            let p = pos as usize;
+            self.hashes[p] == hash && self.tuples[p][..] == tuple[..]
+        }) {
+            Ok(_) => return false,
+            Err(slot) => slot,
+        };
+        let pos = self.tuples.len() as u32;
         if self.col_index.len() < tuple.len() {
             self.col_index.resize_with(tuple.len(), FxHashMap::default);
         }
-        let pos = self.tuples.len() as u32;
         for (c, &v) in tuple.iter().enumerate() {
             self.col_index[c].entry(v).or_default().push(pos);
         }
-        self.set.insert(tuple.clone());
         self.tuples.push(tuple);
+        self.hashes.push(hash);
+        // Grow at 3/4 load so probe chains stay short.
+        if self.tuples.len() * 4 >= self.index.slots.len() * 3 {
+            self.index.rebuild(&self.hashes);
+        } else {
+            self.index.occupy(slot, pos);
+        }
         true
     }
 
     /// Membership test.
     pub fn contains(&self, tuple: &[SeqId]) -> bool {
-        self.set.contains(tuple)
+        if self.tuples.is_empty() {
+            return false;
+        }
+        let hash = hash_tuple(tuple);
+        self.index
+            .probe(hash, |pos| {
+                let p = pos as usize;
+                self.hashes[p] == hash && self.tuples[p][..] == tuple[..]
+            })
+            .is_ok()
     }
 
     /// Number of tuples.
@@ -76,44 +176,96 @@ impl Relation {
     }
 }
 
-/// A set of relations keyed by predicate name.
+/// A set of relations indexed by interned predicate id.
+///
+/// The store owns a [`PredTable`]; the evaluator seeds it from the compiled
+/// program's table so compiled `PredId`s index `rels` directly, then extends
+/// it with database-only predicates. `&str` lookups remain available at the
+/// API boundary ([`FactStore::relation_named`], [`FactStore::contains`],
+/// [`FactStore::tuples`]) — they are not used in the evaluation loop.
 #[derive(Clone, Debug, Default)]
 pub struct FactStore {
-    rels: FxHashMap<String, Relation>,
+    preds: PredTable,
+    rels: Vec<Relation>,
     total: usize,
 }
 
 impl FactStore {
-    /// Create an empty store.
+    /// Create an empty store with an empty predicate table.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Insert a fact; returns `true` when new.
-    pub fn insert(&mut self, pred: &str, tuple: Box<[SeqId]>) -> bool {
-        let rel = match self.rels.get_mut(pred) {
-            Some(r) => r,
-            None => self.rels.entry(pred.to_string()).or_default(),
-        };
-        let added = rel.insert(tuple);
+    /// Create a store whose relation vector is pre-aligned to `preds`
+    /// (compiled `PredId`s then index it directly).
+    pub fn with_preds(preds: PredTable) -> Self {
+        let mut rels = Vec::new();
+        rels.resize_with(preds.len(), Relation::default);
+        Self {
+            preds,
+            rels,
+            total: 0,
+        }
+    }
+
+    /// The store's predicate table.
+    pub fn preds(&self) -> &PredTable {
+        &self.preds
+    }
+
+    /// Intern `name` in this store (growing the relation vector).
+    pub fn pred_id(&mut self, name: &str) -> PredId {
+        let id = self.preds.intern(name);
+        if self.rels.len() < self.preds.len() {
+            self.rels.resize_with(self.preds.len(), Relation::default);
+        }
+        id
+    }
+
+    /// Look up a predicate name without interning it.
+    pub fn lookup_pred(&self, name: &str) -> Option<PredId> {
+        self.preds.lookup(name)
+    }
+
+    /// Insert a fact under an interned predicate; returns `true` when new.
+    pub fn insert(&mut self, pred: PredId, tuple: Box<[SeqId]>) -> bool {
+        let added = self.rels[pred.index()].insert(tuple);
         self.total += usize::from(added);
         added
     }
 
-    /// The relation for `pred`, if any fact with that predicate exists.
-    pub fn relation(&self, pred: &str) -> Option<&Relation> {
-        self.rels.get(pred)
+    /// Insert a fact by predicate name (boundary convenience).
+    pub fn insert_named(&mut self, name: &str, tuple: Box<[SeqId]>) -> bool {
+        let id = self.pred_id(name);
+        self.insert(id, tuple)
     }
 
-    /// Membership test.
+    /// The relation of an interned predicate.
+    pub fn relation(&self, pred: PredId) -> &Relation {
+        &self.rels[pred.index()]
+    }
+
+    /// The relation for `name`, if the predicate is known.
+    pub fn relation_named(&self, name: &str) -> Option<&Relation> {
+        self.preds.lookup(name).map(|id| &self.rels[id.index()])
+    }
+
+    /// Membership test by interned predicate.
+    pub fn contains_id(&self, pred: PredId, tuple: &[SeqId]) -> bool {
+        self.rels[pred.index()].contains(tuple)
+    }
+
+    /// Membership test by predicate name.
     pub fn contains(&self, pred: &str, tuple: &[SeqId]) -> bool {
-        self.rels.get(pred).is_some_and(|r| r.contains(tuple))
+        self.relation_named(pred).is_some_and(|r| r.contains(tuple))
     }
 
     /// Tuples of `pred` in insertion order (empty when absent).
+    ///
+    /// Compatibility wrapper that allocates a `Vec` of references; new code
+    /// should iterate [`Relation::iter`] via [`FactStore::relation_named`].
     pub fn tuples(&self, pred: &str) -> Vec<&[SeqId]> {
-        self.rels
-            .get(pred)
+        self.relation_named(pred)
             .map(|r| r.iter().collect())
             .unwrap_or_default()
     }
@@ -123,24 +275,37 @@ impl FactStore {
         self.total
     }
 
-    /// Predicate names present, in arbitrary order.
+    /// Predicate names present, in id order.
     pub fn predicates(&self) -> impl Iterator<Item = &str> {
-        self.rels.keys().map(String::as_str)
+        self.preds.iter().map(|(_, n)| n)
     }
 
-    /// Per-predicate sizes snapshot (for semi-naive delta ranges).
-    pub fn sizes(&self) -> FxHashMap<String, usize> {
-        self.rels
-            .iter()
-            .map(|(k, v)| (k.clone(), v.len()))
-            .collect()
+    /// Per-relation sizes snapshot, indexed by `PredId` (semi-naive delta
+    /// ranges). A plain `Vec<usize>` copy — no map rebuild, no key clones.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.rels.iter().map(Relation::len).collect()
     }
 
     /// Every sequence id occurring in any fact (with repetitions).
     pub fn all_seq_ids(&self) -> impl Iterator<Item = SeqId> + '_ {
         self.rels
-            .values()
+            .iter()
             .flat_map(|r| r.iter().flat_map(|t| t.iter().copied()))
+    }
+
+    /// A copy of this store whose `PredId`s are aligned to `preds`
+    /// (predicates unknown to `preds` are appended after it). Used by the
+    /// cold model-checking path when a caller-supplied interpretation was
+    /// not built from the program being checked.
+    pub fn realigned_to(&self, preds: &PredTable) -> FactStore {
+        let mut out = FactStore::with_preds(preds.clone());
+        for (id, name) in self.preds.iter() {
+            let new_id = out.pred_id(name);
+            let rel = &self.rels[id.index()];
+            out.rels[new_id.index()] = rel.clone();
+            out.total += rel.len();
+        }
+        out
     }
 }
 
@@ -155,20 +320,20 @@ mod tests {
     #[test]
     fn insert_dedupes() {
         let mut fs = FactStore::new();
-        assert!(fs.insert("r", vec![sid(1), sid(2)].into()));
-        assert!(!fs.insert("r", vec![sid(1), sid(2)].into()));
-        assert!(fs.insert("r", vec![sid(2), sid(1)].into()));
+        assert!(fs.insert_named("r", vec![sid(1), sid(2)].into()));
+        assert!(!fs.insert_named("r", vec![sid(1), sid(2)].into()));
+        assert!(fs.insert_named("r", vec![sid(2), sid(1)].into()));
         assert_eq!(fs.total_facts(), 2);
-        assert_eq!(fs.relation("r").unwrap().len(), 2);
+        assert_eq!(fs.relation_named("r").unwrap().len(), 2);
     }
 
     #[test]
     fn column_index_finds_positions() {
         let mut fs = FactStore::new();
-        fs.insert("r", vec![sid(1), sid(9)].into());
-        fs.insert("r", vec![sid(2), sid(9)].into());
-        fs.insert("r", vec![sid(1), sid(7)].into());
-        let r = fs.relation("r").unwrap();
+        fs.insert_named("r", vec![sid(1), sid(9)].into());
+        fs.insert_named("r", vec![sid(2), sid(9)].into());
+        fs.insert_named("r", vec![sid(1), sid(7)].into());
+        let r = fs.relation_named("r").unwrap();
         assert_eq!(r.positions_with(0, sid(1), 0), &[0, 2]);
         assert_eq!(r.positions_with(1, sid(9), 0), &[0, 1]);
         // Delta restriction.
@@ -186,8 +351,43 @@ mod tests {
     #[test]
     fn zero_arity_relations_work() {
         let mut fs = FactStore::new();
-        assert!(fs.insert("halted", Box::new([])));
-        assert!(!fs.insert("halted", Box::new([])));
+        assert!(fs.insert_named("halted", Box::new([])));
+        assert!(!fs.insert_named("halted", Box::new([])));
         assert!(fs.contains("halted", &[]));
+    }
+
+    #[test]
+    fn tuple_index_survives_growth() {
+        let mut rel = Relation::default();
+        for i in 0..1000u32 {
+            assert!(rel.insert(vec![sid(i), sid(i / 3)].into()));
+        }
+        for i in 0..1000u32 {
+            assert!(!rel.insert(vec![sid(i), sid(i / 3)].into()), "dup {i}");
+            assert!(rel.contains(&[sid(i), sid(i / 3)]));
+        }
+        assert!(!rel.contains(&[sid(1000), sid(0)]));
+        assert_eq!(rel.len(), 1000);
+    }
+
+    #[test]
+    fn with_preds_aligns_ids_and_realign_restores() {
+        let mut table = PredTable::new();
+        let r = table.intern("r");
+        let s = table.intern("s");
+        let mut fs = FactStore::with_preds(table.clone());
+        fs.insert(s, vec![sid(5)].into());
+        fs.insert(r, vec![sid(6)].into());
+        assert!(fs.contains("s", &[sid(5)]));
+
+        // A store built in a different interning order realigns correctly.
+        let mut other = FactStore::new();
+        other.insert_named("s", vec![sid(5)].into());
+        other.insert_named("x", vec![sid(7)].into());
+        let aligned = other.realigned_to(&table);
+        assert_eq!(aligned.preds().lookup("r"), Some(r));
+        assert!(aligned.contains_id(s, &[sid(5)]));
+        assert!(aligned.contains("x", &[sid(7)]));
+        assert_eq!(aligned.total_facts(), 2);
     }
 }

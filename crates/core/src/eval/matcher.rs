@@ -14,10 +14,17 @@
 //! solves the index equations `N1 = start`, `N2 = end` — multiple
 //! occurrences yield multiple substitutions, as the fixpoint semantics
 //! demands.
+//!
+//! The search is **allocation-free in its steady state**: one scratch
+//! [`Bindings`] per clause evaluation, mutated in place through a bind/undo
+//! [`Trail`] (no `Bindings` clone per candidate substitution), the
+//! unsolved-literal set as a `u128` bitmask, and join candidates taken as
+//! borrowed slices from the fact store's column indexes. Alternative
+//! solutions are delivered through continuations instead of result vectors.
 
 use crate::compile::{CBase, CBody, CIdx, CSeq, CompiledClause};
 use crate::eval::interp::FactStore;
-use seqlog_sequence::{ExtendedDomain, SeqId, SeqStore};
+use seqlog_sequence::{index_window, ExtendedDomain, SeqId, SeqStore};
 
 /// A partial substitution over a clause's variable slots.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -34,6 +41,61 @@ impl Bindings {
         Self {
             seq: vec![None; c.n_seq],
             idx: vec![None; c.n_idx],
+        }
+    }
+}
+
+/// One recorded binding, undone on backtrack.
+#[derive(Clone, Copy, Debug)]
+enum TrailEntry {
+    Seq(u16),
+    Idx(u16),
+}
+
+/// The single scratch substitution threaded through a clause's search,
+/// with its undo trail. Binding writes a slot and records it; backtracking
+/// pops to a mark and clears the recorded slots — no clone per candidate.
+pub struct Search {
+    /// The current (partial) substitution.
+    pub b: Bindings,
+    trail: Vec<TrailEntry>,
+}
+
+impl Search {
+    /// Fresh scratch state for a clause.
+    pub fn for_clause(c: &CompiledClause) -> Self {
+        Self {
+            b: Bindings::for_clause(c),
+            trail: Vec::with_capacity(c.n_seq + c.n_idx),
+        }
+    }
+
+    #[inline]
+    fn mark(&self) -> usize {
+        self.trail.len()
+    }
+
+    #[inline]
+    fn bind_seq(&mut self, v: u16, id: SeqId) {
+        debug_assert!(self.b.seq[v as usize].is_none());
+        self.b.seq[v as usize] = Some(id);
+        self.trail.push(TrailEntry::Seq(v));
+    }
+
+    #[inline]
+    fn bind_idx(&mut self, v: u16, n: i64) {
+        debug_assert!(self.b.idx[v as usize].is_none());
+        self.b.idx[v as usize] = Some(n);
+        self.trail.push(TrailEntry::Idx(v));
+    }
+
+    #[inline]
+    fn undo_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            match self.trail.pop().unwrap() {
+                TrailEntry::Seq(v) => self.b.seq[v as usize] = None,
+                TrailEntry::Idx(v) => self.b.idx[v as usize] = None,
+            }
         }
     }
 }
@@ -62,6 +124,9 @@ pub struct MatchEnv<'a> {
     /// `lmax + 1` — the top of the integer range.
     pub int_upper: i64,
 }
+
+/// A continuation receiving each satisfying (partial) substitution.
+type Cont<'x> = &'x mut dyn FnMut(&mut Search, &mut MatchEnv<'_>);
 
 /// Evaluate an index term. `end_val` is the length of the enclosing indexed
 /// term's base. `None` when the term contains an unbound variable.
@@ -106,52 +171,59 @@ pub fn eval_seq(t: &CSeq, b: &Bindings, store: &mut SeqStore) -> TermVal {
     }
 }
 
-/// Solve `t = target` for the unbound index variables of `t`, appending each
-/// solution to `out`. Uses linear isolation when one side of `+`/`-` is
+/// Solve `t = target` for the unbound index variables of `t`, invoking `k`
+/// on each solution. Uses linear isolation when one side of `+`/`-` is
 /// ground and falls back to enumerating a variable over `0..=int_upper`
 /// otherwise (index variables range over the domain integers).
-pub fn solve_idx(
+fn solve_idx(
     t: &CIdx,
     target: i64,
     end_val: i64,
-    b: &Bindings,
-    int_upper: i64,
-    out: &mut Vec<Bindings>,
+    st: &mut Search,
+    env: &mut MatchEnv<'_>,
+    k: Cont<'_>,
 ) {
     match t {
         CIdx::Int(i) => {
             if *i == target {
-                out.push(b.clone());
+                k(st, env);
             }
         }
         CIdx::End => {
             if end_val == target {
-                out.push(b.clone());
+                k(st, env);
             }
         }
-        CIdx::Var(v) => match b.idx[*v as usize] {
+        CIdx::Var(v) => match st.b.idx[*v as usize] {
             Some(val) => {
                 if val == target {
-                    out.push(b.clone());
+                    k(st, env);
                 }
             }
             None => {
-                if (0..=int_upper).contains(&target) {
-                    let mut b2 = b.clone();
-                    b2.idx[*v as usize] = Some(target);
-                    out.push(b2);
+                if (0..=env.int_upper).contains(&target) {
+                    let mark = st.mark();
+                    st.bind_idx(*v, target);
+                    k(st, env);
+                    st.undo_to(mark);
                 }
             }
         },
-        CIdx::Add(x, y) => match (eval_idx(x, b, end_val), eval_idx(y, b, end_val)) {
-            (Some(xv), _) => solve_idx(y, target - xv, end_val, b, int_upper, out),
-            (None, Some(yv)) => solve_idx(x, target - yv, end_val, b, int_upper, out),
-            (None, None) => enumerate_then_solve(t, target, end_val, b, int_upper, out),
+        CIdx::Add(x, y) => match (
+            eval_idx(x, &st.b, end_val),
+            eval_idx(y, &st.b, end_val),
+        ) {
+            (Some(xv), _) => solve_idx(y, target - xv, end_val, st, env, k),
+            (None, Some(yv)) => solve_idx(x, target - yv, end_val, st, env, k),
+            (None, None) => enumerate_then_solve(t, target, end_val, st, env, k),
         },
-        CIdx::Sub(x, y) => match (eval_idx(x, b, end_val), eval_idx(y, b, end_val)) {
-            (Some(xv), _) => solve_idx(y, xv - target, end_val, b, int_upper, out),
-            (None, Some(yv)) => solve_idx(x, target + yv, end_val, b, int_upper, out),
-            (None, None) => enumerate_then_solve(t, target, end_val, b, int_upper, out),
+        CIdx::Sub(x, y) => match (
+            eval_idx(x, &st.b, end_val),
+            eval_idx(y, &st.b, end_val),
+        ) {
+            (Some(xv), _) => solve_idx(y, xv - target, end_val, st, env, k),
+            (None, Some(yv)) => solve_idx(x, target + yv, end_val, st, env, k),
+            (None, None) => enumerate_then_solve(t, target, end_val, st, env, k),
         },
     }
 }
@@ -162,17 +234,18 @@ fn enumerate_then_solve(
     t: &CIdx,
     target: i64,
     end_val: i64,
-    b: &Bindings,
-    int_upper: i64,
-    out: &mut Vec<Bindings>,
+    st: &mut Search,
+    env: &mut MatchEnv<'_>,
+    k: Cont<'_>,
 ) {
-    let Some(v) = first_unbound_idx(t, b) else {
+    let Some(v) = first_unbound_idx(t, &st.b) else {
         return;
     };
-    for n in 0..=int_upper {
-        let mut b2 = b.clone();
-        b2.idx[v as usize] = Some(n);
-        solve_idx(t, target, end_val, &b2, int_upper, out);
+    for n in 0..=env.int_upper {
+        let mark = st.mark();
+        st.bind_idx(v, n);
+        solve_idx(t, target, end_val, st, env, k);
+        st.undo_to(mark);
     }
 }
 
@@ -186,170 +259,241 @@ fn first_unbound_idx(t: &CIdx, b: &Bindings) -> Option<u16> {
     }
 }
 
-/// Unify a non-constructive term with a concrete value, appending every
-/// extended substitution to `out`.
-pub fn unify(t: &CSeq, v: SeqId, b: &Bindings, env: &mut MatchEnv<'_>, out: &mut Vec<Bindings>) {
+/// Evaluate an index term *independently of the base's length*: `None` when
+/// the term contains `end` or an unbound variable. Used to pin a solution
+/// length before the base is known.
+fn eval_idx_pure(t: &CIdx, b: &Bindings) -> Option<i64> {
+    match t {
+        CIdx::Int(i) => Some(*i),
+        CIdx::Var(v) => b.idx[*v as usize],
+        CIdx::End => None,
+        CIdx::Add(x, y) => Some(eval_idx_pure(x, b)? + eval_idx_pure(y, b)?),
+        CIdx::Sub(x, y) => Some(eval_idx_pure(x, b)? - eval_idx_pure(y, b)?),
+    }
+}
+
+/// Unify a non-constructive term with a concrete value, invoking `k` on
+/// every extension of the current substitution.
+fn unify(t: &CSeq, v: SeqId, st: &mut Search, env: &mut MatchEnv<'_>, k: Cont<'_>) {
     match t {
         CSeq::Const(id) => {
             if *id == v {
-                out.push(b.clone());
+                k(st, env);
             }
         }
-        CSeq::Var(x) => match b.seq[*x as usize] {
+        CSeq::Var(x) => match st.b.seq[*x as usize] {
             Some(id) => {
                 if id == v {
-                    out.push(b.clone());
+                    k(st, env);
                 }
             }
             None => {
-                let mut b2 = b.clone();
-                b2.seq[*x as usize] = Some(v);
-                out.push(b2);
+                let mark = st.mark();
+                st.bind_seq(*x, v);
+                k(st, env);
+                st.undo_to(mark);
             }
         },
-        CSeq::Indexed { base, lo, hi } => {
-            match base {
-                CBase::Const(id) => unify_indexed(*id, lo, hi, v, b, env, out),
-                CBase::Var(x) => match b.seq[*x as usize] {
-                    Some(id) => unify_indexed(id, lo, hi, v, b, env, out),
-                    None => {
-                        // The base ranges over the extended active domain
-                        // (the honest Definition 4 semantics for unguarded
-                        // variables).
-                        let members: Vec<SeqId> = env.domain.iter().collect();
-                        for s in members {
-                            let mut b2 = b.clone();
-                            b2.seq[*x as usize] = Some(s);
-                            unify_indexed(s, lo, hi, v, &b2, env, out);
+        CSeq::Indexed { base, lo, hi } => match base {
+            CBase::Const(id) => unify_indexed(*id, lo, hi, v, st, env, k),
+            CBase::Var(x) => match st.b.seq[*x as usize] {
+                Some(id) => unify_indexed(id, lo, hi, v, st, env, k),
+                None => {
+                    // The base ranges over the extended active domain
+                    // (the honest Definition 4 semantics for unguarded
+                    // variables). For the structural-recursion idiom
+                    // `X[a:end] = v` with `a` known, every solution has
+                    // `len(X) = a-1+len(v)` — restrict the enumeration to
+                    // that length bucket; the unification itself still
+                    // decides membership, so this is a pure prefilter.
+                    let domain: &ExtendedDomain = env.domain;
+                    if let (Some(a), CIdx::End) = (eval_idx_pure(lo, &st.b), hi) {
+                        if a < 1 {
+                            return; // X[a:end] is undefined for every X
                         }
+                        let want = (a - 1) as usize + env.store.len_of(v);
+                        for &s in domain.members_of_len(want) {
+                            let mark = st.mark();
+                            st.bind_seq(*x, s);
+                            unify_indexed(s, lo, hi, v, st, env, k);
+                            st.undo_to(mark);
+                        }
+                        return;
                     }
-                },
-            }
-        }
+                    for s in domain.iter() {
+                        let mark = st.mark();
+                        st.bind_seq(*x, s);
+                        unify_indexed(s, lo, hi, v, st, env, k);
+                        st.undo_to(mark);
+                    }
+                }
+            },
+        },
         CSeq::Concat(..) | CSeq::Transducer { .. } => {
             unreachable!("constructive terms are head-only (validated)")
         }
     }
 }
 
+/// `base[n1:n2] == v`, without interning the window: an equal window would
+/// already be interned as `v`, so a plain slice comparison suffices (and a
+/// failed comparison never pollutes the store).
+#[inline]
+fn window_equals(store: &SeqStore, base: SeqId, n1: i64, n2: i64, v: SeqId) -> bool {
+    match index_window(store.len_of(base), n1, n2) {
+        None => false,
+        Some((s, e)) => store.get(base)[s..e] == *store.get(v),
+    }
+}
+
 /// Unify `base[lo:hi] = v` for a bound base: enumerate occurrences of `v` in
-/// `base` and solve the index equations.
+/// `base` and solve the index equations. When either endpoint is already
+/// evaluable it pins the occurrence position (the structural-recursion
+/// idioms `X[1:N] = v` / `X[N+1:end] = v`), so only one window comparison is
+/// needed instead of a full occurrence scan.
 fn unify_indexed(
     base: SeqId,
     lo: &CIdx,
     hi: &CIdx,
     v: SeqId,
-    b: &Bindings,
+    st: &mut Search,
     env: &mut MatchEnv<'_>,
-    out: &mut Vec<Bindings>,
+    k: Cont<'_>,
 ) {
     let end_val = env.store.len_of(base) as i64;
-    // Fast path: both indexes already evaluable — evaluate and compare.
-    if let (Some(n1), Some(n2)) = (eval_idx(lo, b, end_val), eval_idx(hi, b, end_val)) {
-        if env.store.subseq(base, n1, n2) == Some(v) {
-            out.push(b.clone());
-        }
-        return;
-    }
     let vlen = env.store.len_of(v) as i64;
-    for start0 in env.store.occurrences(base, v) {
-        // 1-based window: [start0+1 .. start0+vlen].
-        let n1 = start0 as i64 + 1;
-        let n2 = start0 as i64 + vlen;
-        let mut lo_sols = Vec::new();
-        solve_idx(lo, n1, end_val, b, env.int_upper, &mut lo_sols);
-        for bl in lo_sols {
-            solve_idx(hi, n2, end_val, &bl, env.int_upper, out);
+    match (eval_idx(lo, &st.b, end_val), eval_idx(hi, &st.b, end_val)) {
+        // Both endpoints ground: evaluate and compare (a length mismatch
+        // fails the slice comparison).
+        (Some(n1), Some(n2)) => {
+            if window_equals(env.store, base, n1, n2, v) {
+                k(st, env);
+            }
+        }
+        // Lower endpoint ground: the only candidate occurrence starts at
+        // `n1`, i.e. the window is [n1 .. n1-1+|v|].
+        (Some(n1), None) => {
+            let n2 = n1 - 1 + vlen;
+            if window_equals(env.store, base, n1, n2, v) {
+                solve_idx(hi, n2, end_val, st, env, k);
+            }
+        }
+        // Upper endpoint ground: the only candidate occurrence ends at
+        // `n2`, i.e. the window is [n2-|v|+1 .. n2].
+        (None, Some(n2)) => {
+            let n1 = n2 - vlen + 1;
+            if window_equals(env.store, base, n1, n2, v) {
+                solve_idx(lo, n1, end_val, st, env, k);
+            }
+        }
+        // Neither endpoint known: enumerate every occurrence of `v`.
+        (None, None) => {
+            let occurrences = env.store.occurrences(base, v);
+            for start0 in occurrences {
+                // 1-based window: [start0+1 .. start0+vlen].
+                let n1 = start0 as i64 + 1;
+                let n2 = start0 as i64 + vlen;
+                solve_idx(lo, n1, end_val, st, env, &mut |st, env| {
+                    solve_idx(hi, n2, end_val, st, env, k)
+                });
+            }
         }
     }
 }
 
-/// Match one atom's argument terms against a fact tuple.
-pub fn unify_tuple(
+/// Match one atom's argument terms against a fact tuple, invoking `k` on
+/// each consistent extension.
+fn unify_tuple(
     args: &[CSeq],
     tuple: &[SeqId],
-    b: &Bindings,
+    st: &mut Search,
     env: &mut MatchEnv<'_>,
-) -> Vec<Bindings> {
-    let mut cur = vec![b.clone()];
-    for (arg, &val) in args.iter().zip(tuple) {
-        let mut next = Vec::new();
-        for bb in &cur {
-            unify(arg, val, bb, env, &mut next);
+    k: Cont<'_>,
+) {
+    match args.split_first() {
+        None => k(st, env),
+        Some((arg, rest_args)) => {
+            let (&val, rest_vals) = tuple.split_first().expect("arity matches");
+            unify(arg, val, st, env, &mut |st, env| {
+                unify_tuple(rest_args, rest_vals, st, env, k)
+            });
         }
-        if next.is_empty() {
-            return next;
-        }
-        cur = next;
     }
-    cur
+}
+
+/// Join candidates for one atom: either a borrowed column-index posting
+/// list or a position range over the whole relation (delta-restricted).
+enum Candidates<'f> {
+    List(&'f [u32]),
+    Range(usize, usize),
+}
+
+impl Candidates<'_> {
+    fn len(&self) -> usize {
+        match self {
+            Candidates::List(l) => l.len(),
+            Candidates::Range(a, b) => b - a,
+        }
+    }
 }
 
 /// Enumerate the substitutions satisfying `clause`'s body in `env`,
 /// optionally forcing body-atom occurrence `delta_at` to match only tuples
 /// at position `>= delta_from` in its relation (semi-naive evaluation).
 /// Calls `on_match` for every satisfying (still possibly partial — free head
-/// variables unbound) substitution.
+/// variables unbound) substitution; the `Bindings` handed to `on_match` is
+/// the clause's scratch substitution and is only valid for the duration of
+/// the call.
 pub fn solve_body(
     clause: &CompiledClause,
     env: &mut MatchEnv<'_>,
     delta: Option<(usize, usize)>,
-    on_match: &mut dyn FnMut(&Bindings, &mut MatchEnv<'_>),
+    on_match: &mut dyn FnMut(&mut Bindings, &mut MatchEnv<'_>),
 ) {
-    let remaining: Vec<usize> = (0..clause.body.len()).collect();
-    let b = Bindings::for_clause(clause);
-    search(clause, env, delta, remaining, b, on_match);
+    debug_assert!(clause.body.len() <= 128, "rejected at compile time");
+    let remaining: u128 = match clause.body.len() {
+        128 => !0,
+        n => (1u128 << n) - 1,
+    };
+    let mut st = Search::for_clause(clause);
+    search(clause, env, delta, remaining, &mut st, on_match);
 }
 
 fn search(
     clause: &CompiledClause,
     env: &mut MatchEnv<'_>,
     delta: Option<(usize, usize)>,
-    remaining: Vec<usize>,
-    b: Bindings,
-    on_match: &mut dyn FnMut(&Bindings, &mut MatchEnv<'_>),
+    remaining: u128,
+    st: &mut Search,
+    on_match: &mut dyn FnMut(&mut Bindings, &mut MatchEnv<'_>),
 ) {
-    if remaining.is_empty() {
-        on_match(&b, env);
+    if remaining == 0 {
+        on_match(&mut st.b, env);
         return;
     }
+    let live = |li: usize| remaining & (1u128 << li) != 0;
 
     // 1. Ground (in)equalities: decide without branching.
-    for (pos, &li) in remaining.iter().enumerate() {
-        match &clause.body[li] {
-            CBody::Eq(l, r) => {
-                let (lv, rv) = (eval_seq(l, &b, env.store), eval_seq(r, &b, env.store));
-                match (lv, rv) {
-                    (TermVal::Undefined, _) | (_, TermVal::Undefined) => return,
-                    (TermVal::Val(a), TermVal::Val(c)) => {
-                        if a != c {
-                            return;
-                        }
-                        let mut rest = remaining.clone();
-                        rest.remove(pos);
-                        search(clause, env, delta, rest, b, on_match);
-                        return;
-                    }
-                    _ => {}
+    for (li, lit) in clause.body.iter().enumerate() {
+        if !live(li) {
+            continue;
+        }
+        let (l, r, is_eq) = match lit {
+            CBody::Eq(l, r) => (l, r, true),
+            CBody::Neq(l, r) => (l, r, false),
+            CBody::Atom(_) => continue,
+        };
+        let (lv, rv) = (eval_seq(l, &st.b, env.store), eval_seq(r, &st.b, env.store));
+        match (lv, rv) {
+            (TermVal::Undefined, _) | (_, TermVal::Undefined) => return,
+            (TermVal::Val(a), TermVal::Val(c)) => {
+                if (a == c) != is_eq {
+                    return;
                 }
+                search(clause, env, delta, remaining & !(1 << li), st, on_match);
+                return;
             }
-            CBody::Neq(l, r) => {
-                let (lv, rv) = (eval_seq(l, &b, env.store), eval_seq(r, &b, env.store));
-                match (lv, rv) {
-                    (TermVal::Undefined, _) | (_, TermVal::Undefined) => return,
-                    (TermVal::Val(a), TermVal::Val(c)) => {
-                        if a == c {
-                            return;
-                        }
-                        let mut rest = remaining.clone();
-                        rest.remove(pos);
-                        search(clause, env, delta, rest, b, on_match);
-                        return;
-                    }
-                    _ => {}
-                }
-            }
-            CBody::Atom(_) => {}
+            _ => {}
         }
     }
 
@@ -368,81 +512,94 @@ fn search(
         _ => false,
     };
     let mut deferred_eq = false;
-    for (pos, &li) in remaining.iter().enumerate() {
-        if let CBody::Eq(l, r) = &clause.body[li] {
-            let lv = eval_seq(l, &b, env.store);
-            let rv = eval_seq(r, &b, env.store);
+    for (li, lit) in clause.body.iter().enumerate() {
+        if !live(li) {
+            continue;
+        }
+        if let CBody::Eq(l, r) = lit {
+            let lv = eval_seq(l, &st.b, env.store);
+            let rv = eval_seq(r, &st.b, env.store);
             let (val, other) = match (lv, rv) {
                 (TermVal::Val(a), TermVal::Unbound) => (a, r),
                 (TermVal::Unbound, TermVal::Val(c)) => (c, l),
                 _ => continue,
             };
-            if !cheap(other, &b) {
+            if !cheap(other, &st.b) {
                 deferred_eq = true;
                 continue;
             }
-            let mut branches = Vec::new();
-            unify(other, val, &b, env, &mut branches);
-            let mut rest = remaining.clone();
-            rest.remove(pos);
-            for b2 in branches {
-                search(clause, env, delta, rest.clone(), b2, on_match);
-            }
+            let rest = remaining & !(1 << li);
+            unify(other, val, st, env, &mut |st, env| {
+                search(clause, env, delta, rest, st, on_match)
+            });
             return;
         }
     }
 
-    // 3. Best atom: fewest candidate tuples (using ground columns).
-    let mut best: Option<(usize, usize, Vec<u32>)> = None; // (pos, li, candidates)
-    for (pos, &li) in remaining.iter().enumerate() {
-        let CBody::Atom(atom) = &clause.body[li] else {
+    // 3. Best atom: fewest candidate tuples (using ground columns). The
+    // fact store is immutable during matching, so posting lists and tuples
+    // are borrowed in place — no candidate vectors, no tuple clones.
+    let facts: &FactStore = env.facts;
+    let mut best: Option<(usize, Candidates<'_>)> = None;
+    for (li, lit) in clause.body.iter().enumerate() {
+        if !live(li) {
+            continue;
+        }
+        let CBody::Atom(atom) = lit else {
             continue;
         };
         let from = match delta {
             Some((at, f)) if at == li => f,
             _ => 0,
         };
-        let rel = env.facts.relation(&atom.pred);
-        let candidates: Vec<u32> = match rel {
-            None => Vec::new(),
-            Some(rel) => {
-                // Choose the most selective ground column, if any.
-                let mut chosen: Option<Vec<u32>> = None;
-                for (c, arg) in atom.args.iter().enumerate() {
-                    if let TermVal::Val(v) = eval_seq(arg, &b, env.store) {
-                        let list = rel.positions_with(c, v, from).to_vec();
-                        if chosen.as_ref().is_none_or(|cur| list.len() < cur.len()) {
-                            chosen = Some(list);
-                        }
-                    }
+        let rel = facts.relation(atom.pred);
+        // Choose the most selective ground column, if any.
+        let mut chosen: Option<&[u32]> = None;
+        for (c, arg) in atom.args.iter().enumerate() {
+            if let TermVal::Val(v) = eval_seq(arg, &st.b, env.store) {
+                let list = rel.positions_with(c, v, from);
+                if chosen.is_none_or(|cur| list.len() < cur.len()) {
+                    chosen = Some(list);
                 }
-                chosen.unwrap_or_else(|| (from..rel.len()).map(|i| i as u32).collect())
             }
+        }
+        let candidates = match chosen {
+            Some(list) => Candidates::List(list),
+            None => Candidates::Range(from.min(rel.len()), rel.len()),
         };
         if best
             .as_ref()
-            .is_none_or(|(_, _, c)| candidates.len() < c.len())
+            .is_none_or(|(_, c)| candidates.len() < c.len())
         {
-            best = Some((pos, li, candidates));
+            best = Some((li, candidates));
         }
     }
 
-    if let Some((pos, li, candidates)) = best {
+    if let Some((li, candidates)) = best {
         let CBody::Atom(atom) = &clause.body[li] else {
             unreachable!()
         };
-        let mut rest = remaining.clone();
-        rest.remove(pos);
-        for cand in candidates {
-            let tuple: Vec<SeqId> = {
-                let rel = env
-                    .facts
-                    .relation(&atom.pred)
-                    .expect("candidates imply relation");
-                rel.tuple(cand as usize).to_vec()
-            };
-            for b2 in unify_tuple(&atom.args, &tuple, &b, env) {
-                search(clause, env, delta, rest.clone(), b2, on_match);
+        let rel = facts.relation(atom.pred);
+        let rest = remaining & !(1 << li);
+        let mut with_pos = |pos: usize, st: &mut Search, env: &mut MatchEnv<'_>| {
+            let tuple = rel.tuple(pos);
+            if tuple.len() != atom.args.len() {
+                return; // arity mismatch never unifies
+            }
+            unify_tuple(&atom.args, tuple, st, env, &mut |st, env| {
+                search(clause, env, delta, rest, st, on_match)
+            });
+        };
+        match candidates {
+            Candidates::List(list) => {
+                for &pos in list {
+                    with_pos(pos as usize, st, env);
+                }
+            }
+            Candidates::Range(a, b) => {
+                for pos in a..b {
+                    with_pos(pos, st, env);
+                }
             }
         }
         return;
@@ -452,22 +609,22 @@ fn search(
     // domain enumeration of its unbound base (the honest Definition 4
     // semantics, now unavoidable).
     if deferred_eq {
-        for (pos, &li) in remaining.iter().enumerate() {
-            if let CBody::Eq(l, r) = &clause.body[li] {
-                let lv = eval_seq(l, &b, env.store);
-                let rv = eval_seq(r, &b, env.store);
+        for (li, lit) in clause.body.iter().enumerate() {
+            if !live(li) {
+                continue;
+            }
+            if let CBody::Eq(l, r) = lit {
+                let lv = eval_seq(l, &st.b, env.store);
+                let rv = eval_seq(r, &st.b, env.store);
                 let (val, other) = match (lv, rv) {
                     (TermVal::Val(a), TermVal::Unbound) => (a, r),
                     (TermVal::Unbound, TermVal::Val(c)) => (c, l),
                     _ => continue,
                 };
-                let mut branches = Vec::new();
-                unify(other, val, &b, env, &mut branches);
-                let mut rest = remaining.clone();
-                rest.remove(pos);
-                for b2 in branches {
-                    search(clause, env, delta, rest.clone(), b2, on_match);
-                }
+                let rest = remaining & !(1 << li);
+                unify(other, val, st, env, &mut |st, env| {
+                    search(clause, env, delta, rest, st, on_match)
+                });
                 return;
             }
         }
@@ -478,8 +635,11 @@ fn search(
     // then retry. This is the honest Definition 4 semantics.
     let mut free_seq: Option<u16> = None;
     let mut free_idx: Option<u16> = None;
-    for &li in &remaining {
-        let (l, r) = match &clause.body[li] {
+    for (li, lit) in clause.body.iter().enumerate() {
+        if !live(li) {
+            continue;
+        }
+        let (l, r) = match lit {
             CBody::Eq(l, r) | CBody::Neq(l, r) => (l, r),
             CBody::Atom(_) => unreachable!("atoms handled above"),
         };
@@ -488,22 +648,28 @@ fn search(
             let mut iv = Vec::new();
             t.seq_vars(&mut sv);
             t.idx_vars(&mut iv);
-            free_seq = free_seq.or(sv.into_iter().find(|&v| b.seq[v as usize].is_none()));
-            free_idx = free_idx.or(iv.into_iter().find(|&v| b.idx[v as usize].is_none()));
+            free_seq = free_seq.or(sv
+                .into_iter()
+                .find(|&v| st.b.seq[v as usize].is_none()));
+            free_idx = free_idx.or(iv
+                .into_iter()
+                .find(|&v| st.b.idx[v as usize].is_none()));
         }
     }
     if let Some(v) = free_seq {
-        let members: Vec<SeqId> = env.domain.iter().collect();
-        for s in members {
-            let mut b2 = b.clone();
-            b2.seq[v as usize] = Some(s);
-            search(clause, env, delta, remaining.clone(), b2, on_match);
+        let domain: &ExtendedDomain = env.domain;
+        for s in domain.iter() {
+            let mark = st.mark();
+            st.bind_seq(v, s);
+            search(clause, env, delta, remaining, st, on_match);
+            st.undo_to(mark);
         }
     } else if let Some(v) = free_idx {
         for n in 0..=env.int_upper {
-            let mut b2 = b.clone();
-            b2.idx[v as usize] = Some(n);
-            search(clause, env, delta, remaining.clone(), b2, on_match);
+            let mark = st.mark();
+            st.bind_idx(v, n);
+            search(clause, env, delta, remaining, st, on_match);
+            st.undo_to(mark);
         }
     } else {
         // All variables bound yet some (in)equality was neither ground nor
@@ -547,18 +713,20 @@ mod tests {
             for &id in &tuple {
                 self.domain.insert_closed(&mut self.store, id);
             }
-            self.facts.insert(pred, tuple.into());
+            self.facts.insert_named(pred, tuple.into());
         }
 
         fn matches(&mut self, rule: &str) -> Vec<Bindings> {
             let prog = parse_program(rule, &mut self.alphabet, &mut self.store).unwrap();
             let cp = compile(&prog).unwrap();
             let clause = &cp.clauses[0];
+            // Align the fixture store to the compiled program's ids.
+            let facts = self.facts.realigned_to(&cp.preds);
             let mut out = Vec::new();
             let mut env = MatchEnv {
                 store: &mut self.store,
                 domain: &self.domain,
-                facts: &self.facts,
+                facts: &facts,
                 int_upper: self.domain.int_upper(),
             };
             solve_body(clause, &mut env, None, &mut |b, _| out.push(b.clone()));
@@ -644,11 +812,12 @@ mod tests {
         fx.fact("r", &["b"]);
         let prog = parse_program("p(X) :- r(X).", &mut fx.alphabet, &mut fx.store).unwrap();
         let cp = compile(&prog).unwrap();
+        let facts = fx.facts.realigned_to(&cp.preds);
         let mut out = Vec::new();
         let mut env = MatchEnv {
             store: &mut fx.store,
             domain: &fx.domain,
-            facts: &fx.facts,
+            facts: &facts,
             int_upper: fx.domain.int_upper(),
         };
         // Only tuples from position 1 (the second fact).
@@ -667,5 +836,51 @@ mod tests {
         let ms = fx.matches("p(Y) :- r(X), Y = Y.");
         // domain of "ab": ε, a, b, ab → 4 members.
         assert_eq!(ms.len(), 4);
+    }
+
+    #[test]
+    fn scratch_bindings_are_restored_between_matches() {
+        // The same scratch substitution is reused across candidate tuples
+        // via the undo trail. Every delivered substitution must be fully
+        // bound, and an unbalanced bind/undo would skew the solution count
+        // of a repeated solve — both solves must agree exactly.
+        let mut fx = Fixture::new();
+        fx.fact("r", &["a"]);
+        fx.fact("r", &["b"]);
+        fx.fact("r", &["c"]);
+        let prog =
+            parse_program("p(X, Y) :- r(X), r(Y).", &mut fx.alphabet, &mut fx.store).unwrap();
+        let cp = compile(&prog).unwrap();
+        let facts = fx.facts.realigned_to(&cp.preds);
+        let mut env = MatchEnv {
+            store: &mut fx.store,
+            domain: &fx.domain,
+            facts: &facts,
+            int_upper: fx.domain.int_upper(),
+        };
+        let mut solutions: Vec<Vec<Bindings>> = Vec::new();
+        for _ in 0..2 {
+            let mut out = Vec::new();
+            solve_body(&cp.clauses[0], &mut env, None, &mut |b, _| {
+                assert!(b.seq.iter().all(Option::is_some));
+                out.push(b.clone());
+            });
+            assert_eq!(out.len(), 9);
+            solutions.push(out);
+        }
+        assert_eq!(solutions[0], solutions[1]);
+    }
+
+    #[test]
+    fn arity_mismatched_tuples_never_unify() {
+        // The store does not enforce per-predicate arity; an atom must
+        // match only tuples of its own arity (no prefix matching).
+        let mut fx = Fixture::new();
+        fx.fact("r", &["a"]);
+        fx.fact("r", &["a", "b"]);
+        let ms = fx.matches("p(X) :- r(X).");
+        assert_eq!(ms.len(), 1, "only the arity-1 tuple matches");
+        let ms = fx.matches("p(X, Y) :- r(X, Y).");
+        assert_eq!(ms.len(), 1, "only the arity-2 tuple matches");
     }
 }

@@ -8,6 +8,30 @@
 //! round, and every sequence occurring in a committed fact enters the domain
 //! together with its contiguous subsequences.
 //!
+//! # Interned, index-addressed core
+//!
+//! The hot loop never touches a predicate-name `String`:
+//!
+//! * compilation interns every predicate to a dense
+//!   [`PredId`](crate::compile::PredId) in the program's
+//!   [`PredTable`](crate::compile::PredTable);
+//! * the [`FactStore`] is a `Vec<Relation>` indexed by `PredId` (the store's
+//!   table starts as a copy of the program's, so compiled ids index it
+//!   directly; database-only predicates extend it at seeding);
+//! * [`interp::Relation::insert`] performs a **single hash probe** per tuple
+//!   (open addressing over cached tuple hashes — no `contains`+`insert`
+//!   pair, no tuple clone);
+//! * the per-round delta snapshot ([`FactStore::sizes`]) is a plain
+//!   `Vec<usize>` copy, and `new_facts` carries `(PredId, Box<[SeqId]>)` —
+//!   zero `String` allocations per derived fact;
+//! * the matcher ([`matcher`]) runs on one scratch substitution per clause
+//!   with a bind/undo trail — no `Bindings` clone per candidate.
+//!
+//! `&str` lookups remain available at the API boundary
+//! ([`Model::tuples`], [`FactStore::contains`]).
+//!
+//! # Budgets and strategies
+//!
 //! Because the finiteness problem is fully undecidable (Theorem 2), the
 //! evaluator enforces explicit budgets ([`EvalConfig`]) and reports
 //! [`BudgetKind`]-tagged errors instead of diverging on programs like
@@ -20,17 +44,27 @@
 //! previous round's delta; *domain-sensitive* clauses (those that enumerate
 //! the extended active domain) are additionally re-evaluated in full
 //! whenever the domain has grown.
+//!
+//! # Reading [`EvalStats`]
+//!
+//! `stats.derivations` counts **head instantiations attempted**, including
+//! duplicates that the fact store then rejects — it is the work measure of
+//! the T-operator, not the output size (`stats.facts` is). A large
+//! `derivations`-to-`facts` ratio under [`Strategy::Naive`] and a near-1
+//! ratio under [`Strategy::SemiNaive`] is the expected signature of delta
+//! evaluation working; `transducer_calls`/`transducer_steps` account for
+//! embedded machine runs separately.
 
 pub mod interp;
 pub mod matcher;
 
-use crate::compile::{compile, CSeq, CompileError, CompiledClause, CompiledProgram};
+use crate::compile::{compile, CSeq, CompileError, CompiledClause, CompiledProgram, PredId};
 use crate::database::Database;
 use crate::registry::TransducerRegistry;
 use crate::Program;
 use interp::FactStore;
 use matcher::{solve_body, Bindings, MatchEnv, TermVal};
-use seqlog_sequence::{ExtendedDomain, FxHashMap, SeqId, SeqStore};
+use seqlog_sequence::{ExtendedDomain, SeqId, SeqStore};
 use seqlog_transducer::{ExecLimits, ExecStats};
 use std::fmt;
 
@@ -112,7 +146,8 @@ pub struct EvalStats {
     pub domain_size: usize,
     /// Longest sequence created during evaluation.
     pub max_seq_len: usize,
-    /// Head instantiations attempted (including duplicates).
+    /// Head instantiations attempted (including duplicates rejected by the
+    /// fact store) — the T-operator work measure, not the output size.
     pub derivations: u64,
     /// Transducer-term evaluations.
     pub transducer_calls: u64,
@@ -180,7 +215,9 @@ pub struct Model {
 }
 
 impl Model {
-    /// Tuples of `pred` (empty when absent).
+    /// Tuples of `pred` (empty when absent). Allocates a `Vec` of
+    /// references; iterate `self.facts.relation_named(pred)` via
+    /// [`interp::Relation::iter`] to avoid it.
     pub fn tuples(&self, pred: &str) -> Vec<&[SeqId]> {
         self.facts.tuples(pred)
     }
@@ -211,13 +248,16 @@ pub fn evaluate_compiled(
     registry: &TransducerRegistry,
     config: &EvalConfig,
 ) -> Result<Model, EvalError> {
-    let mut facts = FactStore::new();
+    // The store's predicate table extends the program's, so compiled
+    // `PredId`s address relations directly.
+    let mut facts = FactStore::with_preds(program.preds.clone());
     let mut domain = ExtendedDomain::new();
     let mut stats = EvalStats::default();
 
     // Seed: database atoms are clauses with empty bodies (Definition 4).
     for (pred, tuple) in db.iter() {
-        if facts.insert(pred, tuple.into()) {
+        let pid = facts.pred_id(pred);
+        if facts.insert(pid, tuple.into()) {
             for &id in tuple {
                 domain.insert_closed(store, id);
             }
@@ -225,9 +265,12 @@ pub fn evaluate_compiled(
     }
     check_budgets(&facts, &domain, store, config, &mut stats)?;
 
-    // Per-relation sizes *before* the most recent round (semi-naive deltas).
-    let mut sizes_before: FxHashMap<String, usize> = FxHashMap::default();
+    // Per-relation sizes *before* the most recent round, indexed by PredId
+    // (semi-naive deltas).
+    let mut sizes_before: Vec<usize> = Vec::new();
     let mut domain_before: usize = 0;
+    let mut new_facts: Vec<(PredId, Box<[SeqId]>)> = Vec::new();
+    let mut members: Vec<SeqId> = Vec::new();
 
     loop {
         if stats.rounds >= config.max_rounds {
@@ -243,7 +286,12 @@ pub fn evaluate_compiled(
         let domain_now = domain.len();
         let full_round = stats.rounds == 1 || config.strategy == Strategy::Naive;
 
-        let mut new_facts: Vec<(String, Box<[SeqId]>)> = Vec::new();
+        // Snapshot for free-variable enumeration: substitutions in this
+        // round range over the domain of the interpretation entering it.
+        members.clear();
+        members.extend(domain.iter());
+
+        new_facts.clear();
         for clause in &program.clauses {
             if full_round {
                 derive_clause(
@@ -255,6 +303,7 @@ pub fn evaluate_compiled(
                     &domain,
                     config,
                     &mut stats,
+                    &members,
                     &mut new_facts,
                 )?;
                 continue;
@@ -274,6 +323,7 @@ pub fn evaluate_compiled(
                     &domain,
                     config,
                     &mut stats,
+                    &members,
                     &mut new_facts,
                 )?;
                 continue;
@@ -282,8 +332,8 @@ pub fn evaluate_compiled(
                 let crate::compile::CBody::Atom(atom) = lit else {
                     continue;
                 };
-                let before = sizes_before.get(&atom.pred).copied().unwrap_or(0);
-                let now = sizes_now.get(&atom.pred).copied().unwrap_or(0);
+                let before = sizes_before.get(atom.pred.index()).copied().unwrap_or(0);
+                let now = sizes_now.get(atom.pred.index()).copied().unwrap_or(0);
                 if now > before {
                     derive_clause(
                         clause,
@@ -294,6 +344,7 @@ pub fn evaluate_compiled(
                         &domain,
                         config,
                         &mut stats,
+                        &members,
                         &mut new_facts,
                     )?;
                 }
@@ -304,10 +355,14 @@ pub fn evaluate_compiled(
         domain_before = domain_now;
 
         let mut added = 0usize;
-        for (pred, tuple) in new_facts {
-            if facts.insert(&pred, tuple.clone()) {
+        for (pid, tuple) in new_facts.drain(..) {
+            if facts.insert(pid, tuple) {
                 added += 1;
-                for &id in tuple.iter() {
+                // The just-inserted tuple is the relation's last; read it
+                // back for domain closure instead of cloning it up front.
+                let rel = facts.relation(pid);
+                let tuple = rel.tuple(rel.len() - 1);
+                for &id in tuple {
                     domain.insert_closed(store, id);
                 }
             }
@@ -327,7 +382,8 @@ pub fn evaluate_compiled(
 }
 
 /// One application of the T-operator to an arbitrary interpretation:
-/// returns every derivable head instance (used by the Appendix A model
+/// returns every derivable head instance as `(PredId, tuple)` over the
+/// program's [`crate::compile::PredTable`] (used by the Appendix A model
 /// checker; `T(I) ⊆ I` iff `I` is a model, Lemma 4).
 pub fn tp_step(
     program: &CompiledProgram,
@@ -336,12 +392,22 @@ pub fn tp_step(
     facts: &FactStore,
     domain: &ExtendedDomain,
     config: &EvalConfig,
-) -> Result<Vec<(String, Box<[SeqId]>)>, EvalError> {
+) -> Result<Vec<(PredId, Box<[SeqId]>)>, EvalError> {
+    // Cold path: if the interpretation was not built from this program's
+    // table, realign it so compiled `PredId`s address the right relations.
+    let realigned;
+    let facts = if program.preds.is_prefix_of(facts.preds()) {
+        facts
+    } else {
+        realigned = facts.realigned_to(&program.preds);
+        &realigned
+    };
     let mut stats = EvalStats::default();
     let mut out = Vec::new();
+    let members: Vec<SeqId> = domain.iter().collect();
     for clause in &program.clauses {
         derive_clause(
-            clause, None, store, registry, facts, domain, config, &mut stats, &mut out,
+            clause, None, store, registry, facts, domain, config, &mut stats, &members, &mut out,
         )?;
     }
     Ok(out)
@@ -384,7 +450,8 @@ fn check_budgets(
 }
 
 /// Derive all head instances of one clause under the given delta
-/// restriction, appending them to `out`.
+/// restriction, appending them to `out`. `members` is the round's snapshot
+/// of the domain's member sequences (for free-variable enumeration).
 #[allow(clippy::too_many_arguments)]
 fn derive_clause(
     clause: &CompiledClause,
@@ -395,11 +462,9 @@ fn derive_clause(
     domain: &ExtendedDomain,
     config: &EvalConfig,
     stats: &mut EvalStats,
-    out: &mut Vec<(String, Box<[SeqId]>)>,
+    members: &[SeqId],
+    out: &mut Vec<(PredId, Box<[SeqId]>)>,
 ) -> Result<(), EvalError> {
-    // Snapshot for free-variable enumeration: substitutions in this round
-    // range over the domain of the interpretation entering the round.
-    let members: Vec<SeqId> = domain.iter().collect();
     let int_upper = domain.int_upper();
 
     let mut error: Option<EvalError> = None;
@@ -410,11 +475,11 @@ fn derive_clause(
             facts,
             int_upper,
         };
-        let mut on_match = |b: &Bindings, env: &mut MatchEnv<'_>| {
+        let mut on_match = |b: &mut Bindings, env: &mut MatchEnv<'_>| {
             if error.is_some() {
                 return;
             }
-            if let Err(e) = instantiate_head(clause, b, env, registry, config, stats, &members, out)
+            if let Err(e) = instantiate_head(clause, b, env, registry, config, stats, members, out)
             {
                 error = Some(e);
             }
@@ -428,17 +493,19 @@ fn derive_clause(
 }
 
 /// Enumerate free (head-only) variables over the domain and evaluate the
-/// head atom for each completion.
+/// head atom for each completion. Works in place on the matcher's scratch
+/// substitution (free slots are bound and restored) — no `Bindings` clone
+/// per derivation.
 #[allow(clippy::too_many_arguments)]
 fn instantiate_head(
     clause: &CompiledClause,
-    b: &Bindings,
+    b: &mut Bindings,
     env: &mut MatchEnv<'_>,
     registry: &TransducerRegistry,
     config: &EvalConfig,
     stats: &mut EvalStats,
     members: &[SeqId],
-    out: &mut Vec<(String, Box<[SeqId]>)>,
+    out: &mut Vec<(PredId, Box<[SeqId]>)>,
 ) -> Result<(), EvalError> {
     let free_seq: Vec<usize> = (0..clause.n_seq).filter(|&v| b.seq[v].is_none()).collect();
     let free_idx: Vec<usize> = (0..clause.n_idx).filter(|&v| b.idx[v].is_none()).collect();
@@ -455,15 +522,19 @@ fn instantiate_head(
         registry: &TransducerRegistry,
         config: &EvalConfig,
         stats: &mut EvalStats,
-        out: &mut Vec<(String, Box<[SeqId]>)>,
+        out: &mut Vec<(PredId, Box<[SeqId]>)>,
     ) -> Result<(), EvalError> {
         if let Some((&v, rest)) = free_seq.split_first() {
             for &m in members {
                 b.seq[v] = Some(m);
-                rec(
+                let r = rec(
                     clause, b, rest, free_idx, members, int_upper, env, registry, config, stats,
                     out,
-                )?;
+                );
+                if r.is_err() {
+                    b.seq[v] = None;
+                    return r;
+                }
             }
             b.seq[v] = None;
             return Ok(());
@@ -471,10 +542,14 @@ fn instantiate_head(
         if let Some((&v, rest)) = free_idx.split_first() {
             for n in 0..=int_upper {
                 b.idx[v] = Some(n);
-                rec(
+                let r = rec(
                     clause, b, free_seq, rest, members, int_upper, env, registry, config, stats,
                     out,
-                )?;
+                );
+                if r.is_err() {
+                    b.idx[v] = None;
+                    return r;
+                }
             }
             b.idx[v] = None;
             return Ok(());
@@ -497,14 +572,13 @@ fn instantiate_head(
                 TermVal::Unbound => unreachable!("all variables enumerated"),
             }
         }
-        out.push((clause.head.pred.clone(), tuple.into()));
+        out.push((clause.head.pred, tuple.into()));
         Ok(())
     }
 
     let int_upper = env.int_upper;
-    let mut b = b.clone();
     rec(
-        clause, &mut b, &free_seq, &free_idx, members, int_upper, env, registry, config, stats, out,
+        clause, b, &free_seq, &free_idx, members, int_upper, env, registry, config, stats, out,
     )
 }
 

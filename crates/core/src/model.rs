@@ -42,7 +42,7 @@ pub fn is_model(
     )?;
     Ok(derived
         .into_iter()
-        .all(|(pred, tuple)| candidate.facts.contains(&pred, &tuple)))
+        .all(|(pid, tuple)| candidate.facts.contains(compiled.preds.name(pid), &tuple)))
 }
 
 /// Build a [`Model`] wrapper from an arbitrary fact set (re-deriving its
@@ -106,7 +106,7 @@ mod tests {
         let mut facts = FactStore::new();
         let r_tuples: Vec<Vec<_>> = m.tuples("r").into_iter().map(|t| t.to_vec()).collect();
         for t in r_tuples {
-            facts.insert("r", t.into());
+            facts.insert_named("r", t.into());
         }
         let candidate = model_from_facts(facts, &mut e.store);
         let ok = is_model(
@@ -133,7 +133,7 @@ mod tests {
 
         let mut facts = m.facts.clone();
         let junk = e.seq("zzz");
-        facts.insert("unrelated", vec![junk].into());
+        facts.insert_named("unrelated", vec![junk].into());
         let candidate = model_from_facts(facts, &mut e.store);
         let ok = is_model(
             &p,

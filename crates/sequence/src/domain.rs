@@ -23,6 +23,9 @@ use std::fmt;
 pub struct ExtendedDomain {
     members: FxHashSet<SeqId>,
     order: Vec<SeqId>,
+    /// Members bucketed by sequence length (for enumerations whose index
+    /// pattern pins the solution length, e.g. `X[a:end] = v`).
+    by_len: Vec<Vec<SeqId>>,
     max_len: usize,
 }
 
@@ -44,7 +47,7 @@ impl ExtendedDomain {
         }
         let mut added = 0;
         // ε is a subsequence of everything.
-        added += usize::from(self.insert_raw(store.empty()));
+        added += usize::from(self.insert_raw(store.empty(), 0));
 
         let len = store.len_of(id);
         self.max_len = self.max_len.max(len);
@@ -53,18 +56,13 @@ impl ExtendedDomain {
         // as often as possible: if a window is already a member, the closure
         // invariant guarantees all of its sub-windows are members as well,
         // but windows of *other* positions still need visiting, so we only
-        // skip the identical window.
+        // skip the identical window. `intern_range` resolves each window
+        // with one in-place hash lookup (no intermediate `Vec`, no
+        // re-borrowed symbol slice per window).
         for start in 0..len {
             for end in (start + 1..=len).rev() {
-                let window = &store.get(id)[start..end];
-                let wid = match store.lookup(window) {
-                    Some(w) => w,
-                    None => {
-                        let v = window.to_vec();
-                        store.intern_vec(v)
-                    }
-                };
-                if self.insert_raw(wid) {
+                let wid = store.intern_range(id, start, end);
+                if self.insert_raw(wid, end - start) {
                     added += 1;
                 } else {
                     // The window is already a member, so by the closure
@@ -77,9 +75,13 @@ impl ExtendedDomain {
         added
     }
 
-    fn insert_raw(&mut self, id: SeqId) -> bool {
+    fn insert_raw(&mut self, id: SeqId, len: usize) -> bool {
         if self.members.insert(id) {
             self.order.push(id);
+            if self.by_len.len() <= len {
+                self.by_len.resize_with(len + 1, Vec::new);
+            }
+            self.by_len[len].push(id);
             true
         } else {
             false
@@ -123,6 +125,13 @@ impl ExtendedDomain {
     /// Iterate over members in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = SeqId> + '_ {
         self.order.iter().copied()
+    }
+
+    /// Members whose sequence length is exactly `len` (arbitrary order).
+    /// Lets callers whose constraints pin the solution length (e.g.
+    /// `X[a:end] = v` forces `len(X) = a-1+len(v)`) skip the full domain.
+    pub fn members_of_len(&self, len: usize) -> &[SeqId] {
+        self.by_len.get(len).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Members added at or after snapshot index `since` (see [`Self::len`]

@@ -152,16 +152,42 @@ impl SeqStore {
     /// Section 3.2) and intern the result. `None` when undefined.
     pub fn subseq(&mut self, id: SeqId, n1: i64, n2: i64) -> Option<SeqId> {
         let (start, end) = index_window(self.len_of(id), n1, n2)?;
-        if start == 0 && end == self.len_of(id) {
-            return Some(id);
+        Some(self.intern_range(id, start, end))
+    }
+
+    /// Intern the window `id[start..end]` (0-based, half-open) without
+    /// materializing an intermediate `Vec`.
+    ///
+    /// Fast paths: the full window returns `id` itself, and an
+    /// already-interned window costs one hash lookup against the stored
+    /// symbols in place. Only a genuinely new window allocates (the new
+    /// `Arc<[Sym]>` itself).
+    ///
+    /// # Panics
+    /// Panics if `id` is foreign or `start..end` is out of bounds.
+    pub fn intern_range(&mut self, id: SeqId, start: usize, end: usize) -> SeqId {
+        let seq = &self.seqs[id.index()];
+        if start == 0 && end == seq.len() {
+            return id;
         }
-        let v: Vec<Sym> = self.get(id)[start..end].to_vec();
-        Some(self.intern_vec(v))
+        if let Some(&found) = self.ids.get(&seq[start..end]) {
+            return found;
+        }
+        // Miss: clone the Arc handle so the window can be copied out while
+        // `self` is mutably borrowed for insertion.
+        let seq = seq.clone();
+        let arc: Arc<[Sym]> = Arc::from(&seq[start..end]);
+        self.insert_arc(arc)
     }
 
     /// All start positions (0-based) at which `needle` occurs as a contiguous
     /// subsequence of `hay`. The empty needle occurs at every position
     /// `0..=len(hay)`.
+    ///
+    /// Scans with a memchr-style first-symbol skip: candidate positions are
+    /// found by scanning for the needle's first symbol only, and the
+    /// remaining symbols are compared just at those candidates — mismatching
+    /// windows cost one symbol comparison instead of a window `==`.
     pub fn occurrences(&self, hay: SeqId, needle: SeqId) -> Vec<usize> {
         let h = self.get(hay);
         let n = self.get(needle);
@@ -171,10 +197,21 @@ impl SeqStore {
         if n.len() > h.len() {
             return Vec::new();
         }
+        let (&first, rest) = n.split_first().expect("needle is non-empty");
+        let limit = h.len() - n.len();
         let mut out = Vec::new();
-        for start in 0..=(h.len() - n.len()) {
-            if &h[start..start + n.len()] == n {
-                out.push(start);
+        let mut start = 0;
+        while start <= limit {
+            // First-symbol prefilter over the remaining candidate window.
+            match h[start..=limit].iter().position(|&s| s == first) {
+                None => break,
+                Some(off) => {
+                    let pos = start + off;
+                    if &h[pos + 1..pos + n.len()] == rest {
+                        out.push(pos);
+                    }
+                    start = pos + 1;
+                }
             }
         }
         out
@@ -292,6 +329,49 @@ mod tests {
         let (mut a, mut st, hay) = setup("ab");
         let long = st.intern_vec(a.seq_of_str("abc"));
         assert!(st.occurrences(hay, long).is_empty());
+    }
+
+    #[test]
+    fn occurrences_pathological_repeated_symbol() {
+        // Worst case for the naive scan: "aaa…a" hay and "aa…a" needle —
+        // every position is a first-symbol candidate and almost every
+        // window matches. The result must be every offset 0..=hay-needle.
+        let (mut a, mut st, hay) = setup(&"a".repeat(512));
+        let needle = st.intern_vec(a.seq_of_str(&"a".repeat(256)));
+        let occ = st.occurrences(hay, needle);
+        assert_eq!(occ.len(), 512 - 256 + 1);
+        assert_eq!(occ.first(), Some(&0));
+        assert_eq!(occ.last(), Some(&256));
+        assert!(occ.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+
+    #[test]
+    fn occurrences_prefilter_rejects_near_misses() {
+        // Needles whose first symbol is frequent but whose tail mismatches:
+        // the skip loop must still find exactly the true matches.
+        let (mut a, mut st, hay) = setup("abaabaaabab");
+        let ab = st.intern_vec(a.seq_of_str("ab"));
+        assert_eq!(st.occurrences(hay, ab), vec![0, 3, 7, 9]);
+        let aab = st.intern_vec(a.seq_of_str("aab"));
+        assert_eq!(st.occurrences(hay, aab), vec![2, 6]);
+        // No occurrence of a symbol absent from the hay.
+        let z = st.intern_vec(a.seq_of_str("zb"));
+        assert!(st.occurrences(hay, z).is_empty());
+    }
+
+    #[test]
+    fn intern_range_matches_slice_interning() {
+        let (mut a, mut st, id) = setup("abcabc");
+        // Full range is the identity.
+        assert_eq!(st.intern_range(id, 0, 6), id);
+        // A fresh window interns to the same id as explicit interning.
+        let bc = st.intern_range(id, 1, 3);
+        assert_eq!(st.lookup(&a.seq_of_str("bc")), Some(bc));
+        // A repeated window (second occurrence) hits the fast path and
+        // returns the same handle — no duplicate interning.
+        assert_eq!(st.intern_range(id, 4, 6), bc);
+        // Empty window is ε.
+        assert_eq!(st.intern_range(id, 2, 2), st.empty());
     }
 
     #[test]

@@ -1,0 +1,388 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The container build has no crates-io access, so the real `criterion`
+//! cannot be fetched. This shim implements the API surface the bench suite
+//! uses — `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_with_input`, `Bencher::iter`/`iter_batched` — with a real
+//! wall-clock measurement loop (warmup + calibrated iterations per sample,
+//! median-of-samples reporting).
+//!
+//! CLI flags recognized (everything else is ignored so `cargo bench`
+//! pass-through flags don't break the binary):
+//!
+//! * `--measurement-time <secs>` — time budget per benchmark (default 2s);
+//! * `--sample-size <n>` — override every group's sample count;
+//! * a positional argument — substring filter on `group/id` names.
+//!
+//! When the `BENCH_JSON` environment variable names a file, one JSON object
+//! per benchmark (`{"id", "median_ns", "min_ns", "max_ns", "samples"}`) is
+//! appended to it — `scripts/bench_check.sh` aggregates those lines into
+//! `BENCH_1.json` so the perf trajectory is tracked across PRs.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation (recorded for API compatibility, not reported).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hint for `iter_batched` (the shim measures per-iteration
+/// either way).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small inputs: fresh input per iteration.
+    SmallInput,
+    /// Large inputs: fresh input per iteration.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` style id.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Harness configuration + CLI state.
+pub struct Criterion {
+    measurement_time: Duration,
+    sample_size_override: Option<usize>,
+    filter: Option<String>,
+    json_path: Option<PathBuf>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut c = Criterion {
+            measurement_time: Duration::from_secs(2),
+            sample_size_override: None,
+            filter: None,
+            json_path: std::env::var_os("BENCH_JSON").map(PathBuf::from),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if let Some(v) = a.strip_prefix("--measurement-time=") {
+                if let Ok(secs) = v.parse::<f64>() {
+                    c.measurement_time = Duration::from_secs_f64(secs);
+                }
+            } else if let Some(v) = a.strip_prefix("--sample-size=") {
+                c.sample_size_override = v.parse().ok();
+            } else {
+                match a.as_str() {
+                    "--measurement-time" => {
+                        if let Some(v) = args.next() {
+                            if let Ok(secs) = v.parse::<f64>() {
+                                c.measurement_time = Duration::from_secs_f64(secs);
+                            }
+                        }
+                    }
+                    "--sample-size" => {
+                        if let Some(v) = args.next() {
+                            c.sample_size_override = v.parse().ok();
+                        }
+                    }
+                    // Flags cargo/criterion pass that take a value.
+                    "--save-baseline" | "--baseline" | "--load-baseline" | "--profile-time"
+                    | "--warm-up-time" | "--color" | "--format" => {
+                        let _ = args.next();
+                    }
+                    s if s.starts_with("--") => {}
+                    s => c.filter = Some(s.to_string()),
+                }
+            }
+        }
+        c
+    }
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: None,
+            criterion: self,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut group = self.benchmark_group("bench");
+        group.bench_with_input(id, &(), |b, ()| f(b));
+        group.finish();
+        self
+    }
+}
+
+/// A group of related benchmarks sharing sample configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Option<Duration>,
+    criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Per-group time budget override.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Record throughput metadata (accepted for API compatibility).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Measure one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            measurement_time: self
+                .measurement_time
+                .unwrap_or(self.criterion.measurement_time),
+            sample_size: self
+                .criterion
+                .sample_size_override
+                .unwrap_or(self.sample_size),
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher, input);
+        report(&full, &bencher, self.criterion.json_path.as_deref());
+        self
+    }
+
+    /// Measure one benchmark without an input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(id.into(), &(), |b, ()| f(b))
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Collects timed samples for one benchmark.
+pub struct Bencher {
+    measurement_time: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn calibrate(&self, once: Duration) -> u64 {
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters = per_sample / once.as_secs_f64().max(1e-9);
+        iters.clamp(1.0, 10_000_000.0) as u64
+    }
+
+    /// Time `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let warm = Instant::now();
+        black_box(routine());
+        let iters = self.calibrate(warm.elapsed());
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Time `routine` with a fresh `setup()` input per iteration; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let warm = Instant::now();
+        black_box(routine(input));
+        let iters = self.calibrate(warm.elapsed()).min(100_000);
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let mut busy = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                busy += t.elapsed();
+            }
+            self.samples_ns
+                .push(busy.as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// `iter_batched` variant taking the input by reference.
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        size: BatchSize,
+    ) {
+        self.iter_batched(&mut setup, |mut input| routine(&mut input), size);
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+fn report(id: &str, bencher: &Bencher, json: Option<&Path>) {
+    let mut sorted = bencher.samples_ns.clone();
+    if sorted.is_empty() {
+        return;
+    }
+    sorted.sort_by(f64::total_cmp);
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    println!(
+        "{id:<56} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max)
+    );
+    if let Some(path) = json {
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(
+                f,
+                "{{\"id\":\"{id}\",\"median_ns\":{median:.1},\"min_ns\":{min:.1},\"max_ns\":{max:.1},\"samples\":{}}}",
+                sorted.len()
+            );
+        }
+    }
+}
+
+/// Declare a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_produces_samples() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(20),
+            sample_size_override: None,
+            filter: None,
+            json_path: None,
+        };
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::from_parameter(1), &3u64, |b, &n| {
+            ran = true;
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn formatting_scales_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2_000_000_000.0).ends_with(" s"));
+    }
+}

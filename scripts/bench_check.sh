@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Short benchmark smoke run: measures the headline benchmarks with a 1s
+# budget per benchmark and aggregates per-benchmark medians into
+# BENCH_<N>.json at the repo root, so successive PRs can track the perf
+# trajectory. Usage: scripts/bench_check.sh [N]  (default N=1).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+N="${1:-1}"
+OUT="BENCH_${N}.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+# The criterion shim appends one JSON object per benchmark to $BENCH_JSON.
+BENCH_JSON="$RAW" cargo bench -q -p seqlog-bench \
+    --bench ex15_recursion --bench thm3_ptime --bench fig2_square \
+    -- --measurement-time 1
+
+{
+    echo '{'
+    echo '  "schema": 1,'
+    echo "  \"run\": ${N},"
+    echo '  "measurement_time_secs": 1,'
+    echo '  "results": ['
+    sed 's/^/    /; $!s/$/,/' "$RAW"
+    echo '  ]'
+    echo '}'
+} > "$OUT"
+
+echo "wrote $OUT ($(grep -c '"id"' "$OUT") benchmarks)"

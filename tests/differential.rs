@@ -86,6 +86,59 @@ fn strategies_agree_on_paper_programs() {
 }
 
 #[test]
+fn strategies_agree_on_large_mutual_recursion() {
+    // A three-clause mutually recursive chain (chain0 → chain1 → chain2 →
+    // chain0, each step trimming one symbol) plus a product predicate, over
+    // enough seed words that the least fixpoint holds well over 5k facts.
+    // This drives the semi-naive delta ranges across *multiple predicates
+    // simultaneously* and across many round boundaries (one chain hop per
+    // round), which is exactly the bookkeeping the PredId-indexed size
+    // snapshots have to get right.
+    let src = r#"
+        chain1(X[2:end]) :- chain0(X), X != "".
+        chain2(X[2:end]) :- chain1(X), X != "".
+        chain0(X[2:end]) :- chain2(X), X != "".
+        pairs(X, Y) :- chain0(X), chain2(Y).
+    "#;
+    let mut e = Engine::new();
+    let mut db = Database::new();
+    // Deterministic seed words. Each word ends in a letter unique to it, so
+    // no two words share any non-empty suffix — the chain relations grow to
+    // their full, collision-free size.
+    for i in 0..8usize {
+        let mut word: String = (0..32)
+            .map(|j| char::from(b'a' + ((i * 7 + j * 5 + i * j) % 3) as u8))
+            .collect();
+        word.push(char::from(b's' + i as u8));
+        e.add_fact(&mut db, "chain0", &[&word]);
+    }
+    let p = e.parse_program(src).unwrap();
+    let semi = e
+        .evaluate_with(
+            &p,
+            &db,
+            &EvalConfig {
+                strategy: Strategy::SemiNaive,
+                ..Default::default()
+            },
+        )
+        .expect("semi-naive evaluation terminates");
+    assert!(
+        semi.stats.facts >= 5_000,
+        "workload too small to exercise delta ranges: {} facts",
+        semi.stats.facts
+    );
+    // Rounds must actually progress through the chain (≥ one hop per
+    // trimmed symbol), so deltas cross many round boundaries.
+    assert!(
+        semi.stats.rounds >= 33,
+        "expected ≥33 rounds, got {}",
+        semi.stats.rounds
+    );
+    assert_strategies_agree(&mut e, &p, &db);
+}
+
+#[test]
 fn theorem_7_roundtrip_on_the_genome_program() {
     let mut e = Engine::new();
     let t1 = library::transcribe(&mut e.alphabet);
