@@ -1,0 +1,79 @@
+//! Match-phase thread scaling: the same workloads swept over
+//! `EvalConfig::threads ∈ {1, 2, 4, 8}`.
+//!
+//! Two shapes: the `pairs` self-join (wide per-round deltas — the case the
+//! two-phase evaluator shards), and the Theorem 3 `abcn` pattern workload
+//! (small rounds that stay below the parallel dispatch threshold — the
+//! sweep documents that thread count is free there). Results are
+//! bit-for-bit identical across thread counts by construction; each
+//! iteration asserts the fact count to pin that down.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqlog_bench::{abc_database, distinct_suffix_words, rng, setup, setup_rel, ABCN_SRC, PAIRS_SRC};
+use seqlog_core::eval::EvalConfig;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(10);
+
+    let words = distinct_suffix_words(16, 32);
+    let mut expected_facts: Option<usize> = None;
+    for threads in THREADS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("pairs_16x32_t{threads}")),
+            &words,
+            |b, words| {
+                b.iter_batched(
+                    || setup_rel(PAIRS_SRC, "grow", words),
+                    |(mut e, p, db)| {
+                        let cfg = EvalConfig {
+                            threads,
+                            ..EvalConfig::default()
+                        };
+                        let m = e.evaluate_with(&p, &db, &cfg).unwrap();
+                        match expected_facts {
+                            None => expected_facts = Some(m.stats.facts),
+                            Some(f) => assert_eq!(f, m.stats.facts, "threads={threads}"),
+                        }
+                        m.stats.facts
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+
+    let words = abc_database(&mut rng(), 8, 8);
+    let mut expected_facts: Option<usize> = None;
+    for threads in THREADS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("abcn_8seqs_n8_t{threads}")),
+            &words,
+            |b, words| {
+                b.iter_batched(
+                    || setup(ABCN_SRC, words),
+                    |(mut e, p, db)| {
+                        let cfg = EvalConfig {
+                            threads,
+                            ..EvalConfig::default()
+                        };
+                        let m = e.evaluate_with(&p, &db, &cfg).unwrap();
+                        assert!(!m.tuples("answer").is_empty());
+                        match expected_facts {
+                            None => expected_facts = Some(m.stats.facts),
+                            Some(f) => assert_eq!(f, m.stats.facts, "threads={threads}"),
+                        }
+                        m.stats.facts
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -57,16 +57,47 @@ pub const REP2_SRC: &str = r#"
     rep2(X ++ Y, Y) :- rep2(X, Y).
 "#;
 
-/// Parse a program into a fresh engine together with an `r`-relation
-/// database over the given words.
-pub fn setup(src: &str, words: &[String]) -> (Engine, Program, Database) {
+/// The parallel-scaling self-join workload: `grow` shrinks every seed one
+/// symbol per round (large per-round deltas), and `pairs` squares it — the
+/// kind of wide round the two-phase evaluator shards across threads.
+pub const PAIRS_SRC: &str = r#"
+    grow(X[2:end]) :- grow(X), X != "".
+    pairs(X, Y) :- grow(X), grow(Y).
+"#;
+
+/// `count` (≤ 26) deterministic words of length `len` over a 3-letter
+/// alphabet, each with a unique final symbol so no two words share a
+/// non-empty suffix (the suffix relations grow to full, collision-free
+/// size).
+pub fn distinct_suffix_words(count: usize, len: usize) -> Vec<String> {
+    assert!(count <= 26, "unique tails limited to one letter each");
+    (0..count)
+        .map(|i| {
+            let mut word: String = (0..len - 1)
+                .map(|j| char::from(b'a' + ((i * 7 + j * 5 + i * j) % 3) as u8))
+                .collect();
+            word.push(char::from(b'A' + i as u8));
+            word
+        })
+        .collect()
+}
+
+/// Parse a program into a fresh engine together with a database binding
+/// the given words to unary `pred` facts.
+pub fn setup_rel(src: &str, pred: &str, words: &[String]) -> (Engine, Program, Database) {
     let mut e = Engine::new();
     let p = e.parse_program(src).expect("benchmark program parses");
     let mut db = Database::new();
     for w in words {
-        e.add_fact(&mut db, "r", &[w]);
+        e.add_fact(&mut db, pred, &[w]);
     }
     (e, p, db)
+}
+
+/// Parse a program into a fresh engine together with an `r`-relation
+/// database over the given words.
+pub fn setup(src: &str, words: &[String]) -> (Engine, Program, Database) {
+    setup_rel(src, "r", words)
 }
 
 /// A database of `count` aⁿbⁿcⁿ-shaped words, alternating positives and

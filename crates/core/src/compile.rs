@@ -161,6 +161,29 @@ pub enum CSeq {
 }
 
 impl CSeq {
+    /// Interned sequence constants occurring in the term (including indexed
+    /// bases).
+    pub fn constants(&self, out: &mut Vec<SeqId>) {
+        match self {
+            CSeq::Const(id) => out.push(*id),
+            CSeq::Var(_) => {}
+            CSeq::Indexed { base, .. } => {
+                if let CBase::Const(id) = base {
+                    out.push(*id);
+                }
+            }
+            CSeq::Concat(a, b) => {
+                a.constants(out);
+                b.constants(out);
+            }
+            CSeq::Transducer { args, .. } => {
+                for a in args {
+                    a.constants(out);
+                }
+            }
+        }
+    }
+
     /// Sequence-variable slots occurring in the term.
     pub fn seq_vars(&self, out: &mut Vec<u16>) {
         match self {
@@ -273,6 +296,35 @@ pub struct CompiledProgram {
     pub clauses: Vec<CompiledClause>,
     /// Predicate-name interner; every `PredId` in `clauses` indexes it.
     pub preds: PredTable,
+}
+
+impl CompiledProgram {
+    /// Every sequence constant occurring in a clause **body** (with
+    /// duplicates). The evaluator window-closes these in the store before
+    /// matching, so the read-only matcher can resolve any window of a
+    /// constant by lookup — a body constant can become a variable binding
+    /// through unification and then serve as an indexed base. Head-only
+    /// constants never reach the matcher: heads are evaluated in the commit
+    /// phase, and their values are closed when they enter the domain.
+    pub fn constants(&self) -> Vec<SeqId> {
+        let mut out = Vec::new();
+        for clause in &self.clauses {
+            for lit in &clause.body {
+                match lit {
+                    CBody::Atom(a) => {
+                        for t in &a.args {
+                            t.constants(&mut out);
+                        }
+                    }
+                    CBody::Eq(l, r) | CBody::Neq(l, r) => {
+                        l.constants(&mut out);
+                        r.constants(&mut out);
+                    }
+                }
+            }
+        }
+        out
+    }
 }
 
 /// Static validation errors (Section 3.1 / 7.1 restrictions).

@@ -84,6 +84,10 @@ impl Engine {
     }
 
     /// Evaluate with an explicit configuration.
+    ///
+    /// [`EvalConfig::threads`] controls the match-phase worker count
+    /// (`0` ⇒ all available cores); results are bit-for-bit identical for
+    /// every setting — see the `eval` module docs on determinism.
     pub fn evaluate_with(
         &mut self,
         program: &Program,

@@ -160,19 +160,20 @@ impl Relation {
         self.tuples.iter().map(|t| t.as_ref())
     }
 
-    /// Positions of tuples whose column `col` holds `v`, restricted to
-    /// positions `>= from`.
-    pub fn positions_with(&self, col: usize, v: SeqId, from: usize) -> &[u32] {
+    /// Positions of tuples whose column `col` holds `v`, restricted to the
+    /// half-open position window `from..to` (semi-naive delta chunks).
+    pub fn positions_with(&self, col: usize, v: SeqId, from: usize, to: usize) -> &[u32] {
         let list = self
             .col_index
             .get(col)
             .and_then(|m| m.get(&v))
             .map(Vec::as_slice)
             .unwrap_or(&[]);
-        // Positions are appended in increasing order; binary-search the
-        // first >= from.
+        // Positions are appended in increasing order; binary-search both
+        // window edges.
         let start = list.partition_point(|&p| (p as usize) < from);
-        &list[start..]
+        let end = list.partition_point(|&p| (p as usize) < to);
+        &list[start..end]
     }
 }
 
@@ -334,11 +335,13 @@ mod tests {
         fs.insert_named("r", vec![sid(2), sid(9)].into());
         fs.insert_named("r", vec![sid(1), sid(7)].into());
         let r = fs.relation_named("r").unwrap();
-        assert_eq!(r.positions_with(0, sid(1), 0), &[0, 2]);
-        assert_eq!(r.positions_with(1, sid(9), 0), &[0, 1]);
-        // Delta restriction.
-        assert_eq!(r.positions_with(0, sid(1), 1), &[2]);
-        assert_eq!(r.positions_with(0, sid(3), 0), &[] as &[u32]);
+        assert_eq!(r.positions_with(0, sid(1), 0, r.len()), &[0, 2]);
+        assert_eq!(r.positions_with(1, sid(9), 0, r.len()), &[0, 1]);
+        // Delta restriction (lower and upper edges).
+        assert_eq!(r.positions_with(0, sid(1), 1, r.len()), &[2]);
+        assert_eq!(r.positions_with(0, sid(1), 0, 2), &[0]);
+        assert_eq!(r.positions_with(0, sid(1), 1, 2), &[] as &[u32]);
+        assert_eq!(r.positions_with(0, sid(3), 0, r.len()), &[] as &[u32]);
     }
 
     #[test]

@@ -15,7 +15,17 @@
 //! occurrences yield multiple substitutions, as the fixpoint semantics
 //! demands.
 //!
-//! The search is **allocation-free in its steady state**: one scratch
+//! # Matching is read-only
+//!
+//! The matcher borrows the store as `&SeqStore` and never interns: indexed
+//! terms resolve through [`SeqStore::subseq_lookup`]. This is sound because
+//! every sequence a substitution can reach is *window-closed* — extended
+//! active domain members by Definition 2's closure invariant, and program
+//! constants because the evaluator pre-closes them — so any defined window
+//! already has an interned handle. A shared store is what lets the evaluator
+//! shard one round's match work across threads.
+//!
+//! The search is also **allocation-free in its steady state**: one scratch
 //! [`Bindings`] per clause evaluation, mutated in place through a bind/undo
 //! [`Trail`] (no `Bindings` clone per candidate substitution), the
 //! unsolved-literal set as a `u128` bitmask, and join candidates taken as
@@ -112,11 +122,26 @@ pub enum TermVal {
     Val(SeqId),
 }
 
-/// Read-only context for matching (the store is mutable because evaluating
-/// indexed terms interns their result).
+/// Outcome of evaluating an index term under a partial substitution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IdxVal {
+    /// Some index variable in the term is still unbound.
+    Unbound,
+    /// All variables bound but the arithmetic over- or underflowed `i64`
+    /// — the term denotes no domain integer, so any enclosing indexed term
+    /// is undefined.
+    Undefined,
+    /// The term's value.
+    Val(i64),
+}
+
+/// Read-only context for matching. All fields are shared borrows — matching
+/// never mutates the store (indexed terms resolve by lookup against
+/// window-closed bases), which is what allows a round's match work to be
+/// sharded across threads.
 pub struct MatchEnv<'a> {
-    /// Sequence interner.
-    pub store: &'a mut SeqStore,
+    /// Sequence interner (read-only during matching).
+    pub store: &'a SeqStore,
     /// Extended active domain of the current interpretation.
     pub domain: &'a ExtendedDomain,
     /// Current interpretation.
@@ -125,23 +150,71 @@ pub struct MatchEnv<'a> {
     pub int_upper: i64,
 }
 
-/// A continuation receiving each satisfying (partial) substitution.
-type Cont<'x> = &'x mut dyn FnMut(&mut Search, &mut MatchEnv<'_>);
+/// Semi-naive delta restriction for one clause application: body-atom
+/// occurrence `at` matches only tuples at positions `from..to` of its
+/// relation (a chunk of the previous round's additions), and atom
+/// occurrences *before* `at` are restricted to the pre-round prefix recorded
+/// in `sizes_before` — so a clause mentioning the same grown predicate
+/// twice derives each new–new combination exactly once across the
+/// per-literal firings.
+#[derive(Clone, Copy, Debug)]
+pub struct Delta<'a> {
+    /// Body literal index carrying the delta.
+    pub at: usize,
+    /// First delta tuple position (inclusive).
+    pub from: usize,
+    /// One past the last delta tuple position.
+    pub to: usize,
+    /// Per-predicate relation sizes before the round, indexed by `PredId`.
+    pub sizes_before: &'a [usize],
+}
 
-/// Evaluate an index term. `end_val` is the length of the enclosing indexed
-/// term's base. `None` when the term contains an unbound variable.
-pub fn eval_idx(t: &CIdx, b: &Bindings, end_val: i64) -> Option<i64> {
+/// A continuation receiving each satisfying (partial) substitution.
+type Cont<'x> = &'x mut dyn FnMut(&mut Search, &MatchEnv<'_>);
+
+/// Evaluate an index term with overflow-checked arithmetic. `end_val` is the
+/// length of the enclosing indexed term's base.
+pub fn eval_idx(t: &CIdx, b: &Bindings, end_val: i64) -> IdxVal {
     match t {
-        CIdx::Int(i) => Some(*i),
-        CIdx::Var(v) => b.idx[*v as usize],
-        CIdx::End => Some(end_val),
-        CIdx::Add(x, y) => Some(eval_idx(x, b, end_val)? + eval_idx(y, b, end_val)?),
-        CIdx::Sub(x, y) => Some(eval_idx(x, b, end_val)? - eval_idx(y, b, end_val)?),
+        CIdx::Int(i) => IdxVal::Val(*i),
+        CIdx::Var(v) => match b.idx[*v as usize] {
+            Some(n) => IdxVal::Val(n),
+            None => IdxVal::Unbound,
+        },
+        CIdx::End => IdxVal::Val(end_val),
+        CIdx::Add(x, y) => combine(eval_idx(x, b, end_val), eval_idx(y, b, end_val), true),
+        CIdx::Sub(x, y) => combine(eval_idx(x, b, end_val), eval_idx(y, b, end_val), false),
     }
 }
 
-/// Evaluate a non-constructive sequence term under `b`.
-pub fn eval_seq(t: &CSeq, b: &Bindings, store: &mut SeqStore) -> TermVal {
+/// Checked combination of two index sub-results: overflow is `Undefined`
+/// (the term denotes no integer), and `Undefined` dominates `Unbound` (no
+/// binding can make the term defined).
+#[inline]
+fn combine(x: IdxVal, y: IdxVal, add: bool) -> IdxVal {
+    match (x, y) {
+        (IdxVal::Undefined, _) | (_, IdxVal::Undefined) => IdxVal::Undefined,
+        (IdxVal::Unbound, _) | (_, IdxVal::Unbound) => IdxVal::Unbound,
+        (IdxVal::Val(a), IdxVal::Val(b)) => {
+            let r = if add {
+                a.checked_add(b)
+            } else {
+                a.checked_sub(b)
+            };
+            match r {
+                Some(v) => IdxVal::Val(v),
+                None => IdxVal::Undefined,
+            }
+        }
+    }
+}
+
+/// Evaluate a non-constructive sequence term under `b`, without interning.
+///
+/// A defined window that has no interned handle can only arise from a base
+/// that is not window-closed, which the evaluator's pre-closing of program
+/// constants rules out; it is mapped (conservatively) to `Undefined`.
+pub fn eval_seq(t: &CSeq, b: &Bindings, store: &SeqStore) -> TermVal {
     match t {
         CSeq::Const(id) => TermVal::Val(*id),
         CSeq::Var(v) => match b.seq[*v as usize] {
@@ -157,11 +230,17 @@ pub fn eval_seq(t: &CSeq, b: &Bindings, store: &mut SeqStore) -> TermVal {
                 },
             };
             let end_val = store.len_of(base_id) as i64;
-            let (Some(n1), Some(n2)) = (eval_idx(lo, b, end_val), eval_idx(hi, b, end_val)) else {
-                return TermVal::Unbound;
+            let (n1, n2) = match (eval_idx(lo, b, end_val), eval_idx(hi, b, end_val)) {
+                (IdxVal::Val(n1), IdxVal::Val(n2)) => (n1, n2),
+                (IdxVal::Undefined, _) | (_, IdxVal::Undefined) => return TermVal::Undefined,
+                _ => return TermVal::Unbound,
             };
-            match store.subseq(base_id, n1, n2) {
-                Some(id) => TermVal::Val(id),
+            match store.subseq_lookup(base_id, n1, n2) {
+                Some(Some(id)) => TermVal::Val(id),
+                Some(None) => {
+                    debug_assert!(false, "defined window of a non-window-closed base");
+                    TermVal::Undefined
+                }
                 None => TermVal::Undefined,
             }
         }
@@ -174,13 +253,15 @@ pub fn eval_seq(t: &CSeq, b: &Bindings, store: &mut SeqStore) -> TermVal {
 /// Solve `t = target` for the unbound index variables of `t`, invoking `k`
 /// on each solution. Uses linear isolation when one side of `+`/`-` is
 /// ground and falls back to enumerating a variable over `0..=int_upper`
-/// otherwise (index variables range over the domain integers).
+/// otherwise (index variables range over the domain integers). All
+/// isolation arithmetic is overflow-checked: an overflowing rearrangement
+/// has no solution in the domain integers.
 fn solve_idx(
     t: &CIdx,
     target: i64,
     end_val: i64,
     st: &mut Search,
-    env: &mut MatchEnv<'_>,
+    env: &MatchEnv<'_>,
     k: Cont<'_>,
 ) {
     match t {
@@ -209,21 +290,37 @@ fn solve_idx(
                 }
             }
         },
-        CIdx::Add(x, y) => match (
-            eval_idx(x, &st.b, end_val),
-            eval_idx(y, &st.b, end_val),
-        ) {
-            (Some(xv), _) => solve_idx(y, target - xv, end_val, st, env, k),
-            (None, Some(yv)) => solve_idx(x, target - yv, end_val, st, env, k),
-            (None, None) => enumerate_then_solve(t, target, end_val, st, env, k),
+        CIdx::Add(x, y) => match (eval_idx(x, &st.b, end_val), eval_idx(y, &st.b, end_val)) {
+            (IdxVal::Undefined, _) | (_, IdxVal::Undefined) => {}
+            (IdxVal::Val(xv), _) => {
+                if let Some(rest) = target.checked_sub(xv) {
+                    solve_idx(y, rest, end_val, st, env, k);
+                }
+            }
+            (IdxVal::Unbound, IdxVal::Val(yv)) => {
+                if let Some(rest) = target.checked_sub(yv) {
+                    solve_idx(x, rest, end_val, st, env, k);
+                }
+            }
+            (IdxVal::Unbound, IdxVal::Unbound) => {
+                enumerate_then_solve(t, target, end_val, st, env, k)
+            }
         },
-        CIdx::Sub(x, y) => match (
-            eval_idx(x, &st.b, end_val),
-            eval_idx(y, &st.b, end_val),
-        ) {
-            (Some(xv), _) => solve_idx(y, xv - target, end_val, st, env, k),
-            (None, Some(yv)) => solve_idx(x, target + yv, end_val, st, env, k),
-            (None, None) => enumerate_then_solve(t, target, end_val, st, env, k),
+        CIdx::Sub(x, y) => match (eval_idx(x, &st.b, end_val), eval_idx(y, &st.b, end_val)) {
+            (IdxVal::Undefined, _) | (_, IdxVal::Undefined) => {}
+            (IdxVal::Val(xv), _) => {
+                if let Some(rest) = xv.checked_sub(target) {
+                    solve_idx(y, rest, end_val, st, env, k);
+                }
+            }
+            (IdxVal::Unbound, IdxVal::Val(yv)) => {
+                if let Some(rest) = target.checked_add(yv) {
+                    solve_idx(x, rest, end_val, st, env, k);
+                }
+            }
+            (IdxVal::Unbound, IdxVal::Unbound) => {
+                enumerate_then_solve(t, target, end_val, st, env, k)
+            }
         },
     }
 }
@@ -235,7 +332,7 @@ fn enumerate_then_solve(
     target: i64,
     end_val: i64,
     st: &mut Search,
-    env: &mut MatchEnv<'_>,
+    env: &MatchEnv<'_>,
     k: Cont<'_>,
 ) {
     let Some(v) = first_unbound_idx(t, &st.b) else {
@@ -259,22 +356,25 @@ fn first_unbound_idx(t: &CIdx, b: &Bindings) -> Option<u16> {
     }
 }
 
-/// Evaluate an index term *independently of the base's length*: `None` when
-/// the term contains `end` or an unbound variable. Used to pin a solution
-/// length before the base is known.
-fn eval_idx_pure(t: &CIdx, b: &Bindings) -> Option<i64> {
+/// Evaluate an index term *independently of the base's length*: `Unbound`
+/// when the term contains `end` or an unbound variable. Used to pin a
+/// solution length before the base is known.
+fn eval_idx_pure(t: &CIdx, b: &Bindings) -> IdxVal {
     match t {
-        CIdx::Int(i) => Some(*i),
-        CIdx::Var(v) => b.idx[*v as usize],
-        CIdx::End => None,
-        CIdx::Add(x, y) => Some(eval_idx_pure(x, b)? + eval_idx_pure(y, b)?),
-        CIdx::Sub(x, y) => Some(eval_idx_pure(x, b)? - eval_idx_pure(y, b)?),
+        CIdx::Int(i) => IdxVal::Val(*i),
+        CIdx::Var(v) => match b.idx[*v as usize] {
+            Some(n) => IdxVal::Val(n),
+            None => IdxVal::Unbound,
+        },
+        CIdx::End => IdxVal::Unbound,
+        CIdx::Add(x, y) => combine(eval_idx_pure(x, b), eval_idx_pure(y, b), true),
+        CIdx::Sub(x, y) => combine(eval_idx_pure(x, b), eval_idx_pure(y, b), false),
     }
 }
 
 /// Unify a non-constructive term with a concrete value, invoking `k` on
 /// every extension of the current substitution.
-fn unify(t: &CSeq, v: SeqId, st: &mut Search, env: &mut MatchEnv<'_>, k: Cont<'_>) {
+fn unify(t: &CSeq, v: SeqId, st: &mut Search, env: &MatchEnv<'_>, k: Cont<'_>) {
     match t {
         CSeq::Const(id) => {
             if *id == v {
@@ -307,18 +407,27 @@ fn unify(t: &CSeq, v: SeqId, st: &mut Search, env: &mut MatchEnv<'_>, k: Cont<'_
                     // that length bucket; the unification itself still
                     // decides membership, so this is a pure prefilter.
                     let domain: &ExtendedDomain = env.domain;
-                    if let (Some(a), CIdx::End) = (eval_idx_pure(lo, &st.b), hi) {
-                        if a < 1 {
-                            return; // X[a:end] is undefined for every X
+                    match (eval_idx_pure(lo, &st.b), hi) {
+                        (IdxVal::Undefined, _) => return, // no binding defines X[lo:hi]
+                        (IdxVal::Val(a), CIdx::End) => {
+                            if a < 1 {
+                                return; // X[a:end] is undefined for every X
+                            }
+                            let Some(want) = usize::try_from(a - 1)
+                                .ok()
+                                .and_then(|p| p.checked_add(env.store.len_of(v)))
+                            else {
+                                return;
+                            };
+                            for &s in domain.members_of_len(want) {
+                                let mark = st.mark();
+                                st.bind_seq(*x, s);
+                                unify_indexed(s, lo, hi, v, st, env, k);
+                                st.undo_to(mark);
+                            }
+                            return;
                         }
-                        let want = (a - 1) as usize + env.store.len_of(v);
-                        for &s in domain.members_of_len(want) {
-                            let mark = st.mark();
-                            st.bind_seq(*x, s);
-                            unify_indexed(s, lo, hi, v, st, env, k);
-                            st.undo_to(mark);
-                        }
-                        return;
+                        _ => {}
                     }
                     for s in domain.iter() {
                         let mark = st.mark();
@@ -357,37 +466,44 @@ fn unify_indexed(
     hi: &CIdx,
     v: SeqId,
     st: &mut Search,
-    env: &mut MatchEnv<'_>,
+    env: &MatchEnv<'_>,
     k: Cont<'_>,
 ) {
     let end_val = env.store.len_of(base) as i64;
     let vlen = env.store.len_of(v) as i64;
     match (eval_idx(lo, &st.b, end_val), eval_idx(hi, &st.b, end_val)) {
+        // An overflowing endpoint denotes no integer: the indexed term is
+        // undefined under every extension.
+        (IdxVal::Undefined, _) | (_, IdxVal::Undefined) => {}
         // Both endpoints ground: evaluate and compare (a length mismatch
         // fails the slice comparison).
-        (Some(n1), Some(n2)) => {
+        (IdxVal::Val(n1), IdxVal::Val(n2)) => {
             if window_equals(env.store, base, n1, n2, v) {
                 k(st, env);
             }
         }
         // Lower endpoint ground: the only candidate occurrence starts at
         // `n1`, i.e. the window is [n1 .. n1-1+|v|].
-        (Some(n1), None) => {
-            let n2 = n1 - 1 + vlen;
+        (IdxVal::Val(n1), IdxVal::Unbound) => {
+            let Some(n2) = n1.checked_sub(1).and_then(|p| p.checked_add(vlen)) else {
+                return;
+            };
             if window_equals(env.store, base, n1, n2, v) {
                 solve_idx(hi, n2, end_val, st, env, k);
             }
         }
         // Upper endpoint ground: the only candidate occurrence ends at
         // `n2`, i.e. the window is [n2-|v|+1 .. n2].
-        (None, Some(n2)) => {
-            let n1 = n2 - vlen + 1;
+        (IdxVal::Unbound, IdxVal::Val(n2)) => {
+            let Some(n1) = n2.checked_sub(vlen).and_then(|p| p.checked_add(1)) else {
+                return;
+            };
             if window_equals(env.store, base, n1, n2, v) {
                 solve_idx(lo, n1, end_val, st, env, k);
             }
         }
         // Neither endpoint known: enumerate every occurrence of `v`.
-        (None, None) => {
+        (IdxVal::Unbound, IdxVal::Unbound) => {
             let occurrences = env.store.occurrences(base, v);
             for start0 in occurrences {
                 // 1-based window: [start0+1 .. start0+vlen].
@@ -407,7 +523,7 @@ fn unify_tuple(
     args: &[CSeq],
     tuple: &[SeqId],
     st: &mut Search,
-    env: &mut MatchEnv<'_>,
+    env: &MatchEnv<'_>,
     k: Cont<'_>,
 ) {
     match args.split_first() {
@@ -438,17 +554,16 @@ impl Candidates<'_> {
 }
 
 /// Enumerate the substitutions satisfying `clause`'s body in `env`,
-/// optionally forcing body-atom occurrence `delta_at` to match only tuples
-/// at position `>= delta_from` in its relation (semi-naive evaluation).
-/// Calls `on_match` for every satisfying (still possibly partial — free head
+/// optionally under a [`Delta`] restriction (semi-naive evaluation). Calls
+/// `on_match` for every satisfying (still possibly partial — free head
 /// variables unbound) substitution; the `Bindings` handed to `on_match` is
 /// the clause's scratch substitution and is only valid for the duration of
 /// the call.
 pub fn solve_body(
     clause: &CompiledClause,
-    env: &mut MatchEnv<'_>,
-    delta: Option<(usize, usize)>,
-    on_match: &mut dyn FnMut(&mut Bindings, &mut MatchEnv<'_>),
+    env: &MatchEnv<'_>,
+    delta: Option<Delta<'_>>,
+    on_match: &mut dyn FnMut(&mut Bindings, &MatchEnv<'_>),
 ) {
     debug_assert!(clause.body.len() <= 128, "rejected at compile time");
     let remaining: u128 = match clause.body.len() {
@@ -459,13 +574,30 @@ pub fn solve_body(
     search(clause, env, delta, remaining, &mut st, on_match);
 }
 
+/// Position window of one atom occurrence under a delta restriction: the
+/// delta literal sees its chunk, literals before it the pre-round prefix,
+/// literals after it the full relation.
+#[inline]
+fn atom_window(
+    delta: Option<Delta<'_>>,
+    li: usize,
+    pred: usize,
+    rel_len: usize,
+) -> (usize, usize) {
+    match delta {
+        Some(d) if li == d.at => (d.from.min(rel_len), d.to.min(rel_len)),
+        Some(d) if li < d.at => (0, d.sizes_before.get(pred).copied().unwrap_or(0).min(rel_len)),
+        _ => (0, rel_len),
+    }
+}
+
 fn search(
     clause: &CompiledClause,
-    env: &mut MatchEnv<'_>,
-    delta: Option<(usize, usize)>,
+    env: &MatchEnv<'_>,
+    delta: Option<Delta<'_>>,
     remaining: u128,
     st: &mut Search,
-    on_match: &mut dyn FnMut(&mut Bindings, &mut MatchEnv<'_>),
+    on_match: &mut dyn FnMut(&mut Bindings, &MatchEnv<'_>),
 ) {
     if remaining == 0 {
         on_match(&mut st.b, env);
@@ -536,11 +668,16 @@ fn search(
         }
     }
 
-    // 3. Best atom: fewest candidate tuples (using ground columns). The
-    // fact store is immutable during matching, so posting lists and tuples
-    // are borrowed in place — no candidate vectors, no tuple clones.
+    // 3. Best atom: cheapest expected match work. The base measure is the
+    // candidate tuple count (using the most selective ground column); an
+    // atom whose arguments contain an indexed term over a still-unbound
+    // base is penalized by the domain size, because unifying each of its
+    // tuples enumerates domain members — joining a cheap guard atom first
+    // binds the base and turns that enumeration into one window comparison.
+    // The fact store is immutable during matching, so posting lists and
+    // tuples are borrowed in place — no candidate vectors, no tuple clones.
     let facts: &FactStore = env.facts;
-    let mut best: Option<(usize, Candidates<'_>)> = None;
+    let mut best: Option<(usize, Candidates<'_>, usize)> = None;
     for (li, lit) in clause.body.iter().enumerate() {
         if !live(li) {
             continue;
@@ -548,16 +685,13 @@ fn search(
         let CBody::Atom(atom) = lit else {
             continue;
         };
-        let from = match delta {
-            Some((at, f)) if at == li => f,
-            _ => 0,
-        };
         let rel = facts.relation(atom.pred);
+        let (from, to) = atom_window(delta, li, atom.pred.index(), rel.len());
         // Choose the most selective ground column, if any.
         let mut chosen: Option<&[u32]> = None;
         for (c, arg) in atom.args.iter().enumerate() {
             if let TermVal::Val(v) = eval_seq(arg, &st.b, env.store) {
-                let list = rel.positions_with(c, v, from);
+                let list = rel.positions_with(c, v, from, to);
                 if chosen.is_none_or(|cur| list.len() < cur.len()) {
                     chosen = Some(list);
                 }
@@ -565,23 +699,48 @@ fn search(
         }
         let candidates = match chosen {
             Some(list) => Candidates::List(list),
-            None => Candidates::Range(from.min(rel.len()), rel.len()),
+            None => Candidates::Range(from.min(to), to),
         };
-        if best
-            .as_ref()
-            .is_none_or(|(_, c)| candidates.len() < c.len())
-        {
-            best = Some((li, candidates));
+        // Penalty: an unbound indexed base that no earlier bare-variable
+        // argument of this same atom will have bound by then.
+        let mut bound_by_earlier: u128 = 0;
+        let mut needs_enum = false;
+        for arg in &atom.args {
+            match arg {
+                CSeq::Var(v) if (*v as usize) < 128 => {
+                    bound_by_earlier |= 1 << v;
+                }
+                CSeq::Indexed {
+                    base: CBase::Var(x),
+                    ..
+                } => {
+                    let already = st.b.seq[*x as usize].is_some()
+                        || ((*x as usize) < 128 && bound_by_earlier >> (*x as usize) & 1 == 1);
+                    if !already {
+                        needs_enum = true;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let weight = if needs_enum {
+            candidates.len().saturating_mul(env.domain.len().max(1))
+        } else {
+            candidates.len()
+        };
+        if best.as_ref().is_none_or(|&(_, _, w)| weight < w) {
+            best = Some((li, candidates, weight));
         }
     }
 
-    if let Some((li, candidates)) = best {
+    if let Some((li, candidates, _)) = best {
         let CBody::Atom(atom) = &clause.body[li] else {
             unreachable!()
         };
         let rel = facts.relation(atom.pred);
         let rest = remaining & !(1 << li);
-        let mut with_pos = |pos: usize, st: &mut Search, env: &mut MatchEnv<'_>| {
+        let mut with_pos = |pos: usize, st: &mut Search, env: &MatchEnv<'_>| {
             let tuple = rel.tuple(pos);
             if tuple.len() != atom.args.len() {
                 return; // arity mismatch never unifies
@@ -719,17 +878,21 @@ mod tests {
         fn matches(&mut self, rule: &str) -> Vec<Bindings> {
             let prog = parse_program(rule, &mut self.alphabet, &mut self.store).unwrap();
             let cp = compile(&prog).unwrap();
+            // Pre-close constants, as the evaluator does before matching.
+            for id in cp.constants() {
+                self.store.close_windows(id);
+            }
             let clause = &cp.clauses[0];
             // Align the fixture store to the compiled program's ids.
             let facts = self.facts.realigned_to(&cp.preds);
             let mut out = Vec::new();
-            let mut env = MatchEnv {
-                store: &mut self.store,
+            let env = MatchEnv {
+                store: &self.store,
                 domain: &self.domain,
                 facts: &facts,
                 int_upper: self.domain.int_upper(),
             };
-            solve_body(clause, &mut env, None, &mut |b, _| out.push(b.clone()));
+            solve_body(clause, &env, None, &mut |b, _| out.push(b.clone()));
             out
         }
     }
@@ -806,6 +969,87 @@ mod tests {
     }
 
     #[test]
+    fn matching_never_grows_the_store() {
+        let mut fx = Fixture::new();
+        fx.fact("hay", &["abab"]);
+        fx.fact("needle", &["ab"]);
+        fx.fact("r", &["abc"]);
+        fx.fact("q", &["bc"]);
+        let rules = [
+            "p(X) :- hay(X), needle(X[N1:N2]).",
+            "p(X) :- q(X[2:end]).",
+            r#"p(X) :- r(X), X[1] = "a"."#,
+            "suffix(X[N:end]) :- r(X).",
+        ];
+        for rule in rules {
+            // Parse + pre-close first (those intern), then measure.
+            let prog = parse_program(rule, &mut fx.alphabet, &mut fx.store).unwrap();
+            let cp = compile(&prog).unwrap();
+            for id in cp.constants() {
+                fx.store.close_windows(id);
+            }
+            let facts = fx.facts.realigned_to(&cp.preds);
+            let before = fx.store.count();
+            let env = MatchEnv {
+                store: &fx.store,
+                domain: &fx.domain,
+                facts: &facts,
+                int_upper: fx.domain.int_upper(),
+            };
+            let mut n = 0usize;
+            solve_body(&cp.clauses[0], &env, None, &mut |_, _| n += 1);
+            assert!(n > 0, "{rule} must actually exercise the match paths");
+            assert_eq!(fx.store.count(), before, "{rule} interned during match");
+        }
+    }
+
+    #[test]
+    fn overflowing_index_arithmetic_is_undefined_not_a_panic() {
+        // Adversarial constants: N + i64::MAX and 0 - i64::MAX - ... would
+        // wrap (release) or panic (debug) under unchecked arithmetic. They
+        // must instead behave as undefined — no matches, no crash.
+        let mut fx = Fixture::new();
+        fx.fact("r", &["abc"]);
+        let ms = fx.matches(&format!("p(X) :- r(X), X[N + {} : end] = \"a\".", i64::MAX));
+        assert!(ms.is_empty());
+        let ms = fx.matches(&format!("p(X) :- r(X), X[1 - 2 - {} : end] = \"a\".", i64::MAX));
+        assert!(ms.is_empty());
+        // Ground overflowing endpoints on an atom argument, too.
+        let ms = fx.matches(&format!("p(X) :- r(X[{} + {} : end]).", i64::MAX, i64::MAX));
+        assert!(ms.is_empty());
+        // Sanity: the same shapes with small constants still match.
+        let ms = fx.matches("p(X) :- r(X), X[N + 1 : end] = \"c\".");
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].idx[0], Some(2));
+    }
+
+    #[test]
+    fn eval_idx_checked_arithmetic() {
+        let b = Bindings {
+            seq: vec![],
+            idx: vec![Some(3)],
+        };
+        let add = CIdx::Add(Box::new(CIdx::Var(0)), Box::new(CIdx::Int(i64::MAX)));
+        assert_eq!(eval_idx(&add, &b, 10), IdxVal::Undefined);
+        let sub = CIdx::Sub(Box::new(CIdx::Int(i64::MIN)), Box::new(CIdx::Var(0)));
+        assert_eq!(eval_idx(&sub, &b, 10), IdxVal::Undefined);
+        let ok = CIdx::Add(Box::new(CIdx::Var(0)), Box::new(CIdx::End));
+        assert_eq!(eval_idx(&ok, &b, 10), IdxVal::Val(13));
+        let unbound = CIdx::Add(Box::new(CIdx::Var(0)), Box::new(CIdx::Var(1)));
+        let b2 = Bindings {
+            seq: vec![],
+            idx: vec![Some(3), None],
+        };
+        assert_eq!(eval_idx(&unbound, &b2, 10), IdxVal::Unbound);
+        // Undefined dominates Unbound: no binding can repair an overflow.
+        let dominated = CIdx::Add(
+            Box::new(CIdx::Var(1)),
+            Box::new(CIdx::Add(Box::new(CIdx::Int(1)), Box::new(CIdx::Int(i64::MAX)))),
+        );
+        assert_eq!(eval_idx(&dominated, &b2, 10), IdxVal::Undefined);
+    }
+
+    #[test]
     fn delta_restriction_limits_candidates() {
         let mut fx = Fixture::new();
         fx.fact("r", &["a"]);
@@ -813,18 +1057,91 @@ mod tests {
         let prog = parse_program("p(X) :- r(X).", &mut fx.alphabet, &mut fx.store).unwrap();
         let cp = compile(&prog).unwrap();
         let facts = fx.facts.realigned_to(&cp.preds);
-        let mut out = Vec::new();
-        let mut env = MatchEnv {
-            store: &mut fx.store,
+        let env = MatchEnv {
+            store: &fx.store,
             domain: &fx.domain,
             facts: &facts,
             int_upper: fx.domain.int_upper(),
         };
+        let sizes_before = vec![0; cp.preds.len()];
         // Only tuples from position 1 (the second fact).
-        solve_body(&cp.clauses[0], &mut env, Some((0, 1)), &mut |b, _| {
-            out.push(b.clone())
-        });
+        let mut out = Vec::new();
+        solve_body(
+            &cp.clauses[0],
+            &env,
+            Some(Delta {
+                at: 0,
+                from: 1,
+                to: 2,
+                sizes_before: &sizes_before,
+            }),
+            &mut |b, _| out.push(b.clone()),
+        );
         assert_eq!(out.len(), 1);
+        // A chunked window excluding both facts matches nothing.
+        let mut out = Vec::new();
+        solve_body(
+            &cp.clauses[0],
+            &env,
+            Some(Delta {
+                at: 0,
+                from: 0,
+                to: 0,
+                sizes_before: &sizes_before,
+            }),
+            &mut |b, _| out.push(b.clone()),
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn delta_restricts_prior_literals_to_the_preround_prefix() {
+        // Clause body r(X), r(Y) with the delta on the second literal: the
+        // first literal must range only over the pre-round prefix, so each
+        // new–new pair is derived by exactly one per-literal firing.
+        let mut fx = Fixture::new();
+        fx.fact("r", &["a"]); // position 0: "old"
+        fx.fact("r", &["b"]); // position 1: the round's delta
+        let prog =
+            parse_program("p(X, Y) :- r(X), r(Y).", &mut fx.alphabet, &mut fx.store).unwrap();
+        let cp = compile(&prog).unwrap();
+        let facts = fx.facts.realigned_to(&cp.preds);
+        let env = MatchEnv {
+            store: &fx.store,
+            domain: &fx.domain,
+            facts: &facts,
+            int_upper: fx.domain.int_upper(),
+        };
+        let mut sizes_before = vec![0; cp.preds.len()];
+        let r_id = cp.preds.lookup("r").unwrap();
+        sizes_before[r_id.index()] = 1;
+        let collect = |at: usize| {
+            let mut out = Vec::new();
+            solve_body(
+                &cp.clauses[0],
+                &env,
+                Some(Delta {
+                    at,
+                    from: 1,
+                    to: 2,
+                    sizes_before: &sizes_before,
+                }),
+                &mut |b, _| out.push((b.seq[0].unwrap(), b.seq[1].unwrap())),
+            );
+            out
+        };
+        // Firing with delta at literal 0: X ∈ Δ, Y ∈ full — (b,a), (b,b).
+        let at0 = collect(0);
+        // Firing with delta at literal 1: X ∈ old prefix, Y ∈ Δ — (a,b).
+        let at1 = collect(1);
+        assert_eq!(at0.len(), 2);
+        assert_eq!(at1.len(), 1);
+        // Together: every pair touching the delta exactly once, no overlap.
+        let mut all = at0;
+        all.extend(at1);
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 3);
     }
 
     #[test]
@@ -852,8 +1169,8 @@ mod tests {
             parse_program("p(X, Y) :- r(X), r(Y).", &mut fx.alphabet, &mut fx.store).unwrap();
         let cp = compile(&prog).unwrap();
         let facts = fx.facts.realigned_to(&cp.preds);
-        let mut env = MatchEnv {
-            store: &mut fx.store,
+        let env = MatchEnv {
+            store: &fx.store,
             domain: &fx.domain,
             facts: &facts,
             int_upper: fx.domain.int_upper(),
@@ -861,7 +1178,7 @@ mod tests {
         let mut solutions: Vec<Vec<Bindings>> = Vec::new();
         for _ in 0..2 {
             let mut out = Vec::new();
-            solve_body(&cp.clauses[0], &mut env, None, &mut |b, _| {
+            solve_body(&cp.clauses[0], &env, None, &mut |b, _| {
                 assert!(b.seq.iter().all(Option::is_some));
                 out.push(b.clone());
             });

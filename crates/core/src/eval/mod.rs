@@ -8,6 +8,37 @@
 //! round, and every sequence occurring in a committed fact enters the domain
 //! together with its contiguous subsequences.
 //!
+//! # Two-phase rounds: read-only match, sequential commit
+//!
+//! Every round runs in two phases:
+//!
+//! 1. **Match** — pure and read-only. The round's work is split into
+//!    [`MatchTask`]s (one clause, optionally restricted to a fixed-size
+//!    chunk of one body literal's semi-naive delta). Each task runs the
+//!    matcher over shared `&SeqStore`/`&FactStore`/`&ExtendedDomain` borrows
+//!    and emits *recipes*: fully bound substitutions stored flat in a
+//!    per-task [`RecipeBuf`]. Nothing is interned, inserted, or executed —
+//!    which is why tasks can run on [`EvalConfig::threads`] worker threads
+//!    (`std::thread::scope`) with no synchronization beyond a task counter.
+//! 2. **Commit** — sequential. Recipe buffers are drained *in task order*
+//!    (independent of which worker produced them when): head terms are
+//!    evaluated (interning subsequences, running concatenations and
+//!    transducers), facts are inserted, and the domain is closed. Budgets
+//!    are enforced incrementally as facts accumulate, so a single wide
+//!    round cannot overshoot `max_facts` by more than one fact.
+//!
+//! Because the task list depends only on the program and the interpretation
+//! (never on the thread count), and buffers are committed in task order,
+//! evaluation is **bit-for-bit deterministic**: the model, each relation's
+//! insertion order, and [`EvalStats`] are identical for every `threads`
+//! setting, including `threads: 1`.
+//!
+//! Read-only matching leans on the closure invariant of Definition 2: every
+//! window of a domain member is already interned, so indexed terms resolve
+//! by [`SeqStore::subseq_lookup`] instead of interning. Program constants
+//! are pre-closed ([`SeqStore::close_windows`]) before the first round to
+//! extend the invariant to constant bases.
+//!
 //! # Interned, index-addressed core
 //!
 //! The hot loop never touches a predicate-name `String`:
@@ -22,9 +53,9 @@
 //!   (open addressing over cached tuple hashes — no `contains`+`insert`
 //!   pair, no tuple clone);
 //! * the per-round delta snapshot ([`FactStore::sizes`]) is a plain
-//!   `Vec<usize>` copy, and `new_facts` carries `(PredId, Box<[SeqId]>)` —
-//!   zero `String` allocations per derived fact;
-//! * the matcher ([`matcher`]) runs on one scratch substitution per clause
+//!   `Vec<usize>` copy, and recipes are flat `SeqId`/`i64` buffers — zero
+//!   `String` allocations per derived fact;
+//! * the matcher ([`matcher`]) runs on one scratch substitution per task
 //!   with a bind/undo trail — no `Bindings` clone per candidate.
 //!
 //! `&str` lookups remain available at the API boundary
@@ -35,38 +66,43 @@
 //! Because the finiteness problem is fully undecidable (Theorem 2), the
 //! evaluator enforces explicit budgets ([`EvalConfig`]) and reports
 //! [`BudgetKind`]-tagged errors instead of diverging on programs like
-//! Example 1.5's `rep2` or Example 1.6's `echo`.
+//! Example 1.5's `rep2` or Example 1.6's `echo`. Budgets are checked as the
+//! commit phase inserts facts, not just between rounds.
 //!
 //! Two strategies are provided: [`Strategy::Naive`] (the literal T-operator
 //! iteration — the executable specification) and [`Strategy::SemiNaive`]
-//! (delta-driven; differentially tested against naive). Semi-naive restricts
-//! each rule application to derivations that use at least one fact from the
-//! previous round's delta; *domain-sensitive* clauses (those that enumerate
-//! the extended active domain) are additionally re-evaluated in full
-//! whenever the domain has grown.
+//! (delta-driven; differentially tested against naive). Semi-naive fires
+//! each clause once per body-literal occurrence of a grown predicate, with
+//! that occurrence restricted to the delta, occurrences *before* it
+//! restricted to the pre-round prefix, and occurrences after it unrestricted
+//! — so a clause mentioning the same grown predicate twice derives each
+//! new–new combination exactly once. *Domain-sensitive* clauses (those that
+//! enumerate the extended active domain) are additionally re-evaluated in
+//! full whenever the domain has grown.
 //!
 //! # Reading [`EvalStats`]
 //!
-//! `stats.derivations` counts **head instantiations attempted**, including
-//! duplicates that the fact store then rejects — it is the work measure of
-//! the T-operator, not the output size (`stats.facts` is). A large
-//! `derivations`-to-`facts` ratio under [`Strategy::Naive`] and a near-1
-//! ratio under [`Strategy::SemiNaive`] is the expected signature of delta
-//! evaluation working; `transducer_calls`/`transducer_steps` account for
-//! embedded machine runs separately.
+//! `stats.derivations` counts **head instantiations attempted** (recipes
+//! emitted), including duplicates that the fact store then rejects — it is
+//! the work measure of the T-operator, not the output size (`stats.facts`
+//! is). A large `derivations`-to-`facts` ratio under [`Strategy::Naive`]
+//! and a near-1 ratio under [`Strategy::SemiNaive`] is the expected
+//! signature of delta evaluation working; `transducer_calls`/
+//! `transducer_steps` account for embedded machine runs separately.
 
 pub mod interp;
 pub mod matcher;
 
-use crate::compile::{compile, CSeq, CompileError, CompiledClause, CompiledProgram, PredId};
+use crate::compile::{compile, CBase, CBody, CIdx, CSeq, CompileError, CompiledProgram, PredId};
 use crate::database::Database;
 use crate::registry::TransducerRegistry;
 use crate::Program;
 use interp::FactStore;
-use matcher::{solve_body, Bindings, MatchEnv, TermVal};
+use matcher::{solve_body, Bindings, Delta, MatchEnv};
 use seqlog_sequence::{ExtendedDomain, SeqId, SeqStore};
 use seqlog_transducer::{ExecLimits, ExecStats};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Evaluation strategy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -93,6 +129,10 @@ pub struct EvalConfig {
     pub max_seq_len: usize,
     /// Budgets for embedded transducer runs.
     pub exec_limits: ExecLimits,
+    /// Worker threads for the match phase. `0` (the default) resolves to
+    /// [`std::thread::available_parallelism`]. The result is identical for
+    /// every setting — see the module docs on determinism.
+    pub threads: usize,
 }
 
 impl Default for EvalConfig {
@@ -104,6 +144,7 @@ impl Default for EvalConfig {
             max_domain: 1_000_000,
             max_seq_len: 65_536,
             exec_limits: ExecLimits::default(),
+            threads: 0,
         }
     }
 }
@@ -117,6 +158,14 @@ impl EvalConfig {
             max_facts: 20_000,
             max_domain: 20_000,
             max_seq_len: 4_096,
+            ..Self::default()
+        }
+    }
+
+    /// The default configuration with an explicit match-phase thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
             ..Self::default()
         }
     }
@@ -136,7 +185,7 @@ pub enum BudgetKind {
 }
 
 /// Counters describing an evaluation.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EvalStats {
     /// T-operator rounds performed.
     pub rounds: usize,
@@ -228,6 +277,30 @@ impl Model {
     }
 }
 
+/// One shard of a round's match work: one clause, optionally restricted to
+/// a chunk `from..to` of body-literal `at`'s semi-naive delta.
+#[derive(Clone, Copy, Debug)]
+struct MatchTask {
+    clause: usize,
+    /// `(at, from, to)` — `None` for a full (unrestricted) application.
+    delta: Option<(usize, usize, usize)>,
+}
+
+/// Delta tuples per task. Fixed (never derived from the thread count) so
+/// the task list — and with it the recipe commit order — is identical for
+/// every `EvalConfig::threads` setting.
+const DELTA_CHUNK: usize = 256;
+
+/// Recipes of one task: fully bound substitutions for the task's clause,
+/// stored flat with stride `n_seq` / `n_idx`. The commit phase re-evaluates
+/// the clause head under each of them.
+#[derive(Default)]
+struct RecipeBuf {
+    seqs: Vec<SeqId>,
+    idxs: Vec<i64>,
+    count: usize,
+}
+
 /// Evaluate `program` over `db` to the least fixpoint.
 pub fn evaluate(
     program: &Program,
@@ -248,6 +321,18 @@ pub fn evaluate_compiled(
     registry: &TransducerRegistry,
     config: &EvalConfig,
 ) -> Result<Model, EvalError> {
+    let threads = match config.threads {
+        0 => default_threads(),
+        n => n,
+    };
+
+    // Window-close program constants so the match phase can resolve any
+    // indexed term by read-only lookup (domain members are closed by
+    // `insert_closed`; this extends the invariant to constant bases).
+    for id in program.constants() {
+        store.close_windows(id);
+    }
+
     // The store's predicate table extends the program's, so compiled
     // `PredId`s address relations directly.
     let mut facts = FactStore::with_preds(program.preds.clone());
@@ -263,14 +348,14 @@ pub fn evaluate_compiled(
             }
         }
     }
-    check_budgets(&facts, &domain, store, config, &mut stats)?;
+    check_budgets(&facts, &domain, config, &mut stats)?;
 
     // Per-relation sizes *before* the most recent round, indexed by PredId
     // (semi-naive deltas).
     let mut sizes_before: Vec<usize> = Vec::new();
     let mut domain_before: usize = 0;
-    let mut new_facts: Vec<(PredId, Box<[SeqId]>)> = Vec::new();
     let mut members: Vec<SeqId> = Vec::new();
+    let mut tasks: Vec<MatchTask> = Vec::new();
 
     loop {
         if stats.rounds >= config.max_rounds {
@@ -291,21 +376,14 @@ pub fn evaluate_compiled(
         members.clear();
         members.extend(domain.iter());
 
-        new_facts.clear();
-        for clause in &program.clauses {
+        // Plan the round's match tasks.
+        tasks.clear();
+        for (ci, clause) in program.clauses.iter().enumerate() {
             if full_round {
-                derive_clause(
-                    clause,
-                    None,
-                    store,
-                    registry,
-                    &facts,
-                    &domain,
-                    config,
-                    &mut stats,
-                    &members,
-                    &mut new_facts,
-                )?;
+                tasks.push(MatchTask {
+                    clause: ci,
+                    delta: None,
+                });
                 continue;
             }
             // Semi-naive: facts fire only in round 1.
@@ -314,60 +392,49 @@ pub fn evaluate_compiled(
             }
             let domain_grew = domain_now > domain_before;
             if clause.domain_sensitive && domain_grew {
-                derive_clause(
-                    clause,
-                    None,
-                    store,
-                    registry,
-                    &facts,
-                    &domain,
-                    config,
-                    &mut stats,
-                    &members,
-                    &mut new_facts,
-                )?;
+                tasks.push(MatchTask {
+                    clause: ci,
+                    delta: None,
+                });
                 continue;
             }
             for (li, lit) in clause.body.iter().enumerate() {
-                let crate::compile::CBody::Atom(atom) = lit else {
+                let CBody::Atom(atom) = lit else {
                     continue;
                 };
                 let before = sizes_before.get(atom.pred.index()).copied().unwrap_or(0);
                 let now = sizes_now.get(atom.pred.index()).copied().unwrap_or(0);
-                if now > before {
-                    derive_clause(
-                        clause,
-                        Some((li, before)),
-                        store,
-                        registry,
-                        &facts,
-                        &domain,
-                        config,
-                        &mut stats,
-                        &members,
-                        &mut new_facts,
-                    )?;
+                let mut from = before;
+                while from < now {
+                    let to = (from + DELTA_CHUNK).min(now);
+                    tasks.push(MatchTask {
+                        clause: ci,
+                        delta: Some((li, from, to)),
+                    });
+                    from = to;
                 }
             }
         }
+
+        // Phase 1: read-only matching, sharded across workers.
+        let bufs = match_round(
+            program,
+            &tasks,
+            store,
+            &facts,
+            &domain,
+            &members,
+            &sizes_before,
+            threads,
+        );
 
         sizes_before = sizes_now;
         domain_before = domain_now;
 
-        let mut added = 0usize;
-        for (pid, tuple) in new_facts.drain(..) {
-            if facts.insert(pid, tuple) {
-                added += 1;
-                // The just-inserted tuple is the relation's last; read it
-                // back for domain closure instead of cloning it up front.
-                let rel = facts.relation(pid);
-                let tuple = rel.tuple(rel.len() - 1);
-                for &id in tuple {
-                    domain.insert_closed(store, id);
-                }
-            }
-        }
-        check_budgets(&facts, &domain, store, config, &mut stats)?;
+        // Phase 2: sequential commit in task order.
+        let added = commit_round(
+            program, &tasks, &bufs, store, &mut facts, &mut domain, registry, config, &mut stats,
+        )?;
         if added == 0 {
             break;
         }
@@ -379,6 +446,225 @@ pub fn evaluate_compiled(
         domain,
         stats,
     })
+}
+
+/// `available_parallelism()`, resolved once per process: on Linux it reads
+/// cgroup quota files, which costs tens of microseconds — too much to pay
+/// per evaluation of a small program.
+fn default_threads() -> usize {
+    static N: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *N.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Minimum estimated candidate-tuple count in a round before the match
+/// phase pays for spawning workers. Purely a dispatch decision: above or
+/// below the threshold, the task list and recipe order are the same, so
+/// results never depend on it.
+const PAR_THRESHOLD: usize = 4096;
+
+/// Rough work estimate for one task, in candidate tuples.
+fn task_cost(program: &CompiledProgram, task: &MatchTask, facts: &FactStore, members: usize) -> usize {
+    let clause = &program.clauses[task.clause];
+    let atoms_len = |skip: Option<usize>| -> usize {
+        clause
+            .body
+            .iter()
+            .enumerate()
+            .filter(|&(li, _)| Some(li) != skip)
+            .map(|(_, lit)| match lit {
+                CBody::Atom(a) => facts.relation(a.pred).len(),
+                _ => 0,
+            })
+            .sum()
+    };
+    match task.delta {
+        Some((at, from, to)) => (to - from).saturating_mul(1 + atoms_len(Some(at))),
+        None => {
+            let base = atoms_len(None);
+            if clause.domain_sensitive {
+                base.max(members)
+            } else {
+                base
+            }
+        }
+    }
+}
+
+/// Run every match task, on `threads` workers when worthwhile. Buffers are
+/// returned in task order regardless of which worker ran which task.
+#[allow(clippy::too_many_arguments)]
+fn match_round(
+    program: &CompiledProgram,
+    tasks: &[MatchTask],
+    store: &SeqStore,
+    facts: &FactStore,
+    domain: &ExtendedDomain,
+    members: &[SeqId],
+    sizes_before: &[usize],
+    threads: usize,
+) -> Vec<RecipeBuf> {
+    let workers = threads.min(tasks.len());
+    let estimated: usize = tasks
+        .iter()
+        .map(|t| task_cost(program, t, facts, members.len()))
+        .fold(0usize, usize::saturating_add);
+    if workers <= 1 || estimated < PAR_THRESHOLD {
+        return tasks
+            .iter()
+            .map(|t| {
+                let mut buf = RecipeBuf::default();
+                run_match_task(program, t, store, facts, domain, members, sizes_before, &mut buf);
+                buf
+            })
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<RecipeBuf>> = Vec::new();
+    slots.resize_with(tasks.len(), || None);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local: Vec<(usize, RecipeBuf)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(task) = tasks.get(i) else { break };
+                        let mut buf = RecipeBuf::default();
+                        run_match_task(
+                            program,
+                            task,
+                            store,
+                            facts,
+                            domain,
+                            members,
+                            sizes_before,
+                            &mut buf,
+                        );
+                        local.push((i, buf));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, buf) in h.join().expect("match worker panicked") {
+                slots[i] = Some(buf);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every task claimed exactly once"))
+        .collect()
+}
+
+/// Run one task's matching and head-variable enumeration, appending a
+/// recipe per attempted head instantiation. Pure: borrows everything
+/// immutably and cannot fail.
+#[allow(clippy::too_many_arguments)]
+fn run_match_task(
+    program: &CompiledProgram,
+    task: &MatchTask,
+    store: &SeqStore,
+    facts: &FactStore,
+    domain: &ExtendedDomain,
+    members: &[SeqId],
+    sizes_before: &[usize],
+    out: &mut RecipeBuf,
+) {
+    let clause = &program.clauses[task.clause];
+    let env = MatchEnv {
+        store,
+        domain,
+        facts,
+        int_upper: domain.int_upper(),
+    };
+    let delta = task.delta.map(|(at, from, to)| Delta {
+        at,
+        from,
+        to,
+        sizes_before,
+    });
+    let int_upper = env.int_upper;
+    solve_body(clause, &env, delta, &mut |b, _env| {
+        emit_recipes(b, members, int_upper, out);
+    });
+}
+
+/// Enumerate free (head-only) variables over the domain and record one
+/// recipe per completion. Works in place on the matcher's scratch
+/// substitution (free slots are bound and restored) — no `Bindings` clone
+/// per derivation.
+fn emit_recipes(b: &mut Bindings, members: &[SeqId], int_upper: i64, out: &mut RecipeBuf) {
+    fn rec(b: &mut Bindings, seq_at: usize, idx_at: usize, members: &[SeqId], int_upper: i64, out: &mut RecipeBuf) {
+        if let Some(v) = (seq_at..b.seq.len()).find(|&v| b.seq[v].is_none()) {
+            for &m in members {
+                b.seq[v] = Some(m);
+                rec(b, v + 1, idx_at, members, int_upper, out);
+            }
+            b.seq[v] = None;
+            return;
+        }
+        if let Some(v) = (idx_at..b.idx.len()).find(|&v| b.idx[v].is_none()) {
+            for n in 0..=int_upper {
+                b.idx[v] = Some(n);
+                rec(b, b.seq.len(), v + 1, members, int_upper, out);
+            }
+            b.idx[v] = None;
+            return;
+        }
+        // Fully bound: snapshot the substitution as a recipe.
+        out.count += 1;
+        out.seqs.extend(b.seq.iter().map(|s| s.expect("fully bound")));
+        out.idxs.extend(b.idx.iter().map(|n| n.expect("fully bound")));
+    }
+    rec(b, 0, 0, members, int_upper, out);
+}
+
+/// Drain recipe buffers in task order: evaluate heads (this is where
+/// subsequences are interned and concatenations/transducers run), insert
+/// facts, close the domain, and enforce budgets incrementally.
+#[allow(clippy::too_many_arguments)]
+fn commit_round(
+    program: &CompiledProgram,
+    tasks: &[MatchTask],
+    bufs: &[RecipeBuf],
+    store: &mut SeqStore,
+    facts: &mut FactStore,
+    domain: &mut ExtendedDomain,
+    registry: &TransducerRegistry,
+    config: &EvalConfig,
+    stats: &mut EvalStats,
+) -> Result<usize, EvalError> {
+    let mut added = 0usize;
+    let mut tuple: Vec<SeqId> = Vec::new();
+    for (task, buf) in tasks.iter().zip(bufs) {
+        let clause = &program.clauses[task.clause];
+        stats.derivations += buf.count as u64;
+        for r in 0..buf.count {
+            if !eval_recipe(
+                clause, buf, r, &mut tuple, store, facts, domain, registry, config, stats,
+            )? {
+                continue; // θ undefined at the clause: no fact.
+            }
+            if facts.insert(clause.head.pred, tuple.as_slice().into()) {
+                added += 1;
+                // The just-inserted tuple is the relation's last; read it
+                // back for domain closure instead of cloning it up front.
+                let rel = facts.relation(clause.head.pred);
+                let inserted = rel.tuple(rel.len() - 1);
+                for &id in inserted {
+                    domain.insert_closed(store, id);
+                }
+                check_budgets(facts, domain, config, stats)?;
+            }
+        }
+    }
+    Ok(added)
 }
 
 /// One application of the T-operator to an arbitrary interpretation:
@@ -402,15 +688,69 @@ pub fn tp_step(
         realigned = facts.realigned_to(&program.preds);
         &realigned
     };
+    for id in program.constants() {
+        store.close_windows(id);
+    }
     let mut stats = EvalStats::default();
-    let mut out = Vec::new();
     let members: Vec<SeqId> = domain.iter().collect();
-    for clause in &program.clauses {
-        derive_clause(
-            clause, None, store, registry, facts, domain, config, &mut stats, &members, &mut out,
-        )?;
+    let mut out = Vec::new();
+    for ci in 0..program.clauses.len() {
+        let task = MatchTask {
+            clause: ci,
+            delta: None,
+        };
+        let mut buf = RecipeBuf::default();
+        run_match_task(program, &task, store, facts, domain, &members, &[], &mut buf);
+        let clause = &program.clauses[ci];
+        let mut tuple: Vec<SeqId> = Vec::new();
+        for r in 0..buf.count {
+            if eval_recipe(
+                clause, &buf, r, &mut tuple, store, facts, domain, registry, config, &mut stats,
+            )? {
+                out.push((clause.head.pred, tuple.as_slice().into()));
+            }
+        }
     }
     Ok(out)
+}
+
+/// Evaluate recipe `r` of `buf` for `clause`, filling `tuple` with the head
+/// arguments. `Ok(false)` when some head term is undefined (no fact,
+/// Section 3.2); an over-long result is a [`BudgetKind::SeqLen`] error with
+/// stats finalized against the current interpretation.
+#[allow(clippy::too_many_arguments)]
+fn eval_recipe(
+    clause: &crate::compile::CompiledClause,
+    buf: &RecipeBuf,
+    r: usize,
+    tuple: &mut Vec<SeqId>,
+    store: &mut SeqStore,
+    facts: &FactStore,
+    domain: &ExtendedDomain,
+    registry: &TransducerRegistry,
+    config: &EvalConfig,
+    stats: &mut EvalStats,
+) -> Result<bool, EvalError> {
+    let seqs = &buf.seqs[r * clause.n_seq..(r + 1) * clause.n_seq];
+    let idxs = &buf.idxs[r * clause.n_idx..(r + 1) * clause.n_idx];
+    tuple.clear();
+    for arg in &clause.head.args {
+        match eval_head(arg, seqs, idxs, store, registry, config, stats)? {
+            Some(id) => {
+                if store.len_of(id) > config.max_seq_len {
+                    finalize_stats(stats, facts, domain);
+                    stats.max_seq_len = stats.max_seq_len.max(store.len_of(id));
+                    return Err(EvalError::Budget {
+                        kind: BudgetKind::SeqLen,
+                        stats: *stats,
+                    });
+                }
+                tuple.push(id);
+            }
+            None => return Ok(false),
+        }
+    }
+    Ok(true)
 }
 
 fn finalize_stats(stats: &mut EvalStats, facts: &FactStore, domain: &ExtendedDomain) {
@@ -422,11 +762,9 @@ fn finalize_stats(stats: &mut EvalStats, facts: &FactStore, domain: &ExtendedDom
 fn check_budgets(
     facts: &FactStore,
     domain: &ExtendedDomain,
-    store: &SeqStore,
     config: &EvalConfig,
     stats: &mut EvalStats,
 ) -> Result<(), EvalError> {
-    let _ = store;
     finalize_stats(stats, facts, domain);
     if facts.total_facts() > config.max_facts {
         return Err(EvalError::Budget {
@@ -449,160 +787,61 @@ fn check_budgets(
     Ok(())
 }
 
-/// Derive all head instances of one clause under the given delta
-/// restriction, appending them to `out`. `members` is the round's snapshot
-/// of the domain's member sequences (for free-variable enumeration).
-#[allow(clippy::too_many_arguments)]
-fn derive_clause(
-    clause: &CompiledClause,
-    delta: Option<(usize, usize)>,
-    store: &mut SeqStore,
-    registry: &TransducerRegistry,
-    facts: &FactStore,
-    domain: &ExtendedDomain,
-    config: &EvalConfig,
-    stats: &mut EvalStats,
-    members: &[SeqId],
-    out: &mut Vec<(PredId, Box<[SeqId]>)>,
-) -> Result<(), EvalError> {
-    let int_upper = domain.int_upper();
-
-    let mut error: Option<EvalError> = None;
-    {
-        let mut env = MatchEnv {
-            store,
-            domain,
-            facts,
-            int_upper,
-        };
-        let mut on_match = |b: &mut Bindings, env: &mut MatchEnv<'_>| {
-            if error.is_some() {
-                return;
-            }
-            if let Err(e) = instantiate_head(clause, b, env, registry, config, stats, members, out)
-            {
-                error = Some(e);
-            }
-        };
-        solve_body(clause, &mut env, delta, &mut on_match);
-    }
-    match error {
-        Some(e) => Err(e),
-        None => Ok(()),
-    }
-}
-
-/// Enumerate free (head-only) variables over the domain and evaluate the
-/// head atom for each completion. Works in place on the matcher's scratch
-/// substitution (free slots are bound and restored) — no `Bindings` clone
-/// per derivation.
-#[allow(clippy::too_many_arguments)]
-fn instantiate_head(
-    clause: &CompiledClause,
-    b: &mut Bindings,
-    env: &mut MatchEnv<'_>,
-    registry: &TransducerRegistry,
-    config: &EvalConfig,
-    stats: &mut EvalStats,
-    members: &[SeqId],
-    out: &mut Vec<(PredId, Box<[SeqId]>)>,
-) -> Result<(), EvalError> {
-    let free_seq: Vec<usize> = (0..clause.n_seq).filter(|&v| b.seq[v].is_none()).collect();
-    let free_idx: Vec<usize> = (0..clause.n_idx).filter(|&v| b.idx[v].is_none()).collect();
-
-    // Depth-first product over free variables.
-    fn rec(
-        clause: &CompiledClause,
-        b: &mut Bindings,
-        free_seq: &[usize],
-        free_idx: &[usize],
-        members: &[SeqId],
-        int_upper: i64,
-        env: &mut MatchEnv<'_>,
-        registry: &TransducerRegistry,
-        config: &EvalConfig,
-        stats: &mut EvalStats,
-        out: &mut Vec<(PredId, Box<[SeqId]>)>,
-    ) -> Result<(), EvalError> {
-        if let Some((&v, rest)) = free_seq.split_first() {
-            for &m in members {
-                b.seq[v] = Some(m);
-                let r = rec(
-                    clause, b, rest, free_idx, members, int_upper, env, registry, config, stats,
-                    out,
-                );
-                if r.is_err() {
-                    b.seq[v] = None;
-                    return r;
-                }
-            }
-            b.seq[v] = None;
-            return Ok(());
-        }
-        if let Some((&v, rest)) = free_idx.split_first() {
-            for n in 0..=int_upper {
-                b.idx[v] = Some(n);
-                let r = rec(
-                    clause, b, free_seq, rest, members, int_upper, env, registry, config, stats,
-                    out,
-                );
-                if r.is_err() {
-                    b.idx[v] = None;
-                    return r;
-                }
-            }
-            b.idx[v] = None;
-            return Ok(());
-        }
-        // Fully bound: evaluate the head.
-        stats.derivations += 1;
-        let mut tuple = Vec::with_capacity(clause.head.args.len());
-        for arg in &clause.head.args {
-            match eval_full(arg, b, env.store, registry, config, stats)? {
-                TermVal::Val(id) => {
-                    if env.store.len_of(id) > config.max_seq_len {
-                        return Err(EvalError::Budget {
-                            kind: BudgetKind::SeqLen,
-                            stats: *stats,
-                        });
-                    }
-                    tuple.push(id);
-                }
-                TermVal::Undefined => return Ok(()), // θ undefined at clause
-                TermVal::Unbound => unreachable!("all variables enumerated"),
-            }
-        }
-        out.push((clause.head.pred, tuple.into()));
-        Ok(())
-    }
-
-    let int_upper = env.int_upper;
-    rec(
-        clause, b, &free_seq, &free_idx, members, int_upper, env, registry, config, stats, out,
-    )
-}
-
-/// Evaluate a (possibly constructive) head term under a total substitution.
-fn eval_full(
-    t: &CSeq,
-    b: &Bindings,
-    store: &mut SeqStore,
-    registry: &TransducerRegistry,
-    config: &EvalConfig,
-    stats: &mut EvalStats,
-) -> Result<TermVal, EvalError> {
+/// Evaluate an index term of a committed recipe (all variables bound).
+/// `None` on `i64` overflow — the enclosing indexed term is then undefined.
+fn commit_idx(t: &CIdx, idxs: &[i64], end_val: i64) -> Option<i64> {
     match t {
-        CSeq::Const(_) | CSeq::Var(_) | CSeq::Indexed { .. } => Ok(matcher::eval_seq(t, b, store)),
+        CIdx::Int(i) => Some(*i),
+        CIdx::Var(v) => Some(idxs[*v as usize]),
+        CIdx::End => Some(end_val),
+        CIdx::Add(x, y) => {
+            commit_idx(x, idxs, end_val)?.checked_add(commit_idx(y, idxs, end_val)?)
+        }
+        CIdx::Sub(x, y) => {
+            commit_idx(x, idxs, end_val)?.checked_sub(commit_idx(y, idxs, end_val)?)
+        }
+    }
+}
+
+/// Evaluate a (possibly constructive) head term under a recipe's total
+/// substitution. This is the commit phase's mutable counterpart of the
+/// matcher's read-only term evaluation: subsequence windows are interned,
+/// concatenations materialize, transducers run. `Ok(None)` means the term
+/// is undefined (no fact derived, Section 3.2).
+fn eval_head(
+    t: &CSeq,
+    seqs: &[SeqId],
+    idxs: &[i64],
+    store: &mut SeqStore,
+    registry: &TransducerRegistry,
+    config: &EvalConfig,
+    stats: &mut EvalStats,
+) -> Result<Option<SeqId>, EvalError> {
+    match t {
+        CSeq::Const(id) => Ok(Some(*id)),
+        CSeq::Var(v) => Ok(Some(seqs[*v as usize])),
+        CSeq::Indexed { base, lo, hi } => {
+            let base_id = match base {
+                CBase::Const(id) => *id,
+                CBase::Var(v) => seqs[*v as usize],
+            };
+            let end_val = store.len_of(base_id) as i64;
+            let (Some(n1), Some(n2)) = (
+                commit_idx(lo, idxs, end_val),
+                commit_idx(hi, idxs, end_val),
+            ) else {
+                return Ok(None);
+            };
+            Ok(store.subseq(base_id, n1, n2))
+        }
         CSeq::Concat(x, y) => {
-            let xv = match eval_full(x, b, store, registry, config, stats)? {
-                TermVal::Val(v) => v,
-                other => return Ok(other),
+            let Some(xv) = eval_head(x, seqs, idxs, store, registry, config, stats)? else {
+                return Ok(None);
             };
-            let yv = match eval_full(y, b, store, registry, config, stats)? {
-                TermVal::Val(v) => v,
-                other => return Ok(other),
+            let Some(yv) = eval_head(y, seqs, idxs, store, registry, config, stats)? else {
+                return Ok(None);
             };
-            Ok(TermVal::Val(store.concat(xv, yv)))
+            Ok(Some(store.concat(xv, yv)))
         }
         CSeq::Transducer { name, args } => {
             let machine = registry
@@ -610,9 +849,9 @@ fn eval_full(
                 .ok_or_else(|| EvalError::UnknownTransducer(name.clone()))?;
             let mut inputs: Vec<SeqId> = Vec::with_capacity(args.len());
             for a in args {
-                match eval_full(a, b, store, registry, config, stats)? {
-                    TermVal::Val(v) => inputs.push(v),
-                    other => return Ok(other),
+                match eval_head(a, seqs, idxs, store, registry, config, stats)? {
+                    Some(v) => inputs.push(v),
+                    None => return Ok(None),
                 }
             }
             let tapes: Vec<Vec<seqlog_sequence::Sym>> =
@@ -627,7 +866,7 @@ fn eval_full(
                     error: e.to_string(),
                 })?;
             stats.transducer_steps += exec_stats.steps;
-            Ok(TermVal::Val(store.intern_vec(output)))
+            Ok(Some(store.intern_vec(output)))
         }
     }
 }

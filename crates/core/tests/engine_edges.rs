@@ -103,6 +103,103 @@ fn each_budget_kind_can_fire() {
 }
 
 #[test]
+fn facts_budget_cannot_overshoot_mid_round() {
+    // One T-operator round can attempt far more head instantiations than
+    // `max_facts`. Budgets are enforced incrementally as the commit phase
+    // inserts, so the interpretation stops at `max_facts + 1` facts instead
+    // of committing the whole round (previously a single wide round could
+    // overshoot arbitrarily — here by ~10,000 pairs).
+    let mut e = Engine::new();
+    let p = e.parse_program("pair(X, Y) :- s(X), s(Y).").unwrap();
+    let mut db = Database::new();
+    for i in 0..100 {
+        e.add_fact(&mut db, "s", &[&format!("w{i}")]);
+    }
+    let cfg = EvalConfig {
+        max_facts: 150,
+        ..EvalConfig::default()
+    };
+    match e.evaluate_with(&p, &db, &cfg) {
+        Err(EvalError::Budget {
+            kind: BudgetKind::Facts,
+            stats,
+        }) => {
+            assert_eq!(
+                stats.facts, 151,
+                "a single wide round must not exceed max_facts + 1"
+            );
+        }
+        other => panic!("expected Facts budget error, got {other:?}"),
+    }
+}
+
+#[test]
+fn adversarial_index_constants_evaluate_to_undefined() {
+    // i64-overflowing index arithmetic in a head term: the term is
+    // undefined (no fact), not a panic (debug) or a wrapped index
+    // (release).
+    let mut e = Engine::new();
+    let p = e
+        .parse_program(&format!("p(X[N + {} : end]) :- r(X).", i64::MAX))
+        .unwrap();
+    let db = db1(&mut e, "r", "abc");
+    let m = e.evaluate(&p, &db).unwrap();
+    assert!(m.tuples("p").is_empty());
+    // And in a body literal.
+    let p = e
+        .parse_program(&format!("p(X) :- r(X), X[N + {} : end] = \"a\".", i64::MAX))
+        .unwrap();
+    let m = e.evaluate(&p, &db).unwrap();
+    assert!(m.tuples("p").is_empty());
+}
+
+#[test]
+fn self_join_derives_each_new_pair_once() {
+    // Semi-naive with a clause mentioning the same grown predicate twice:
+    // the firing for each literal occurrence restricts occurrences before
+    // it to the pre-round prefix, so every ordered pair is derived exactly
+    // once across firings. With `k` seed words of length `L` and pairwise
+    // distinct suffixes, p reaches k·L + 1 facts and the expected
+    // derivation count is exactly |p|² (each q pair once) + |p| - 1 (each
+    // non-empty p fact extends once). The earlier per-literal scheme
+    // re-derived every new–new pair once per occurrence.
+    let (k, l) = (6usize, 8usize);
+    let mut e = Engine::new();
+    let p = e
+        .parse_program("q(X, Y) :- p(X), p(Y).\np(X[2:end]) :- p(X), X != \"\".")
+        .unwrap();
+    let mut db = Database::new();
+    for i in 0..k {
+        let mut word: String = (0..l - 1)
+            .map(|j| char::from(b'a' + ((i * 7 + j * 5 + i * j) % 3) as u8))
+            .collect();
+        word.push(char::from(b's' + i as u8)); // unique tail: disjoint suffixes
+        e.add_fact(&mut db, "p", &[&word]);
+    }
+    let semi = e.evaluate(&p, &db).unwrap();
+    let p_total = k * l + 1;
+    assert_eq!(semi.tuples("p").len(), p_total);
+    assert_eq!(semi.tuples("q").len(), p_total * p_total);
+    assert_eq!(
+        semi.stats.derivations,
+        (p_total * p_total + p_total - 1) as u64,
+        "each new-new pair must be derived exactly once"
+    );
+    // The model is unchanged with respect to the naive reference.
+    let naive = e
+        .evaluate_with(
+            &p,
+            &db,
+            &EvalConfig {
+                strategy: seqlog_core::eval::Strategy::Naive,
+                ..EvalConfig::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(naive.facts.total_facts(), semi.facts.total_facts());
+}
+
+#[test]
 fn undefined_index_terms_fail_silently_in_heads() {
     // X[5:6] is undefined for short sequences: no fact derived, no error
     // (θ is simply not defined at the clause, Section 3.2).

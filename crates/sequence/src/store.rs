@@ -65,6 +65,9 @@ pub struct SeqStore {
     ids: FxHashMap<Arc<[Sym]>, SeqId>,
     /// Total symbols stored (for instrumentation).
     total_syms: usize,
+    /// Ids already passed to [`SeqStore::close_windows`] (so re-closing a
+    /// constant across evaluations costs one set probe, not O(len²)).
+    closed: crate::fx::FxHashSet<SeqId>,
 }
 
 impl SeqStore {
@@ -178,6 +181,60 @@ impl SeqStore {
         let seq = seq.clone();
         let arc: Arc<[Sym]> = Arc::from(&seq[start..end]);
         self.insert_arc(arc)
+    }
+
+    /// Resolve the window `id[start..end]` (0-based, half-open) to its
+    /// interned handle **without interning**: `None` when the window's
+    /// content has never been interned in this store.
+    ///
+    /// This is the read-only counterpart of [`SeqStore::intern_range`]: the
+    /// full window is `id` itself, and any other window costs one in-place
+    /// hash lookup against the stored symbols.
+    ///
+    /// # Panics
+    /// Panics if `id` is foreign or `start..end` is out of bounds.
+    #[inline]
+    pub fn lookup_range(&self, id: SeqId, start: usize, end: usize) -> Option<SeqId> {
+        let seq = &self.seqs[id.index()];
+        if start == 0 && end == seq.len() {
+            return Some(id);
+        }
+        self.ids.get(&seq[start..end]).copied()
+    }
+
+    /// Evaluate the indexed term `id[n1 : n2]` (1-based, inclusive, per
+    /// Section 3.2) **without interning**.
+    ///
+    /// * `None` — the indexed term is undefined (out of bounds);
+    /// * `Some(None)` — defined, but its value was never interned;
+    /// * `Some(Some(w))` — defined with interned handle `w`.
+    ///
+    /// When the base is *window-closed* (every contiguous window interned —
+    /// true for extended-active-domain members by Definition 2's closure
+    /// invariant, and for program constants after [`SeqStore::close_windows`])
+    /// the middle case cannot occur, which is what lets the matcher run on a
+    /// shared `&SeqStore`.
+    #[inline]
+    pub fn subseq_lookup(&self, id: SeqId, n1: i64, n2: i64) -> Option<Option<SeqId>> {
+        let (start, end) = index_window(self.len_of(id), n1, n2)?;
+        Some(self.lookup_range(id, start, end))
+    }
+
+    /// Intern every contiguous window of `id`, making it *window-closed* so
+    /// that [`SeqStore::subseq_lookup`] resolves all of its defined windows.
+    /// Used to pre-close program constants before read-only matching (domain
+    /// members are already closed by `ExtendedDomain::insert_closed`).
+    /// Idempotent, and repeat calls for the same id cost one set probe.
+    pub fn close_windows(&mut self, id: SeqId) {
+        if !self.closed.insert(id) {
+            return;
+        }
+        let len = self.len_of(id);
+        for start in 0..len {
+            for end in start + 1..=len {
+                self.intern_range(id, start, end);
+            }
+        }
     }
 
     /// All start positions (0-based) at which `needle` occurs as a contiguous
@@ -372,6 +429,48 @@ mod tests {
         assert_eq!(st.intern_range(id, 4, 6), bc);
         // Empty window is ε.
         assert_eq!(st.intern_range(id, 2, 2), st.empty());
+    }
+
+    #[test]
+    fn lookup_range_never_interns() {
+        let (mut a, mut st, id) = setup("abcd");
+        let before = st.count();
+        // Full window resolves to the base itself.
+        assert_eq!(st.lookup_range(id, 0, 4), Some(id));
+        // A never-interned window misses without polluting the store.
+        assert_eq!(st.lookup_range(id, 1, 3), None);
+        assert_eq!(st.count(), before);
+        // After interning, the same lookup hits.
+        let bc = st.intern_vec(a.seq_of_str("bc"));
+        assert_eq!(st.lookup_range(id, 1, 3), Some(bc));
+    }
+
+    #[test]
+    fn subseq_lookup_matches_subseq_on_closed_bases() {
+        let (_, mut st, id) = setup("uvwxy");
+        st.close_windows(id);
+        let before = st.count();
+        for n1 in -1..=7i64 {
+            for n2 in -1..=7i64 {
+                let looked = st.subseq_lookup(id, n1, n2);
+                let interned = st.subseq(id, n1, n2);
+                match (looked, interned) {
+                    (None, None) => {}
+                    (Some(Some(a)), Some(b)) => assert_eq!(a, b, "[{n1}:{n2}]"),
+                    other => panic!("closed base disagreed at [{n1}:{n2}]: {other:?}"),
+                }
+            }
+        }
+        // Neither route added anything: the base was closed.
+        assert_eq!(st.count(), before);
+    }
+
+    #[test]
+    fn subseq_lookup_reports_uninterned_windows() {
+        let (_, st, id) = setup("abcd");
+        assert_eq!(st.subseq_lookup(id, 2, 3), Some(None)); // "bc" not interned
+        assert_eq!(st.subseq_lookup(id, 0, 2), None); // undefined
+        assert_eq!(st.subseq_lookup(id, 1, 4), Some(Some(id))); // full window
     }
 
     #[test]
