@@ -13,7 +13,7 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("rep1_structural", reps), &word, |b, w| {
             b.iter_batched(
                 || {
-                    let (mut e, p, mut db) = setup(REP1_SRC, &[w.clone()]);
+                    let (mut e, p, mut db) = setup(REP1_SRC, std::slice::from_ref(w));
                     e.add_fact(&mut db, "seq", &[w]);
                     (e, p, db)
                 },
@@ -27,7 +27,7 @@ fn bench(c: &mut Criterion) {
             |b, w| {
                 b.iter_batched(
                     || {
-                        let (mut e, p, mut db) = setup(REP2_SRC, &[w.clone()]);
+                        let (mut e, p, mut db) = setup(REP2_SRC, std::slice::from_ref(w));
                         e.add_fact(&mut db, "seq", &[w]);
                         (e, p, db)
                     },

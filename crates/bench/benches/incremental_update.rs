@@ -1,0 +1,83 @@
+//! Incremental update vs batch re-evaluation (the session value
+//! proposition): a small delta asserted into a settled ≥5k-fact base
+//! against re-running the whole fixpoint over the same final database.
+//!
+//! Both routes are differentially pinned before timing: the resumed
+//! session's fact count must equal the from-scratch model's. The session
+//! clone used to reset state between iterations happens in
+//! `iter_batched`'s setup and is excluded from the measurement.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use seqlog_bench::{distinct_suffix_words, settle_session, setup_rel, CHAIN_SRC};
+use seqlog_core::EvalConfig;
+
+/// The delta word: short, with a tail symbol no base word uses, so it adds
+/// a genuinely new (but small) trimming chain.
+const DELTA_WORD: &str = "abcZ";
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_update");
+    group.sample_size(10);
+
+    let base_words = distinct_suffix_words(8, 33);
+    let mut all_words = base_words.clone();
+    all_words.push(DELTA_WORD.to_string());
+
+    // Settle the base once; every timed iteration works on a clone.
+    let settled = settle_session(CHAIN_SRC, "chain0", &base_words, EvalConfig::default());
+    let base_facts = settled.stats().facts;
+    assert!(
+        base_facts >= 5_000,
+        "settled base too small for the claim: {base_facts} facts"
+    );
+
+    // Differential pin: resumed == from-scratch on the final database.
+    let full_facts = {
+        let (mut e, p, db) = setup_rel(CHAIN_SRC, "chain0", &all_words);
+        e.evaluate(&p, &db).expect("full workload settles").stats.facts
+    };
+    {
+        let mut s = settled.clone();
+        s.assert_fact("chain0", &[DELTA_WORD]).unwrap();
+        let stats = s.run().unwrap();
+        assert_eq!(stats.facts, full_facts, "incremental ≠ batch");
+    }
+
+    group.bench_with_input(
+        BenchmarkId::from_parameter(format!("delta1_on_{base_facts}facts")),
+        &settled,
+        |b, settled| {
+            b.iter_batched(
+                || settled.clone(),
+                |mut s| {
+                    s.assert_fact("chain0", &[DELTA_WORD]).unwrap();
+                    let stats = s.run().unwrap();
+                    assert_eq!(stats.facts, full_facts);
+                    stats.facts
+                },
+                BatchSize::LargeInput,
+            )
+        },
+    );
+
+    group.bench_with_input(
+        BenchmarkId::from_parameter(format!("batch_reeval_{full_facts}facts")),
+        &all_words,
+        |b, words| {
+            b.iter_batched(
+                || setup_rel(CHAIN_SRC, "chain0", words),
+                |(mut e, p, db)| {
+                    let m = e.evaluate(&p, &db).unwrap();
+                    assert_eq!(m.stats.facts, full_facts);
+                    m.stats.facts
+                },
+                BatchSize::LargeInput,
+            )
+        },
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

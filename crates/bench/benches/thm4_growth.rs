@@ -14,7 +14,7 @@ fn order2(c: &mut Criterion) {
         let machines: Vec<_> = (0..d).map(|_| library::square(&mut a, &syms)).collect();
         let net = Network::chain(format!("sq^{d}"), machines);
         let n = 3usize;
-        let input: Vec<_> = std::iter::repeat(syms[0]).take(n).collect();
+        let input: Vec<_> = std::iter::repeat_n(syms[0], n).collect();
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("d{d}")),
             &input,
@@ -37,7 +37,7 @@ fn order3(c: &mut Criterion) {
     let syms: Vec<_> = "x".chars().map(|ch| a.intern_char(ch)).collect();
     let t = library::exp(&mut a, &syms);
     for n in [3usize, 4, 5] {
-        let input: Vec<_> = std::iter::repeat(syms[0]).take(n).collect();
+        let input: Vec<_> = std::iter::repeat_n(syms[0], n).collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &input, |b, input| {
             b.iter(|| {
                 let out = run(

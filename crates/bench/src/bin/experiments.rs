@@ -65,7 +65,7 @@ fn e2_thm4_order2_growth() {
         for d in 1..=3usize {
             let machines: Vec<_> = (0..d).map(|_| library::square(&mut a, &syms)).collect();
             let net = Network::chain(format!("sq^{d}"), machines);
-            let input: Vec<_> = std::iter::repeat(syms[0]).take(n).collect();
+            let input: Vec<_> = std::iter::repeat_n(syms[0], n).collect();
             let out = net
                 .run(
                     &[&input],
@@ -96,7 +96,7 @@ fn e3_thm4_order3_growth() {
     let syms: Vec<_> = "x".chars().map(|c| a.intern_char(c)).collect();
     let t = library::exp(&mut a, &syms);
     for n in [3usize, 4, 5, 6] {
-        let input: Vec<_> = std::iter::repeat(syms[0]).take(n).collect();
+        let input: Vec<_> = std::iter::repeat_n(syms[0], n).collect();
         let out = seqlog_transducer::run(
             &t,
             &[&input],
@@ -172,7 +172,7 @@ fn e5_thm8_model_size() {
 fn e6_ex15_structural_vs_constructive() {
     println!("## E6 (Ex 1.5 / Thm 2) — rep1 (structural) vs rep2 (constructive)\n");
     let word = "abab".to_string();
-    let (mut e, p1, mut db) = setup(REP1_SRC, &[word.clone()]);
+    let (mut e, p1, mut db) = setup(REP1_SRC, std::slice::from_ref(&word));
     e.add_fact(&mut db, "seq", &[&word]);
     let t0 = Instant::now();
     let m1 = e.evaluate(&p1, &db).expect("rep1 finite");
@@ -238,7 +238,8 @@ fn e8_thm1_tm_simulation() {
     println!("## E8 (Thm 1) — Turing machine in Sequence Datalog\n");
     println!("| machine | input | TM steps | fixpoint rounds | facts | outputs agree |");
     println!("|---|---|---|---|---|---|");
-    let machines: Vec<(fn(&mut Alphabet) -> seqlog_turing::TuringMachine, &str)> = vec![
+    type TmBuilder = fn(&mut Alphabet) -> seqlog_turing::TuringMachine;
+    let machines: Vec<(TmBuilder, &str)> = vec![
         (samples::complement_tm, "110010"),
         (samples::increment_tm, "1101"),
         (samples::parity_tm, "10101"),
@@ -277,11 +278,8 @@ fn e9_thm5_ptime_network() {
     println!("## E9 (Thm 5) — Turing machine as an order-2 network\n");
     println!("| machine | input | network steps | subcalls | outputs agree |");
     println!("|---|---|---|---|---|");
-    let cases: Vec<(
-        fn(&mut Alphabet) -> seqlog_turing::TuringMachine,
-        &str,
-        usize,
-    )> = vec![
+    type TmBuilder = fn(&mut Alphabet) -> seqlog_turing::TuringMachine;
+    let cases: Vec<(TmBuilder, &str, usize)> = vec![
         (samples::complement_tm, "110010", 1),
         (samples::increment_tm, "1101", 1),
         (samples::sort_bits_tm, "1010", 2),

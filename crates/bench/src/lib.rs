@@ -65,6 +65,35 @@ pub const PAIRS_SRC: &str = r#"
     pairs(X, Y) :- grow(X), grow(Y).
 "#;
 
+/// The incremental-update workload: a three-predicate mutually recursive
+/// trimming chain plus a cross product — ~34 chain facts per seed word
+/// spread over many rounds, squared by `pairs`. Eight 33-symbol words
+/// settle to a ≥5k-fact base; a short extra word is the "small delta".
+pub const CHAIN_SRC: &str = r#"
+    chain1(X[2:end]) :- chain0(X), X != "".
+    chain2(X[2:end]) :- chain1(X), X != "".
+    chain0(X[2:end]) :- chain2(X), X != "".
+    pairs(X, Y) :- chain0(X), chain2(Y).
+"#;
+
+/// Build a settled [`seqlog_core::session::EngineSession`]: parse `src`,
+/// assert the words as unary `pred` facts, and run to the fixpoint.
+pub fn settle_session(
+    src: &str,
+    pred: &str,
+    words: &[String],
+    config: seqlog_core::EvalConfig,
+) -> seqlog_core::session::EngineSession {
+    let mut e = Engine::new();
+    let p = e.parse_program(src).expect("benchmark program parses");
+    let mut session = e.into_session(&p, config).expect("program compiles");
+    for w in words {
+        session.assert_fact(pred, &[w]).expect("fresh session");
+    }
+    session.run().expect("workload settles");
+    session
+}
+
 /// `count` (≤ 26) deterministic words of length `len` over a 3-letter
 /// alphabet, each with a unique final symbol so no two words share a
 /// non-empty suffix (the suffix relations grow to full, collision-free

@@ -299,6 +299,14 @@ pub struct CompiledProgram {
 }
 
 impl CompiledProgram {
+    /// Predicate names interned by compilation, in `PredId` order (heads
+    /// and bodies alike) — the program-declared subset of a session's
+    /// [`crate::session::EngineSession::predicates`], which additionally
+    /// lists asserted-only predicates.
+    pub fn pred_names(&self) -> impl Iterator<Item = &str> {
+        self.preds.iter().map(|(_, n)| n)
+    }
+
     /// Every sequence constant occurring in a clause **body** (with
     /// duplicates). The evaluator window-closes these in the store before
     /// matching, so the read-only matcher can resolve any window of a

@@ -37,6 +37,15 @@ impl Database {
     pub fn iter(&self) -> impl Iterator<Item = (&str, &[SeqId])> {
         self.facts.iter().map(|(p, t)| (p.as_str(), t.as_slice()))
     }
+
+    /// Append every fact of `other` (which must be interned against the
+    /// same store). Duplicates are kept — the fact store dedupes at
+    /// seeding. The differential fuzz harness assembles its union
+    /// database batch-wise with this, mirroring the session route's
+    /// batch-wise `assert_db`.
+    pub fn extend_from(&mut self, other: &Database) {
+        self.facts.extend(other.facts.iter().cloned());
+    }
 }
 
 #[cfg(test)]

@@ -27,6 +27,7 @@ use crate::eval::{evaluate, EvalConfig, EvalError, Model};
 use crate::parser::{parse_program, ParseError};
 use crate::registry::TransducerRegistry;
 use crate::safety::{analyze, SafetyReport};
+use crate::session::EngineSession;
 use seqlog_sequence::{Alphabet, SeqId, SeqStore};
 use seqlog_transducer::Transducer;
 
@@ -95,6 +96,35 @@ impl Engine {
         config: &EvalConfig,
     ) -> Result<Model, EvalError> {
         evaluate(program, db, &mut self.store, &self.registry, config)
+    }
+
+    /// Open a persistent [`EngineSession`] over `program`, consuming the
+    /// engine (the session takes ownership of the interners and the
+    /// transducer registry). Sessions resume the semi-naive fixpoint from
+    /// newly asserted facts instead of re-evaluating from scratch — see
+    /// [`crate::session`] for the protocol and guarantees.
+    ///
+    /// ```
+    /// use seqlog_core::engine::Engine;
+    /// use seqlog_core::eval::EvalConfig;
+    ///
+    /// let mut engine = Engine::new();
+    /// let program = engine.parse_program("suffix(X[N:end]) :- r(X).").unwrap();
+    /// let mut session = engine.into_session(&program, EvalConfig::default()).unwrap();
+    /// session.assert_fact("r", &["ab"]).unwrap();
+    /// session.run().unwrap();
+    /// assert_eq!(session.answers("suffix"), ["", "ab", "b"]);
+    /// // Later facts extend the settled model incrementally.
+    /// session.assert_fact("r", &["cd"]).unwrap();
+    /// session.run().unwrap();
+    /// assert_eq!(session.answers("suffix"), ["", "ab", "b", "cd", "d"]);
+    /// ```
+    pub fn into_session(
+        self,
+        program: &Program,
+        config: EvalConfig,
+    ) -> Result<EngineSession, EvalError> {
+        EngineSession::open(self, program, config)
     }
 
     /// Static safety analysis (Section 8): dependency graph, constructive

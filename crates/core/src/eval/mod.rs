@@ -226,6 +226,13 @@ pub enum EvalError {
         /// Rendered execution error.
         error: String,
     },
+    /// The session that was asked to do this work was poisoned by an
+    /// earlier evaluation error and refuses further mutation (see
+    /// [`crate::session::EngineSession`]; the read API stays available).
+    Poisoned {
+        /// The error that poisoned the session.
+        original: Box<EvalError>,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -239,6 +246,9 @@ impl fmt::Display for EvalError {
             ),
             Self::UnknownTransducer(n) => write!(f, "unknown transducer @{n}"),
             Self::Transducer { name, error } => write!(f, "transducer @{name}: {error}"),
+            Self::Poisoned { original } => {
+                write!(f, "session poisoned by earlier error: {original}")
+            }
         }
     }
 }
@@ -321,131 +331,296 @@ pub fn evaluate_compiled(
     registry: &TransducerRegistry,
     config: &EvalConfig,
 ) -> Result<Model, EvalError> {
-    let threads = match config.threads {
-        0 => default_threads(),
-        n => n,
-    };
-
     // Window-close program constants so the match phase can resolve any
     // indexed term by read-only lookup (domain members are closed by
     // `insert_closed`; this extends the invariant to constant bases).
     for id in program.constants() {
         store.close_windows(id);
     }
-
-    // The store's predicate table extends the program's, so compiled
-    // `PredId`s address relations directly.
-    let mut facts = FactStore::with_preds(program.preds.clone());
-    let mut domain = ExtendedDomain::new();
-    let mut stats = EvalStats::default();
-
+    let mut fx = Fixpoint::new(program);
     // Seed: database atoms are clauses with empty bodies (Definition 4).
     for (pred, tuple) in db.iter() {
-        let pid = facts.pred_id(pred);
-        if facts.insert(pid, tuple.into()) {
-            for &id in tuple {
-                domain.insert_closed(store, id);
-            }
+        fx.assert_named(store, pred, tuple.into());
+    }
+    fx.run(program, store, registry, config)?;
+    Ok(fx.into_model())
+}
+
+/// Resumable semi-naive fixpoint state: an interpretation under
+/// construction, together with the bookkeeping the round loop needs to
+/// *re-enter* evaluation after new base facts arrive.
+///
+/// [`evaluate_compiled`] is a thin wrapper over this type: seed a fresh
+/// `Fixpoint` from the database and [`run`](Fixpoint::run) it to
+/// quiescence. A [`crate::session::EngineSession`] instead keeps one alive
+/// across updates: [`assert_fact`](Fixpoint::assert_fact) inserts new base
+/// facts after a fixpoint has been reached — closing the extended active
+/// domain over their sequences at assert time, exactly as initial seeding
+/// does — and the next `run` resumes the two-phase round loop with exactly
+/// those facts as the semi-naive delta.
+///
+/// Resumption is sound because `T_{P,db}` is monotone (Definitions 2–3):
+/// the settled interpretation `lfp(T_{P,db})` is contained in
+/// `lfp(T_{P,db∪Δ})`, every clause is already closed over the settled
+/// facts, and any *new* derivation must bind at least one body literal to a
+/// delta fact (covered by the delta tasks) or consult a domain member that
+/// did not exist before (covered by re-running domain-sensitive clauses
+/// whenever [`domain_done`](#structfield.domain_done) is behind the current
+/// domain). Iterating from the grown intermediate interpretation therefore
+/// converges to `lfp(T_{P,db∪Δ})` itself — the same model a batch
+/// re-evaluation from scratch computes.
+///
+/// `stats` accumulate across runs (`rounds` counts every round ever
+/// executed); the `max_rounds` budget is enforced **per run**, so a
+/// long-lived session is not eventually starved by its own uptime. The
+/// remaining budgets (`max_facts`, `max_domain`, `max_seq_len`) bound the
+/// cumulative state and behave exactly as in batch evaluation.
+#[derive(Clone, Debug)]
+pub struct Fixpoint {
+    facts: FactStore,
+    domain: ExtendedDomain,
+    stats: EvalStats,
+    /// Per-relation fact counts (indexed by `PredId`) that the round loop
+    /// has fully processed; facts beyond them form the next delta.
+    sizes_done: Vec<usize>,
+    /// Domain size the domain-sensitive clauses have been evaluated
+    /// against; when the domain outgrows it, those clauses re-run in full.
+    domain_done: usize,
+    /// True until the first round runs. The first round of a fixpoint's
+    /// life is a *full* round: it fires empty-body program clauses and
+    /// initializes the semi-naive deltas.
+    virgin: bool,
+}
+
+impl Fixpoint {
+    /// Empty state for `program`: the fact store's predicate table starts
+    /// as a copy of the program's, so compiled `PredId`s address relations
+    /// directly. The caller is responsible for window-closing program
+    /// constants ([`SeqStore::close_windows`]) before the first
+    /// [`run`](Fixpoint::run), as [`evaluate_compiled`] and
+    /// [`crate::session::EngineSession`] both do.
+    pub fn new(program: &CompiledProgram) -> Self {
+        Self {
+            facts: FactStore::with_preds(program.preds.clone()),
+            domain: ExtendedDomain::new(),
+            stats: EvalStats::default(),
+            sizes_done: Vec::new(),
+            domain_done: 0,
+            virgin: true,
         }
     }
-    check_budgets(&facts, &domain, config, &mut stats)?;
 
-    // Per-relation sizes *before* the most recent round, indexed by PredId
-    // (semi-naive deltas).
-    let mut sizes_before: Vec<usize> = Vec::new();
-    let mut domain_before: usize = 0;
-    let mut members: Vec<SeqId> = Vec::new();
-    let mut tasks: Vec<MatchTask> = Vec::new();
+    /// Intern `name` in the state's predicate table (extending it past the
+    /// program's predicates when needed).
+    pub fn pred_id(&mut self, name: &str) -> PredId {
+        self.facts.pred_id(name)
+    }
 
-    loop {
-        if stats.rounds >= config.max_rounds {
-            finalize_stats(&mut stats, &facts, &domain);
-            return Err(EvalError::Budget {
-                kind: BudgetKind::Rounds,
-                stats,
-            });
+    /// Insert a base fact, closing the extended active domain over its
+    /// sequences (Definition 2) so a subsequent [`run`](Fixpoint::run) can
+    /// match it read-only. Returns `true` when the fact is new; new facts
+    /// become part of the next run's semi-naive delta.
+    pub fn assert_fact(&mut self, store: &mut SeqStore, pred: PredId, tuple: Box<[SeqId]>) -> bool {
+        if !self.facts.insert(pred, tuple) {
+            return false;
         }
-        stats.rounds += 1;
+        // The just-inserted tuple is the relation's last; read it back for
+        // domain closure instead of cloning it up front.
+        let rel = self.facts.relation(pred);
+        let inserted = rel.tuple(rel.len() - 1);
+        for &id in inserted {
+            self.domain.insert_closed(store, id);
+        }
+        true
+    }
 
-        let sizes_now = facts.sizes();
-        let domain_now = domain.len();
-        let full_round = stats.rounds == 1 || config.strategy == Strategy::Naive;
+    /// [`assert_fact`](Fixpoint::assert_fact) by predicate name.
+    pub fn assert_named(&mut self, store: &mut SeqStore, pred: &str, tuple: Box<[SeqId]>) -> bool {
+        let pid = self.facts.pred_id(pred);
+        self.assert_fact(store, pid, tuple)
+    }
 
-        // Snapshot for free-variable enumeration: substitutions in this
-        // round range over the domain of the interpretation entering it.
-        members.clear();
-        members.extend(domain.iter());
+    /// The current interpretation.
+    pub fn facts(&self) -> &FactStore {
+        &self.facts
+    }
 
-        // Plan the round's match tasks.
-        tasks.clear();
-        for (ci, clause) in program.clauses.iter().enumerate() {
-            if full_round {
-                tasks.push(MatchTask {
-                    clause: ci,
-                    delta: None,
+    /// The current extended active domain.
+    pub fn domain(&self) -> &ExtendedDomain {
+        &self.domain
+    }
+
+    /// Cumulative statistics, finalized against the current state (facts
+    /// asserted since the last run are included in `facts`/`domain_size`).
+    pub fn stats(&self) -> EvalStats {
+        let mut stats = self.stats;
+        finalize_stats(&mut stats, &self.facts, &self.domain);
+        stats
+    }
+
+    /// A [`Model`] clone of the current state (the session read API).
+    pub fn snapshot(&self) -> Model {
+        Model {
+            facts: self.facts.clone(),
+            domain: self.domain.clone(),
+            stats: self.stats(),
+        }
+    }
+
+    /// Consume the state into a [`Model`].
+    pub fn into_model(self) -> Model {
+        let stats = self.stats();
+        Model {
+            facts: self.facts,
+            domain: self.domain,
+            stats,
+        }
+    }
+
+    /// Drive the two-phase round loop to quiescence, resuming from the
+    /// facts asserted since the last run (they — plus any domain growth —
+    /// are the first resumed round's delta). On a fresh state this is
+    /// exactly batch evaluation. Each call executes at least one round
+    /// (a settled state pays one quiescence-check round); `max_rounds`
+    /// bounds the rounds of *this* call, while the size budgets bound the
+    /// cumulative state.
+    ///
+    /// On error the state is a sound under-approximation of the least
+    /// fixpoint, and the round watermarks have *not* advanced past the
+    /// interrupted round — a later `run` (say, with larger budgets)
+    /// re-derives it and still converges to `lfp(T_{P,db})`.
+    /// [`crate::session::EngineSession`] nevertheless poisons on error;
+    /// retrying is a `Fixpoint`-level affordance.
+    pub fn run(
+        &mut self,
+        program: &CompiledProgram,
+        store: &mut SeqStore,
+        registry: &TransducerRegistry,
+        config: &EvalConfig,
+    ) -> Result<(), EvalError> {
+        let threads = match config.threads {
+            0 => default_threads(),
+            n => n,
+        };
+        check_budgets(&self.facts, &self.domain, config, &mut self.stats)?;
+
+        let rounds_at_entry = self.stats.rounds;
+        let mut members: Vec<SeqId> = Vec::new();
+        let mut tasks: Vec<MatchTask> = Vec::new();
+
+        loop {
+            if self.stats.rounds - rounds_at_entry >= config.max_rounds {
+                finalize_stats(&mut self.stats, &self.facts, &self.domain);
+                return Err(EvalError::Budget {
+                    kind: BudgetKind::Rounds,
+                    stats: self.stats,
                 });
-                continue;
             }
-            // Semi-naive: facts fire only in round 1.
-            if clause.body.is_empty() {
-                continue;
-            }
-            let domain_grew = domain_now > domain_before;
-            if clause.domain_sensitive && domain_grew {
-                tasks.push(MatchTask {
-                    clause: ci,
-                    delta: None,
-                });
-                continue;
-            }
-            for (li, lit) in clause.body.iter().enumerate() {
-                let CBody::Atom(atom) = lit else {
-                    continue;
-                };
-                let before = sizes_before.get(atom.pred.index()).copied().unwrap_or(0);
-                let now = sizes_now.get(atom.pred.index()).copied().unwrap_or(0);
-                let mut from = before;
-                while from < now {
-                    let to = (from + DELTA_CHUNK).min(now);
+            self.stats.rounds += 1;
+
+            let sizes_now = self.facts.sizes();
+            let domain_now = self.domain.len();
+            let full_round = self.virgin || config.strategy == Strategy::Naive;
+
+            // Snapshot for free-variable enumeration: substitutions in this
+            // round range over the domain of the interpretation entering it.
+            members.clear();
+            members.extend(self.domain.iter());
+
+            // Plan the round's match tasks.
+            tasks.clear();
+            for (ci, clause) in program.clauses.iter().enumerate() {
+                if full_round {
                     tasks.push(MatchTask {
                         clause: ci,
-                        delta: Some((li, from, to)),
+                        delta: None,
                     });
-                    from = to;
+                    continue;
                 }
+                // Domain-sensitive clauses re-run in full whenever the
+                // domain grew — *including* body-empty ones like
+                // `p(X, X) :- true.`, whose free head variables range over
+                // the domain (checked before the ground-clause skip below:
+                // skipping first loses their new-member instantiations,
+                // both on session resume and in late batch rounds).
+                let domain_grew = domain_now > self.domain_done;
+                if clause.domain_sensitive && domain_grew {
+                    tasks.push(MatchTask {
+                        clause: ci,
+                        delta: None,
+                    });
+                    continue;
+                }
+                // Semi-naive: ground facts fire only in the full first
+                // round (and above, when they are domain-sensitive).
+                if clause.body.is_empty() {
+                    continue;
+                }
+                for (li, lit) in clause.body.iter().enumerate() {
+                    let CBody::Atom(atom) = lit else {
+                        continue;
+                    };
+                    let before = self
+                        .sizes_done
+                        .get(atom.pred.index())
+                        .copied()
+                        .unwrap_or(0);
+                    let now = sizes_now.get(atom.pred.index()).copied().unwrap_or(0);
+                    let mut from = before;
+                    while from < now {
+                        let to = (from + DELTA_CHUNK).min(now);
+                        tasks.push(MatchTask {
+                            clause: ci,
+                            delta: Some((li, from, to)),
+                        });
+                        from = to;
+                    }
+                }
+            }
+
+            // Phase 1: read-only matching, sharded across workers.
+            let bufs = match_round(
+                program,
+                &tasks,
+                store,
+                &self.facts,
+                &self.domain,
+                &members,
+                &self.sizes_done,
+                threads,
+            );
+
+            // Phase 2: sequential commit in task order.
+            let added = commit_round(
+                program,
+                &tasks,
+                &bufs,
+                store,
+                &mut self.facts,
+                &mut self.domain,
+                registry,
+                config,
+                &mut self.stats,
+            )?;
+
+            // Watermarks (and the virgin flag) advance only once the round
+            // has fully committed: a mid-commit error (`?` above) leaves
+            // them untouched, so the interrupted round's delta re-fires on
+            // a later run instead of being silently lost — re-matching is
+            // idempotent (the fact store dedupes), which is what makes an
+            // errored `Fixpoint` safe to retry with larger budgets.
+            self.sizes_done = sizes_now;
+            self.domain_done = domain_now;
+            self.virgin = false;
+
+            if added == 0 {
+                break;
             }
         }
 
-        // Phase 1: read-only matching, sharded across workers.
-        let bufs = match_round(
-            program,
-            &tasks,
-            store,
-            &facts,
-            &domain,
-            &members,
-            &sizes_before,
-            threads,
-        );
-
-        sizes_before = sizes_now;
-        domain_before = domain_now;
-
-        // Phase 2: sequential commit in task order.
-        let added = commit_round(
-            program, &tasks, &bufs, store, &mut facts, &mut domain, registry, config, &mut stats,
-        )?;
-        if added == 0 {
-            break;
-        }
+        finalize_stats(&mut self.stats, &self.facts, &self.domain);
+        Ok(())
     }
-
-    finalize_stats(&mut stats, &facts, &domain);
-    Ok(Model {
-        facts,
-        domain,
-        stats,
-    })
 }
 
 /// `available_parallelism()`, resolved once per process: on Linux it reads
@@ -667,6 +842,10 @@ fn commit_round(
     Ok(added)
 }
 
+/// Head instances derived by one T-operator application, as `(PredId,
+/// tuple)` over the program's [`crate::compile::PredTable`].
+pub type DerivedFacts = Vec<(PredId, Box<[SeqId]>)>;
+
 /// One application of the T-operator to an arbitrary interpretation:
 /// returns every derivable head instance as `(PredId, tuple)` over the
 /// program's [`crate::compile::PredTable`] (used by the Appendix A model
@@ -678,7 +857,7 @@ pub fn tp_step(
     facts: &FactStore,
     domain: &ExtendedDomain,
     config: &EvalConfig,
-) -> Result<Vec<(PredId, Box<[SeqId]>)>, EvalError> {
+) -> Result<DerivedFacts, EvalError> {
     // Cold path: if the interpretation was not built from this program's
     // table, realign it so compiled `PredId`s address the right relations.
     let realigned;

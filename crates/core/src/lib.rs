@@ -34,12 +34,14 @@ pub mod model;
 pub mod parser;
 pub mod registry;
 pub mod safety;
+pub mod session;
 pub mod translate;
 
 pub use ast::{Atom, BodyLit, Clause, IndexTerm, IndexedBase, Program, SeqTerm};
 pub use database::Database;
 pub use engine::Engine;
-pub use eval::{BudgetKind, EvalConfig, EvalError, EvalStats, Model, Strategy};
+pub use eval::{BudgetKind, EvalConfig, EvalError, EvalStats, Fixpoint, Model, Strategy};
+pub use session::EngineSession;
 
 /// Commonly used items, re-exported for `use seqlog_core::prelude::*`.
 pub mod prelude {
@@ -47,6 +49,7 @@ pub mod prelude {
     pub use crate::database::Database;
     pub use crate::engine::Engine;
     pub use crate::eval::{EvalConfig, EvalError, Model, Strategy};
+    pub use crate::session::EngineSession;
     pub use crate::guard::guard_program;
     pub use crate::model::is_model;
     pub use crate::registry::TransducerRegistry;

@@ -26,23 +26,45 @@ pub fn is_model(
     registry: &TransducerRegistry,
     config: &EvalConfig,
 ) -> Result<bool, EvalError> {
+    let compiled = compile(program)?;
+    is_model_compiled(&compiled, db, candidate, store, registry, config)
+}
+
+/// [`is_model`] over an already-compiled program: `db ⊆ I` plus
+/// [`closed_under_tp`].
+pub fn is_model_compiled(
+    program: &crate::compile::CompiledProgram,
+    db: &Database,
+    candidate: &Model,
+    store: &mut SeqStore,
+    registry: &TransducerRegistry,
+    config: &EvalConfig,
+) -> Result<bool, EvalError> {
     for (pred, tuple) in db.iter() {
         if !candidate.facts.contains(pred, tuple) {
             return Ok(false);
         }
     }
-    let compiled = compile(program)?;
-    let derived = tp_step(
-        &compiled,
-        store,
-        registry,
-        &candidate.facts,
-        &candidate.domain,
-        config,
-    )?;
+    closed_under_tp(program, &candidate.facts, &candidate.domain, store, registry, config)
+}
+
+/// Is the interpretation closed under the T-operator — `T_{P,db}(I) ⊆ I`?
+/// The shared core of [`is_model_compiled`] and
+/// [`crate::session::EngineSession::check_model`] (which skips the
+/// `db ⊆ I` half because a session's base facts are in `I` by
+/// construction).
+pub fn closed_under_tp(
+    program: &crate::compile::CompiledProgram,
+    facts: &FactStore,
+    domain: &seqlog_sequence::ExtendedDomain,
+    store: &mut SeqStore,
+    registry: &TransducerRegistry,
+    config: &EvalConfig,
+) -> Result<bool, EvalError> {
+    let derived = tp_step(program, store, registry, facts, domain, config)?;
     Ok(derived
         .into_iter()
-        .all(|(pid, tuple)| candidate.facts.contains(compiled.preds.name(pid), &tuple)))
+        .all(|(pid, tuple)| facts.contains(program.preds.name(pid), &tuple)))
 }
 
 /// Build a [`Model`] wrapper from an arbitrary fact set (re-deriving its

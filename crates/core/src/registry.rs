@@ -7,7 +7,7 @@ use seqlog_sequence::FxHashMap;
 use seqlog_transducer::Transducer;
 
 /// A name → machine mapping used to interpret transducer terms.
-#[derive(Default, Debug)]
+#[derive(Clone, Default, Debug)]
 pub struct TransducerRegistry {
     map: FxHashMap<String, Transducer>,
 }

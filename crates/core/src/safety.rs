@@ -190,18 +190,12 @@ pub fn analyze(program: &Program, registry: &TransducerRegistry) -> SafetyReport
 
     let transducer_names = program.transducer_names();
     let machine_order = registry.program_order(transducer_names.iter().map(String::as_str));
-    let uses_concat = program
-        .clauses
-        .iter()
-        .any(|c| c.is_constructive() && !c.head.args.iter().any(|t| t.has_transducer()));
+    // Constructive programs have order >= 1 whichever constructive device
+    // they use (`++` and transducer terms alike, Section 7.1).
     let order = if non_constructive {
         0
     } else {
-        machine_order.max(if uses_concat || !transducer_names.is_empty() {
-            1
-        } else {
-            1
-        })
+        machine_order.max(1)
     };
 
     // Strata: SCC condensation levels, where the level of a component is

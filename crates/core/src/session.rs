@@ -1,0 +1,351 @@
+//! Persistent evaluation sessions: a serving-shaped wrapper around the
+//! resumable fixpoint.
+//!
+//! Batch evaluation ([`crate::eval::evaluate`]) recomputes `lfp(T_{P,db})`
+//! from scratch on every call. Under continuously arriving base facts that
+//! is the dominant cost: the least fixpoint is *monotone* in the database
+//! (Definitions 2–3 — `T_{P,db}` only grows when `db` grows), so a model
+//! computed once can be extended by resuming the semi-naive round loop from
+//! exactly the newly inserted tuples. [`EngineSession`] packages that:
+//!
+//! * it **owns** the compiled program, the sequence interners, the
+//!   transducer registry, and the [`Fixpoint`] state (facts + extended
+//!   active domain + cumulative [`EvalStats`]);
+//! * [`assert_fact`](EngineSession::assert_fact) /
+//!   [`assert_db`](EngineSession::assert_db) insert base facts *after* a
+//!   fixpoint has been reached — window-closure of the new constants
+//!   happens at assert time, mirroring the evaluator's pre-closing of
+//!   program constants — and the next [`run`](EngineSession::run) resumes
+//!   with those facts as the semi-naive delta;
+//! * [`query`](EngineSession::query) / [`answers`](EngineSession::answers) /
+//!   [`snapshot`](EngineSession::snapshot) read the current interpretation
+//!   between updates.
+//!
+//! # Equivalence with batch evaluation
+//!
+//! For any split of a database into batches, asserting the batches in order
+//! with a `run` after each yields the **same extents** as one batch
+//! evaluation of the union — and, like batch evaluation, the result is
+//! bit-for-bit identical for every `EvalConfig::threads` setting. (The
+//! per-relation *insertion order* may differ from the batch order, because
+//! facts settle in arrival order; set-level extents are identical. This is
+//! differentially fuzzed in `tests/fuzz_differential.rs` and checked for
+//! every paper example in `tests/paper_examples.rs`.)
+//!
+//! # Error handling: sessions poison
+//!
+//! If a `run` fails — a budget exhausts mid-commit, a transducer gets stuck
+//! — the session's state is a partially committed round: still a *sound*
+//! under-approximation (every fact in it is derivable), but not a fixpoint.
+//! The session then **poisons**: every later `assert_*`/`run` returns
+//! [`EvalError::Poisoned`] wrapping the original error, while the read API
+//! (`query`/`snapshot`/`stats`) stays available for post-mortem inspection.
+//! Callers that want to retry with larger budgets re-evaluate from scratch;
+//! keeping recovery out of scope keeps the equivalence guarantee above
+//! simple to state and test.
+
+use crate::ast::Program;
+use crate::compile::{compile, CompiledProgram, PredId};
+use crate::database::Database;
+use crate::engine::Engine;
+use crate::eval::interp::Relation;
+use crate::eval::{EvalConfig, EvalError, EvalStats, Fixpoint, Model};
+use crate::registry::TransducerRegistry;
+use seqlog_sequence::{Alphabet, SeqId, SeqStore};
+
+/// A persistent evaluation session over one compiled program.
+///
+/// Create one with [`Engine::into_session`] (the session takes ownership of
+/// the engine's interners and registry). See the [module docs](self) for
+/// the update/query protocol and the poisoning contract.
+#[derive(Clone)]
+pub struct EngineSession {
+    alphabet: Alphabet,
+    store: SeqStore,
+    registry: TransducerRegistry,
+    program: CompiledProgram,
+    config: EvalConfig,
+    fx: Fixpoint,
+    poisoned: Option<EvalError>,
+}
+
+impl EngineSession {
+    /// Open a session: compile `program`, window-close its constants, and
+    /// take ownership of `engine`'s alphabet, store, and registry. No
+    /// evaluation happens yet — call [`run`](EngineSession::run) after the
+    /// first asserts (or immediately, to settle a program with ground
+    /// clauses and no base facts).
+    pub fn open(engine: Engine, program: &Program, config: EvalConfig) -> Result<Self, EvalError> {
+        let compiled = compile(program)?;
+        let Engine {
+            alphabet,
+            mut store,
+            registry,
+        } = engine;
+        for id in compiled.constants() {
+            store.close_windows(id);
+        }
+        let fx = Fixpoint::new(&compiled);
+        Ok(Self {
+            alphabet,
+            store,
+            registry,
+            program: compiled,
+            config,
+            fx,
+            poisoned: None,
+        })
+    }
+
+    fn guard_poison(&self) -> Result<(), EvalError> {
+        match &self.poisoned {
+            Some(original) => Err(EvalError::Poisoned {
+                original: Box::new(original.clone()),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Eager `max_seq_len` enforcement on the assert path: domain closure
+    /// interns O(len²) windows, so an oversized input must be rejected
+    /// *before* closure, not discovered by the next run's budget check.
+    /// Rejection does **not** poison — the interpretation is untouched and
+    /// the session keeps serving (batch evaluation, by contrast, only
+    /// discovers oversized database sequences at run time).
+    fn check_seq_budget(&self, id: SeqId) -> Result<(), EvalError> {
+        let len = self.store.len_of(id);
+        if len > self.config.max_seq_len {
+            let mut stats = self.fx.stats();
+            stats.max_seq_len = stats.max_seq_len.max(len);
+            return Err(EvalError::Budget {
+                kind: crate::eval::BudgetKind::SeqLen,
+                stats,
+            });
+        }
+        Ok(())
+    }
+
+    /// Eager cumulative-size enforcement on the assert path: once the fact
+    /// count or domain size already exceeds its budget, further asserts
+    /// are refused (each accepted assert can overshoot by at most one fact
+    /// plus one tuple's window closure — the same bounded overshoot the
+    /// commit phase allows). Without this, a flood of asserts between runs
+    /// would grow the state unboundedly before any budget fired. Rejection
+    /// does not poison.
+    fn check_state_budgets(&self) -> Result<(), EvalError> {
+        let stats = self.fx.stats();
+        if stats.facts > self.config.max_facts {
+            return Err(EvalError::Budget {
+                kind: crate::eval::BudgetKind::Facts,
+                stats,
+            });
+        }
+        if stats.domain_size > self.config.max_domain {
+            return Err(EvalError::Budget {
+                kind: crate::eval::BudgetKind::DomainSize,
+                stats,
+            });
+        }
+        Ok(())
+    }
+
+    /// Intern `text` as a sequence and window-close it, so it can serve as
+    /// an indexed base as soon as it reaches the matcher. Use with
+    /// [`assert_fact_ids`](EngineSession::assert_fact_ids) to build tuples
+    /// without going through string arguments twice. Like every `assert_*`,
+    /// refused on a poisoned session (the update surface closes uniformly)
+    /// and on sequences longer than `max_seq_len` (rejected before the
+    /// quadratic window closure; the session stays healthy).
+    pub fn assert_seq(&mut self, text: &str) -> Result<SeqId, EvalError> {
+        self.guard_poison()?;
+        let syms = self.alphabet.seq_of_str(text);
+        let id = self.store.intern_vec(syms);
+        self.check_seq_budget(id)?;
+        self.store.close_windows(id);
+        Ok(id)
+    }
+
+    /// Assert one base fact with string arguments. Returns `true` when the
+    /// fact is new; new facts become the next [`run`](EngineSession::run)'s
+    /// semi-naive delta. Duplicate asserts are no-ops; arguments longer
+    /// than `max_seq_len` are rejected eagerly (no fact inserted, session
+    /// not poisoned).
+    pub fn assert_fact(&mut self, pred: &str, args: &[&str]) -> Result<bool, EvalError> {
+        self.guard_poison()?;
+        self.check_state_budgets()?;
+        let mut tuple: Vec<SeqId> = Vec::with_capacity(args.len());
+        for s in args {
+            let syms = self.alphabet.seq_of_str(s);
+            let id = self.store.intern_vec(syms);
+            self.check_seq_budget(id)?;
+            tuple.push(id);
+        }
+        let pid = self.fx.pred_id(pred);
+        Ok(self.fx.assert_fact(&mut self.store, pid, tuple.into()))
+    }
+
+    /// Assert a batch of string-argument facts; returns how many were new.
+    pub fn assert_facts(&mut self, facts: &[(&str, &[&str])]) -> Result<usize, EvalError> {
+        let mut added = 0;
+        for (pred, args) in facts {
+            added += usize::from(self.assert_fact(pred, args)?);
+        }
+        Ok(added)
+    }
+
+    /// Assert one base fact over already-interned sequences (ids must come
+    /// from this session's store — e.g. from
+    /// [`assert_seq`](EngineSession::assert_seq), or from the owning
+    /// [`Engine`] before [`Engine::into_session`]).
+    pub fn assert_fact_ids(&mut self, pred: &str, tuple: &[SeqId]) -> Result<bool, EvalError> {
+        self.guard_poison()?;
+        self.check_state_budgets()?;
+        for &id in tuple {
+            self.check_seq_budget(id)?;
+        }
+        let pid = self.fx.pred_id(pred);
+        Ok(self.fx.assert_fact(&mut self.store, pid, tuple.into()))
+    }
+
+    /// Assert every fact of `db` (built against this session's store);
+    /// returns how many were new.
+    pub fn assert_db(&mut self, db: &Database) -> Result<usize, EvalError> {
+        self.guard_poison()?;
+        let mut added = 0;
+        for (pred, tuple) in db.iter() {
+            self.check_state_budgets()?;
+            for &id in tuple {
+                self.check_seq_budget(id)?;
+            }
+            let pid = self.fx.pred_id(pred);
+            added += usize::from(self.fx.assert_fact(&mut self.store, pid, tuple.into()));
+        }
+        Ok(added)
+    }
+
+    /// Resume the fixpoint over everything asserted since the last run.
+    /// Returns the cumulative statistics on success. On failure the error
+    /// is returned **and the session poisons** (see the module docs);
+    /// `max_rounds` is a per-run budget, the size budgets are cumulative.
+    pub fn run(&mut self) -> Result<EvalStats, EvalError> {
+        self.guard_poison()?;
+        match self
+            .fx
+            .run(&self.program, &mut self.store, &self.registry, &self.config)
+        {
+            Ok(()) => Ok(self.fx.stats()),
+            Err(e) => {
+                self.poisoned = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    /// Rendered tuples of `pred` in insertion order (empty when absent).
+    /// Reflects the state as of the last `run` plus any raw asserts since.
+    pub fn query(&self, pred: &str) -> Vec<Vec<String>> {
+        match self.fx.facts().relation_named(pred) {
+            None => Vec::new(),
+            Some(rel) => rel
+                .iter()
+                .map(|t| t.iter().map(|&id| self.render(id)).collect())
+                .collect(),
+        }
+    }
+
+    /// Rendered, sorted, deduplicated single-column answers for `pred`
+    /// (the `output(Y)` convention of Definition 5).
+    pub fn answers(&self, pred: &str) -> Vec<String> {
+        let mut out: Vec<String> = match self.fx.facts().relation_named(pred) {
+            None => Vec::new(),
+            Some(rel) => rel
+                .iter()
+                .filter(|t| t.len() == 1)
+                .map(|t| self.render(t[0]))
+                .collect(),
+        };
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The raw relation of `pred`, if present.
+    pub fn relation(&self, pred: &str) -> Option<&Relation> {
+        self.fx.facts().relation_named(pred)
+    }
+
+    /// A [`Model`] clone of the current interpretation (facts, extended
+    /// active domain, finalized cumulative stats).
+    pub fn snapshot(&self) -> Model {
+        self.fx.snapshot()
+    }
+
+    /// Cumulative statistics (finalized against the current state).
+    pub fn stats(&self) -> EvalStats {
+        self.fx.stats()
+    }
+
+    /// Render an interned sequence back to a string.
+    pub fn render(&self, id: SeqId) -> String {
+        self.alphabet.render(self.store.get(id))
+    }
+
+    /// The interned id of `pred`, if it occurs in the program or has been
+    /// asserted.
+    pub fn pred_id(&self, pred: &str) -> Option<PredId> {
+        self.fx.facts().lookup_pred(pred)
+    }
+
+    /// Every predicate this session knows, in `PredId` order: the compiled
+    /// program's predicates followed by any asserted-only ones.
+    pub fn predicates(&self) -> impl Iterator<Item = &str> {
+        self.fx.facts().predicates()
+    }
+
+    /// The compiled program this session serves.
+    pub fn program(&self) -> &CompiledProgram {
+        &self.program
+    }
+
+    /// The evaluation configuration (mutable: budgets and thread count may
+    /// be adjusted between runs; determinism holds for any `threads`).
+    pub fn config_mut(&mut self) -> &mut EvalConfig {
+        &mut self.config
+    }
+
+    /// The evaluation configuration.
+    pub fn config(&self) -> &EvalConfig {
+        &self.config
+    }
+
+    /// True when a failed run has poisoned the session.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    /// The error that poisoned the session, if any.
+    pub fn poison(&self) -> Option<&EvalError> {
+        self.poisoned.as_ref()
+    }
+
+    /// Verify the settled state is a model of `P ∪ db` (Lemma 4): one
+    /// T-application over the current interpretation must derive nothing
+    /// outside it ([`crate::model::closed_under_tp`]; the base facts are
+    /// part of the interpretation by construction, so `db ⊆ I` needs no
+    /// separate check). Diagnostic — a successful
+    /// [`run`](EngineSession::run) guarantees this; a poisoned session
+    /// typically fails it. Deliberately available on poisoned sessions:
+    /// the T-application may grow the append-only interner, but it never
+    /// changes the *interpretation* (facts and domain), which is what
+    /// poisoning freezes.
+    pub fn check_model(&mut self) -> Result<bool, EvalError> {
+        crate::model::closed_under_tp(
+            &self.program,
+            self.fx.facts(),
+            self.fx.domain(),
+            &mut self.store,
+            &self.registry,
+            &self.config,
+        )
+    }
+}

@@ -352,8 +352,8 @@ impl Translator<'_> {
                 args: comp_args,
             })];
             // Symbol checks: Xi[Ni+1] = read_i.
-            for i in 0..m {
-                let sym_const = SeqTerm::Const(self.store.intern(&[read[i]]));
+            for (i, &read_sym) in read.iter().enumerate().take(m) {
+                let sym_const = SeqTerm::Const(self.store.intern(&[read_sym]));
                 body.push(BodyLit::Eq(
                     SeqTerm::Indexed {
                         base: IndexedBase::Var(format!("X{i}")),

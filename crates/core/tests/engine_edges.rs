@@ -303,3 +303,111 @@ fn stats_track_transducer_work() {
     assert_eq!(m.stats.transducer_calls, 1);
     assert_eq!(m.stats.transducer_steps, 4);
 }
+
+#[test]
+fn ground_domain_sensitive_clauses_refire_on_late_domain_growth() {
+    // Regression (found by the incremental paper-example coverage):
+    // `pair(X, X) :- true.` has an empty body but is domain-sensitive —
+    // its free head variable ranges over the extended active domain.
+    // Semi-naive planning used to skip body-empty clauses *before* the
+    // domain-growth check, losing instantiations over sequences first
+    // created in later rounds (here `abab`, built by the `++` rule after
+    // round 1), while naive evaluation derived them.
+    let mut e = Engine::new();
+    let p = e
+        .parse_program("pair(X, X) :- true.\ngrown(Y ++ Y) :- r(Y).")
+        .unwrap();
+    let db = db1(&mut e, "r", "ab");
+    let semi = e.evaluate(&p, &db).unwrap();
+    let naive = e
+        .evaluate_with(
+            &p,
+            &db,
+            &EvalConfig {
+                strategy: seqlog_core::eval::Strategy::Naive,
+                ..EvalConfig::default()
+            },
+        )
+        .unwrap();
+    let abab = e.seq("abab");
+    assert!(
+        semi.contains("pair", &[abab, abab]),
+        "late domain member must reach the ground domain-sensitive clause"
+    );
+    assert_eq!(naive.facts.total_facts(), semi.facts.total_facts());
+    for pred in ["pair", "grown", "r"] {
+        let mut a = e.rendered_tuples(&naive, pred);
+        let mut b = e.rendered_tuples(&semi, pred);
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "{pred}");
+    }
+}
+
+#[test]
+fn fixpoint_retry_after_budget_error_recovers_the_least_fixpoint() {
+    // Driving the resumable Fixpoint directly (below the session layer,
+    // which poisons instead): a mid-commit Facts-budget error must not
+    // advance the round watermarks, so re-running with a larger budget
+    // re-derives the interrupted round and converges to the same model a
+    // from-scratch evaluation computes.
+    use seqlog_core::compile::compile;
+    use seqlog_core::eval::Fixpoint;
+    use seqlog_core::model::closed_under_tp;
+
+    let mut e = Engine::new();
+    let p = e.parse_program("pair(X, Y) :- s(X), s(Y).").unwrap();
+    let compiled = compile(&p).unwrap();
+    let mut fx = Fixpoint::new(&compiled);
+    let mut pid = None;
+    for i in 0..10 {
+        let id = e.seq(&format!("w{i}"));
+        let pred = *pid.get_or_insert_with(|| fx.pred_id("s"));
+        assert!(fx.assert_fact(&mut e.store, pred, vec![id].into()));
+    }
+
+    let tight = EvalConfig {
+        max_facts: 50,
+        ..EvalConfig::default()
+    };
+    match fx.run(&compiled, &mut e.store, &e.registry, &tight) {
+        Err(EvalError::Budget { kind, stats }) => {
+            assert_eq!(kind, BudgetKind::Facts);
+            assert_eq!(stats.facts, 51, "commit stops at max_facts + 1");
+        }
+        other => panic!("expected Facts budget, got {other:?}"),
+    }
+
+    // Retry with room: must reach the full fixpoint (10 + 100 facts) and
+    // be closed under the T-operator.
+    fx.run(&compiled, &mut e.store, &e.registry, &EvalConfig::default())
+        .expect("retry succeeds");
+    let model = fx.snapshot();
+    assert_eq!(model.stats.facts, 110);
+    assert!(closed_under_tp(
+        &compiled,
+        &model.facts,
+        &model.domain,
+        &mut e.store,
+        &e.registry,
+        &EvalConfig::default(),
+    )
+    .unwrap());
+
+    // And it matches a from-scratch evaluation extensionally.
+    let mut db = Database::new();
+    for i in 0..10 {
+        e.add_fact(&mut db, "s", &[&format!("w{i}")]);
+    }
+    let batch = e.evaluate(&p, &db).unwrap();
+    assert_eq!(batch.stats.facts, model.stats.facts);
+    let mut a = e.rendered_tuples(&batch, "pair");
+    let mut b: Vec<Vec<String>> = model
+        .tuples("pair")
+        .into_iter()
+        .map(|t| t.iter().map(|&id| e.render(id)).collect())
+        .collect();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,321 @@
+//! Regression tests for [`seqlog_core::session::EngineSession`]: the
+//! success path (resume ≡ batch, stats accumulation), the error path
+//! (budget exhaustion mid-session poisons), and the per-run `max_rounds`
+//! semantics.
+
+use seqlog_core::database::Database;
+use seqlog_core::engine::Engine;
+use seqlog_core::eval::{BudgetKind, EvalConfig, EvalError};
+use seqlog_core::session::EngineSession;
+
+const CHAIN_SRC: &str = r#"
+    chain1(X[2:end]) :- chain0(X), X != "".
+    chain2(X[2:end]) :- chain1(X), X != "".
+    chain0(X[2:end]) :- chain2(X), X != "".
+    pairs(X, Y) :- chain0(X), chain2(Y).
+"#;
+
+fn session(src: &str, config: EvalConfig) -> EngineSession {
+    let mut e = Engine::new();
+    let p = e.parse_program(src).unwrap();
+    e.into_session(&p, config).unwrap()
+}
+
+/// Batch-evaluate `src` over string facts and return sorted extents of
+/// `preds` — the oracle sessions are compared against.
+fn batch_extents(src: &str, facts: &[(&str, &str)], preds: &[&str]) -> Vec<Vec<Vec<String>>> {
+    let mut e = Engine::new();
+    let p = e.parse_program(src).unwrap();
+    let mut db = Database::new();
+    for (pred, w) in facts {
+        e.add_fact(&mut db, pred, &[w]);
+    }
+    let m = e.evaluate(&p, &db).unwrap();
+    preds
+        .iter()
+        .map(|pred| {
+            let mut rows = e.rendered_tuples(&m, pred);
+            rows.sort();
+            rows
+        })
+        .collect()
+}
+
+fn session_extents(s: &EngineSession, preds: &[&str]) -> Vec<Vec<Vec<String>>> {
+    preds
+        .iter()
+        .map(|pred| {
+            let mut rows = s.query(pred);
+            rows.sort();
+            rows
+        })
+        .collect()
+}
+
+#[test]
+fn resume_matches_batch_and_stats_accumulate() {
+    let preds = ["chain0", "chain1", "chain2", "pairs"];
+    let facts = [
+        ("chain0", "abcabs"),
+        ("chain0", "bbat"),
+        ("chain0", "cacacu"),
+    ];
+    let mut s = session(CHAIN_SRC, EvalConfig::default());
+
+    // Batch 1: first two facts.
+    assert!(s.assert_fact("chain0", &["abcabs"]).unwrap());
+    assert!(s.assert_fact("chain0", &["bbat"]).unwrap());
+    let stats1 = s.run().unwrap();
+    assert!(stats1.rounds >= 2, "chain needs several rounds");
+    let mid = session_extents(&s, &preds);
+    assert_eq!(
+        mid,
+        batch_extents(CHAIN_SRC, &facts[..2], &preds),
+        "settled prefix must equal batch over the prefix"
+    );
+
+    // Batch 2: one more fact resumes from the delta.
+    assert!(s.assert_fact("chain0", &["cacacu"]).unwrap());
+    let stats2 = s.run().unwrap();
+    assert_eq!(
+        session_extents(&s, &preds),
+        batch_extents(CHAIN_SRC, &facts, &preds),
+        "resumed model must equal batch re-evaluation from scratch"
+    );
+
+    // Stats accumulate across resumes: rounds strictly grow, fact count is
+    // the cumulative model size, and the second run resumed rather than
+    // restarting (it needed fewer new rounds than a from-scratch run).
+    assert!(stats2.rounds > stats1.rounds);
+    assert!(stats2.facts > stats1.facts);
+    assert!(stats2.derivations > stats1.derivations);
+    let fresh = {
+        let mut e = Engine::new();
+        let p = e.parse_program(CHAIN_SRC).unwrap();
+        let mut db = Database::new();
+        for (pred, w) in &facts {
+            e.add_fact(&mut db, pred, &[w]);
+        }
+        e.evaluate(&p, &db).unwrap().stats
+    };
+    assert_eq!(stats2.facts, fresh.facts);
+    assert!(
+        stats2.derivations - stats1.derivations < fresh.derivations,
+        "resume must not redo the settled prefix's derivation work"
+    );
+}
+
+#[test]
+fn settled_run_costs_one_quiescence_round() {
+    let mut s = session("p(X) :- r(X).", EvalConfig::default());
+    s.assert_fact("r", &["ab"]).unwrap();
+    let s1 = s.run().unwrap();
+    let s2 = s.run().unwrap();
+    assert_eq!(s2.rounds, s1.rounds + 1, "one quiescence-check round");
+    assert_eq!(s2.facts, s1.facts);
+    assert_eq!(s2.derivations, s1.derivations);
+}
+
+#[test]
+fn duplicate_asserts_are_noops() {
+    let mut s = session("p(X) :- r(X).", EvalConfig::default());
+    assert!(s.assert_fact("r", &["ab"]).unwrap());
+    s.run().unwrap();
+    assert!(!s.assert_fact("r", &["ab"]).unwrap());
+    let before = s.stats();
+    s.run().unwrap();
+    assert_eq!(s.stats().facts, before.facts);
+    assert_eq!(s.query("p"), vec![vec!["ab".to_string()]]);
+}
+
+#[test]
+fn assert_seq_and_ids_round_trip() {
+    let mut s = session("suffix(X[N:end]) :- r(X).", EvalConfig::default());
+    let id = s.assert_seq("abc").unwrap();
+    assert_eq!(s.render(id), "abc");
+    assert!(s.assert_fact_ids("r", &[id]).unwrap());
+    s.run().unwrap();
+    assert_eq!(s.answers("suffix"), ["", "abc", "bc", "c"]);
+}
+
+#[test]
+fn budget_error_mid_session_poisons() {
+    // First fixpoint settles comfortably; the second batch blows the
+    // cumulative fact budget mid-resume.
+    let config = EvalConfig {
+        max_facts: 120,
+        ..EvalConfig::default()
+    };
+    let mut s = session("pair(X, Y) :- s(X), s(Y).", config);
+    for i in 0..5 {
+        s.assert_fact("s", &[&format!("a{i}")]).unwrap();
+    }
+    let stats1 = s.run().unwrap();
+    assert_eq!(stats1.facts, 5 + 25);
+
+    for i in 0..10 {
+        s.assert_fact("s", &[&format!("b{i}")]).unwrap();
+    }
+    let err = s.run().unwrap_err();
+    let EvalError::Budget { kind, stats } = &err else {
+        panic!("expected Budget error, got {err:?}");
+    };
+    assert_eq!(*kind, BudgetKind::Facts);
+    // Incremental enforcement stops exactly at max_facts + 1, and the
+    // error stats are cumulative (they include the first run's rounds).
+    assert_eq!(stats.facts, 121);
+    assert!(stats.rounds > stats1.rounds);
+
+    // The session is poisoned: every further mutation is refused with the
+    // original error attached…
+    assert!(s.is_poisoned());
+    match s.assert_fact("s", &["c"]) {
+        Err(EvalError::Poisoned { original }) => {
+            assert!(matches!(*original, EvalError::Budget { .. }));
+        }
+        other => panic!("expected Poisoned, got {other:?}"),
+    }
+    assert!(matches!(s.run(), Err(EvalError::Poisoned { .. })));
+    assert!(matches!(s.assert_seq("zz"), Err(EvalError::Poisoned { .. })));
+    assert!(matches!(s.poison(), Some(EvalError::Budget { .. })));
+
+    // …while the read API stays available, and the partial state is a
+    // sound under-approximation of the full fixpoint: every committed pair
+    // is a genuine derivation over the grown database.
+    let partial = s.query("pair");
+    assert!(!partial.is_empty());
+    let snapshot = s.snapshot();
+    assert_eq!(snapshot.stats.facts, 121);
+    let mut e2 = Engine::new();
+    let p2 = e2.parse_program("pair(X, Y) :- s(X), s(Y).").unwrap();
+    let mut db2 = Database::new();
+    for i in 0..5 {
+        e2.add_fact(&mut db2, "s", &[&format!("a{i}")]);
+    }
+    for i in 0..10 {
+        e2.add_fact(&mut db2, "s", &[&format!("b{i}")]);
+    }
+    let full2 = e2.evaluate(&p2, &db2).unwrap();
+    let full_set: std::collections::BTreeSet<Vec<String>> =
+        e2.rendered_tuples(&full2, "pair").into_iter().collect();
+    for row in &partial {
+        assert!(
+            full_set.contains(row),
+            "partial state contains an underivable fact: {row:?}"
+        );
+    }
+}
+
+#[test]
+fn max_rounds_is_a_per_run_budget() {
+    // A trimming chain needs ~len rounds per word. With max_rounds = 8,
+    // two successive runs of ~6 rounds each must BOTH succeed (cumulative
+    // rounds exceed 8), because the budget applies per run…
+    let config = EvalConfig {
+        max_rounds: 8,
+        ..EvalConfig::default()
+    };
+    let src = "p(X[2:end]) :- p(X), X != \"\".";
+    let mut s = session(src, config);
+    s.assert_fact("p", &["aaaa"]).unwrap();
+    let s1 = s.run().unwrap();
+    s.assert_fact("p", &["bbbbb"]).unwrap();
+    let s2 = s.run().unwrap();
+    assert!(
+        s2.rounds > 8,
+        "cumulative rounds ({}) exceed the per-run budget — sessions are \
+         not starved by uptime",
+        s2.rounds
+    );
+    assert!(s2.rounds > s1.rounds);
+
+    // …while a single delta needing more than max_rounds still fails.
+    s.assert_fact("p", &["cccccccccccc"]).unwrap();
+    let err = s.run().unwrap_err();
+    match err {
+        EvalError::Budget { kind, .. } => assert_eq!(kind, BudgetKind::Rounds),
+        other => panic!("expected Rounds budget, got {other:?}"),
+    }
+    assert!(s.is_poisoned());
+}
+
+#[test]
+fn check_model_confirms_settled_sessions() {
+    let mut s = session(CHAIN_SRC, EvalConfig::default());
+    s.assert_fact("chain0", &["abcabc"]).unwrap();
+    s.run().unwrap();
+    assert!(s.check_model().unwrap(), "a settled session is a model");
+    // A fresh unsettled delta is not yet a model (the chain rule applies).
+    s.assert_fact("chain0", &["bcabca"]).unwrap();
+    assert!(!s.check_model().unwrap(), "pending delta: not closed yet");
+    s.run().unwrap();
+    assert!(s.check_model().unwrap());
+}
+
+#[test]
+fn clone_forks_independent_sessions() {
+    let mut s = session("p(X) :- r(X).", EvalConfig::default());
+    s.assert_fact("r", &["ab"]).unwrap();
+    s.run().unwrap();
+    let mut fork = s.clone();
+    fork.assert_fact("r", &["cd"]).unwrap();
+    fork.run().unwrap();
+    assert_eq!(s.answers("p"), ["ab"], "original unaffected by the fork");
+    assert_eq!(fork.answers("p"), ["ab", "cd"]);
+}
+
+#[test]
+fn oversized_asserts_are_rejected_eagerly_without_poisoning() {
+    // Domain closure interns O(len²) windows, so the assert path enforces
+    // max_seq_len *before* closure. Rejection leaves the interpretation
+    // untouched and the session healthy.
+    let config = EvalConfig {
+        max_seq_len: 8,
+        ..EvalConfig::default()
+    };
+    let mut s = session("p(X) :- r(X).", config);
+    let long = "a".repeat(9);
+    match s.assert_fact("r", &[&long]) {
+        Err(EvalError::Budget { kind, .. }) => assert_eq!(kind, BudgetKind::SeqLen),
+        other => panic!("expected SeqLen budget rejection, got {other:?}"),
+    }
+    assert!(matches!(
+        s.assert_seq(&long),
+        Err(EvalError::Budget { .. })
+    ));
+    assert!(!s.is_poisoned(), "eager rejection must not poison");
+    assert_eq!(s.stats().facts, 0, "no fact entered the interpretation");
+    // The session keeps serving within budget.
+    s.assert_fact("r", &["ab"]).unwrap();
+    s.run().unwrap();
+    assert_eq!(s.query("p"), vec![vec!["ab".to_string()]]);
+}
+
+#[test]
+fn assert_floods_are_stopped_by_the_cumulative_budgets() {
+    // The size budgets must bite on the assert path too: once the state
+    // already exceeds max_facts, further asserts are refused (bounded
+    // overshoot of one fact), without waiting for the next run() — and
+    // without poisoning.
+    let config = EvalConfig {
+        max_facts: 3,
+        ..EvalConfig::default()
+    };
+    let mut s = session("p(X) :- r(X).", config);
+    let mut accepted = 0;
+    let mut refused = 0;
+    for i in 0..10 {
+        match s.assert_fact("r", &[&format!("w{i}")]) {
+            Ok(true) => accepted += 1,
+            Ok(false) => unreachable!("all words distinct"),
+            Err(EvalError::Budget { kind, .. }) => {
+                assert_eq!(kind, BudgetKind::Facts);
+                refused += 1;
+            }
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+    assert_eq!(accepted, 4, "overshoot bounded at max_facts + 1");
+    assert_eq!(refused, 6);
+    assert!(!s.is_poisoned(), "budget refusal must not poison");
+}

@@ -71,7 +71,7 @@ proptest! {
     #[test]
     fn index_window_matches_definition(len in 0usize..20, n1 in -3i64..25, n2 in -3i64..25) {
         // Section 3.2: s[n1:n2] is defined iff 1 ≤ n1 ≤ n2+1 ≤ len+1.
-        let defined = 1 <= n1 && n1 <= n2 + 1 && n2 + 1 <= len as i64 + 1;
+        let defined = 1 <= n1 && n1 <= n2 + 1 && n2 < len as i64 + 1;
         prop_assert_eq!(index_window(len, n1, n2).is_some(), defined);
         if let Some((s, e)) = index_window(len, n1, n2) {
             prop_assert!(s <= e && e <= len);

@@ -1,0 +1,348 @@
+//! Random *safe* Sequence Datalog cases, plus the differential harness
+//! that evaluates them along independent routes.
+//!
+//! The fragment-sensitivity results around Sequence Datalog (expressiveness
+//! depends delicately on which operations — indexing, construction, free
+//! variables — a fragment admits) make randomized cross-fragment testing
+//! the right safety net for an optimized engine: each generated program
+//! composes a few *shapes* drawn from the fragments the evaluator treats
+//! differently (delta-driven joins, domain-sensitive clauses, constructive
+//! heads, equality literals), and every case is terminating by
+//! construction, so `batch ≡ incremental ≡ parallel` is decidable per case.
+//!
+//! Generation is built on the workspace's `proptest` shim: strategies are
+//! deterministic per test name ([`proptest::test_runner::TestRng`]), so a
+//! failing case reproduces by running the same test — the seed is pinned by
+//! construction. See `tests/fuzz_differential.rs` at the workspace root for
+//! the assertions.
+
+use proptest::collection;
+use proptest::prop_oneof;
+use proptest::strategy::Strategy;
+use proptest::test_runner::TestRng;
+use seqlog_core::eval::interp::FactStore;
+use seqlog_core::{Database, Engine, EvalConfig, EvalError, EvalStats};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One generated differential case: a safe program plus base-fact batches.
+///
+/// All base facts are unary over the feed predicates `r0`/`r1`; the
+/// batches model arrival order — a session asserts them one batch at a
+/// time, batch evaluation sees their union.
+#[derive(Clone, Debug)]
+pub struct FuzzCase {
+    /// Program source (terminating by construction).
+    pub program: String,
+    /// Fact batches in arrival order: `(pred, word)` per fact.
+    pub batches: Vec<Vec<(String, String)>>,
+}
+
+impl FuzzCase {
+    /// All facts of every batch, in arrival order.
+    pub fn union_facts(&self) -> impl Iterator<Item = &(String, String)> {
+        self.batches.iter().flatten()
+    }
+
+    /// Total fact count across batches.
+    pub fn fact_count(&self) -> usize {
+        self.batches.iter().map(Vec::len).sum()
+    }
+}
+
+impl fmt::Display for FuzzCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program:\n{}", self.program)?;
+        for (i, b) in self.batches.iter().enumerate() {
+            writeln!(f, "batch {i}: {b:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Strategy producing [`FuzzCase`]s. Tunables bound the worst case so a
+/// few hundred cases stay fast in debug builds.
+pub struct CaseStrategy {
+    /// Shape instances composed per program (1..=max).
+    pub max_shapes: usize,
+    /// Fact batches per case (1..=max).
+    pub max_batches: usize,
+    /// Facts per batch (0..=max; at least one fact overall is guaranteed).
+    pub max_facts_per_batch: usize,
+    /// Maximum word length (alphabet `{a, b, c}`, empty words included).
+    pub max_word_len: usize,
+}
+
+impl Default for CaseStrategy {
+    fn default() -> Self {
+        Self {
+            max_shapes: 3,
+            max_batches: 4,
+            max_facts_per_batch: 3,
+            max_word_len: 5,
+        }
+    }
+}
+
+/// The default case strategy.
+pub fn cases() -> CaseStrategy {
+    CaseStrategy::default()
+}
+
+fn word_strategy(max_len: usize) -> impl Strategy<Value = String> {
+    collection::vec(prop_oneof!["a", "b", "c"], 0..max_len + 1).prop_map(|v| v.concat())
+}
+
+/// Number of distinct program shapes [`CaseStrategy`] draws from.
+pub const SHAPE_COUNT: usize = 9;
+
+/// Emit the clauses of shape `kind` (see the module docs), with predicate
+/// names suffixed by `u` so composed instances never collide, feeding from
+/// base predicate `r{base}`.
+fn shape_clauses(kind: usize, u: usize, base: usize, out: &mut String) {
+    use std::fmt::Write as _;
+    match kind {
+        // Three-predicate mutually recursive trimming chain: drives
+        // semi-naive deltas across several predicates and many rounds.
+        0 => {
+            let _ = writeln!(out, "c{u}x0(X) :- r{base}(X).");
+            let _ = writeln!(out, "c{u}x1(X[2:end]) :- c{u}x0(X), X != \"\".");
+            let _ = writeln!(out, "c{u}x2(X[2:end]) :- c{u}x1(X), X != \"\".");
+            let _ = writeln!(out, "c{u}x0(X[2:end]) :- c{u}x2(X), X != \"\".");
+        }
+        // Suffix enumeration: free index variable ⇒ domain-sensitive.
+        1 => {
+            let _ = writeln!(out, "suf{u}(X[N:end]) :- r{base}(X).");
+        }
+        // Prefix enumeration (same fragment, other edge).
+        2 => {
+            let _ = writeln!(out, "pre{u}(X[1:N]) :- r{base}(X).");
+        }
+        // Self-join over a trimmed predicate: wide cross-product rounds,
+        // the case the parallel match phase shards.
+        3 => {
+            let _ = writeln!(out, "t{u}(X) :- r{base}(X).");
+            let _ = writeln!(out, "t{u}(X[3:end]) :- t{u}(X), X != \"\".");
+            let _ = writeln!(out, "pair{u}(X, Y) :- t{u}(X), t{u}(Y).");
+        }
+        // Stratified construction: concat heads grow the domain without
+        // recursion through `++` (Example 5.1's safe pattern).
+        4 => {
+            let _ = writeln!(out, "dbl{u}(X ++ X) :- r{base}(X).");
+            let _ = writeln!(out, "cat{u}(X ++ Y) :- r0(X), r1(Y).");
+        }
+        // Equality literal with indices bound only by occurrence matching
+        // (indices are inclusive: `X[N:N]` is the length-1 window at N):
+        // domain-sensitive through its index variable.
+        5 => {
+            let _ = writeln!(out, "occ{u}(X) :- r{base}(X), X[N:N] = \"a\".");
+        }
+        // Free head variable: Y ranges over the *whole* extended active
+        // domain (Definition 4). The only shape whose old facts derive new
+        // tuples purely because the domain grew — it is what forces the
+        // resume path to re-run domain-sensitive clauses, and a mutation
+        // that skips that refire is caught by this shape alone.
+        6 => {
+            let _ = writeln!(out, "fr{u}(X, Y) :- r{base}(X).");
+        }
+        // Ground domain-sensitive clause: empty body, free head variable.
+        // Regression shape for the planner ordering bug where body-empty
+        // clauses were skipped before the domain-growth refire check.
+        7 => {
+            let _ = writeln!(out, "gd{u}(X, X) :- true.");
+        }
+        // Two-predicate mutual recursion with a guard inequality.
+        _ => {
+            let _ = writeln!(out, "m{u}p(X) :- r{base}(X).");
+            let _ = writeln!(out, "m{u}p(X[2:end]) :- m{u}q(X), X != \"\".");
+            let _ = writeln!(out, "m{u}q(X) :- m{u}p(X).");
+        }
+    }
+}
+
+impl Strategy for CaseStrategy {
+    type Value = FuzzCase;
+
+    fn generate(&self, rng: &mut TestRng) -> FuzzCase {
+        let words = word_strategy(self.max_word_len);
+        let n_shapes = 1 + (rng.next_u64() as usize) % self.max_shapes;
+        let mut program = String::new();
+        for u in 0..n_shapes {
+            let kind = (rng.next_u64() as usize) % SHAPE_COUNT;
+            let base = (rng.next_u64() as usize) % 2;
+            shape_clauses(kind, u, base, &mut program);
+        }
+        let n_batches = 1 + (rng.next_u64() as usize) % self.max_batches;
+        let mut batches: Vec<Vec<(String, String)>> = (0..n_batches)
+            .map(|_| {
+                let n_facts = (rng.next_u64() as usize) % (self.max_facts_per_batch + 1);
+                (0..n_facts)
+                    .map(|_| {
+                        let pred = format!("r{}", rng.next_u64() % 2);
+                        (pred, words.generate(rng))
+                    })
+                    .collect()
+            })
+            .collect();
+        if batches.iter().all(Vec::is_empty) {
+            batches[0].push(("r0".to_string(), words.generate(rng)));
+        }
+        FuzzCase { program, batches }
+    }
+}
+
+/// The observable result of evaluating a case: either the rendered extents
+/// of every predicate (in per-relation insertion order), or the error it
+/// failed with. [`Outcome::extents_sorted`] gives the set-level view for
+/// cross-route comparison.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Evaluation settled: per-predicate extents and final stats.
+    Model {
+        /// Rendered tuples per predicate, insertion order.
+        extents: BTreeMap<String, Vec<Vec<String>>>,
+        /// Final statistics.
+        stats: EvalStats,
+    },
+    /// Evaluation failed (rendered via `Debug` of the error's budget kind,
+    /// or `Display` for non-budget errors).
+    Failed(String),
+}
+
+impl Outcome {
+    fn from_error(e: &EvalError) -> Self {
+        match e {
+            EvalError::Budget { kind, .. } => Outcome::Failed(format!("budget:{kind:?}")),
+            other => Outcome::Failed(other.to_string()),
+        }
+    }
+
+    /// Extents with each relation's tuples sorted — equal across routes
+    /// that agree set-wise but not on insertion order (batch vs session).
+    pub fn extents_sorted(&self) -> Option<BTreeMap<String, Vec<Vec<String>>>> {
+        match self {
+            Outcome::Model { extents, .. } => {
+                let mut out = extents.clone();
+                for v in out.values_mut() {
+                    v.sort();
+                }
+                Some(out)
+            }
+            Outcome::Failed(_) => None,
+        }
+    }
+
+    /// The failure label, if the route failed.
+    pub fn failure(&self) -> Option<&str> {
+        match self {
+            Outcome::Failed(s) => Some(s),
+            Outcome::Model { .. } => None,
+        }
+    }
+}
+
+fn render_store(e: &Engine, facts: &FactStore) -> BTreeMap<String, Vec<Vec<String>>> {
+    facts
+        .predicates()
+        .map(|pred| {
+            let rows = facts
+                .relation_named(pred)
+                .map(|rel| {
+                    rel.iter()
+                        .map(|t| t.iter().map(|&id| e.render(id)).collect())
+                        .collect()
+                })
+                .unwrap_or_default();
+            (pred.to_string(), rows)
+        })
+        .collect()
+}
+
+/// Evaluate the union of all batches in one shot.
+pub fn batch_outcome(case: &FuzzCase, config: &EvalConfig) -> Outcome {
+    let mut e = Engine::new();
+    let program = e
+        .parse_program(&case.program)
+        .expect("generated programs parse");
+    // The union database, assembled batch-wise (Database::extend_from is
+    // the boundary the session route's assert_db mirrors).
+    let mut db = Database::new();
+    for batch in &case.batches {
+        let mut batch_db = Database::new();
+        for (pred, word) in batch {
+            e.add_fact(&mut batch_db, pred, &[word]);
+        }
+        db.extend_from(&batch_db);
+    }
+    match e.evaluate_with(&program, &db, config) {
+        Ok(m) => Outcome::Model {
+            stats: m.stats,
+            extents: render_store(&e, &m.facts),
+        },
+        Err(err) => Outcome::from_error(&err),
+    }
+}
+
+/// Evaluate incrementally: open a session, assert one batch at a time with
+/// a resume after each. The first failing resume ends the route (sessions
+/// poison on error).
+pub fn incremental_outcome(case: &FuzzCase, config: &EvalConfig) -> Outcome {
+    let mut e = Engine::new();
+    let program = e
+        .parse_program(&case.program)
+        .expect("generated programs parse");
+    let mut session = e
+        .into_session(&program, *config)
+        .expect("generated programs compile");
+    for batch in &case.batches {
+        for (pred, word) in batch {
+            if let Err(err) = session.assert_fact(pred, &[word.as_str()]) {
+                return Outcome::from_error(&err);
+            }
+        }
+        if let Err(err) = session.run() {
+            return Outcome::from_error(&err);
+        }
+    }
+    let model = session.snapshot();
+    let extents = session
+        .predicates()
+        .map(|pred| (pred.to_string(), session.query(pred)))
+        .collect();
+    Outcome::Model {
+        extents,
+        stats: model.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_cases_parse_and_settle() {
+        let mut rng = TestRng::from_name("generated_cases_parse_and_settle");
+        let strat = cases();
+        for _ in 0..32 {
+            let case = strat.generate(&mut rng);
+            assert!(case.fact_count() >= 1, "{case}");
+            let out = batch_outcome(&case, &EvalConfig::default());
+            assert!(out.failure().is_none(), "default budgets must fit: {case}");
+        }
+    }
+
+    #[test]
+    fn shapes_cover_all_kinds() {
+        // Pin the shape table: each kind emits at least one clause and
+        // parses on its own.
+        for kind in 0..SHAPE_COUNT {
+            let mut src = String::new();
+            shape_clauses(kind, 0, 0, &mut src);
+            assert!(!src.is_empty());
+            let mut e = Engine::new();
+            e.parse_program(&src).unwrap_or_else(|err| {
+                panic!("shape {kind} must parse: {err}\n{src}");
+            });
+        }
+    }
+}

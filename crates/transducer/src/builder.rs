@@ -136,6 +136,7 @@ pub struct SynthStep<S> {
 /// Only (state, read) pairs reachable from `initial` are explored, so the
 /// abstract state type may be unbounded (e.g. carry buffered symbols) as long
 /// as the *reachable* portion is finite.
+#[allow(clippy::too_many_arguments)] // public API: explicit parameters beat a config struct here
 pub fn synthesize<S: Eq + Hash + Clone>(
     name: impl Into<String>,
     num_inputs: usize,

@@ -425,7 +425,7 @@ mod tests {
         let (mut a, syms) = ab_alphabet();
         let t = square(&mut a, &syms);
         for n in 0..8 {
-            let x: Vec<Sym> = std::iter::repeat(syms[0]).take(n).collect();
+            let x: Vec<Sym> = std::iter::repeat_n(syms[0], n).collect();
             let out = run_to_vec(&t, &[&x]).unwrap();
             assert_eq!(out.len(), n * n);
         }
@@ -462,7 +462,7 @@ mod tests {
         assert_eq!(t.order(), 3);
         let mut stats = ExecStats::default();
         for (n, expected) in [(1, 1), (2, 2), (3, 4), (4, 16), (5, 256), (6, 65_536)] {
-            let x: Vec<Sym> = std::iter::repeat(syms[0]).take(n).collect();
+            let x: Vec<Sym> = std::iter::repeat_n(syms[0], n).collect();
             let out = run(&t, &[&x], &ExecLimits::default(), &mut stats).unwrap();
             assert_eq!(out.len(), expected, "input length {n}");
         }

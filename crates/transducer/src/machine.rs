@@ -236,7 +236,7 @@ impl Transducer {
                     got: t.moves.len(),
                 });
             }
-            if !t.moves.iter().any(|m| *m == HeadMove::Consume) {
+            if !t.moves.contains(&HeadMove::Consume) {
                 return Err(MachineError::NoHeadMoves { state });
             }
             for (i, (&sym, &mv)) in read.iter().zip(t.moves.iter()).enumerate() {

@@ -220,7 +220,7 @@ mod tests {
             assert_eq!(net.diameter(), d);
             assert_eq!(net.order(), 2);
             let n = 3usize;
-            let input: Vec<_> = std::iter::repeat(syms[0]).take(n).collect();
+            let input: Vec<_> = std::iter::repeat_n(syms[0], n).collect();
             let out = net.run_simple(&[&input]).unwrap();
             assert_eq!(out.len(), n.pow(2u32.pow(d as u32)));
         }

@@ -144,7 +144,7 @@ fn square_output_on_empty_input_is_empty() {
 fn output_limit_stops_the_order_3_pump() {
     let (mut a, syms, _) = setup("");
     let t = library::exp(&mut a, &syms);
-    let input: Vec<Sym> = std::iter::repeat(syms[0]).take(8).collect();
+    let input: Vec<Sym> = std::iter::repeat_n(syms[0], 8).collect();
     let limits = ExecLimits {
         max_output_len: 1 << 16,
         ..Default::default()

@@ -2,13 +2,14 @@
 # Short benchmark smoke run: measures the headline benchmarks with a 1s
 # budget per benchmark and aggregates per-benchmark medians into
 # BENCH_<N>.json at the repo root, so successive PRs can track the perf
-# trajectory. Includes the parallel_scaling bench, which sweeps the same
-# workloads over EvalConfig::threads ∈ {1,2,4,8}.
-# Usage: scripts/bench_check.sh [N]  (default N=2).
+# trajectory. Includes the parallel_scaling bench (the same workloads swept
+# over EvalConfig::threads ∈ {1,2,4,8}) and the incremental_update bench
+# (small session delta on a ≥5k-fact settled base vs batch re-evaluation).
+# Usage: scripts/bench_check.sh [N]  (default N=3).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-N="${1:-2}"
+N="${1:-3}"
 OUT="BENCH_${N}.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
@@ -16,7 +17,7 @@ trap 'rm -f "$RAW"' EXIT
 # The criterion shim appends one JSON object per benchmark to $BENCH_JSON.
 BENCH_JSON="$RAW" cargo bench -q -p seqlog-bench \
     --bench ex15_recursion --bench thm3_ptime --bench fig2_square \
-    --bench parallel_scaling \
+    --bench parallel_scaling --bench incremental_update \
     -- --measurement-time 1
 
 {

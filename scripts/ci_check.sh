@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The full pre-merge check: tier-1 (release build + every test suite,
+# which includes the pinned-seed differential fuzz suite in
+# tests/fuzz_differential.rs) plus a zero-warning clippy pass over every
+# target. The fuzz generator is seeded from test names (see
+# crates/shims/proptest), so a failure here reproduces locally by running
+# the same test — no seed to copy around.
+# Usage: scripts/ci_check.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (includes tests/fuzz_differential.rs with its pinned seed)"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "ci_check: all green"

@@ -1,0 +1,128 @@
+//! Property-based differential fuzzing: **batch ≡ incremental ≡ parallel**.
+//!
+//! `seqlog_testkit` generates safe (terminating-by-construction) programs
+//! composed of shapes the evaluator treats differently — delta-driven
+//! joins, domain-sensitive clauses, constructive heads, equality literals —
+//! plus base-fact batches modeling arrival order. For every case and every
+//! thread count in {1, 2, 4, 8} these properties demand:
+//!
+//! * batch evaluation is **bit-for-bit** identical across thread counts
+//!   (extents in insertion order *and* `EvalStats`);
+//! * incremental evaluation (a session asserting one batch at a time,
+//!   resuming after each) is bit-for-bit identical across thread counts;
+//! * batch and incremental agree **extensionally** (same relations as
+//!   sets; insertion order may differ because facts settle in arrival
+//!   order);
+//! * under a tightened `max_facts`, both routes fail with the same budget
+//!   kind at every thread count;
+//! * the naive strategy agrees with all of the above.
+//!
+//! The generator is deterministic per test name (the shim's `TestRng`), so
+//! the seed is pinned: a CI failure reproduces locally by running the same
+//! test, and `scripts/ci_check.sh` runs this suite on every check.
+
+use proptest::prelude::*;
+use seqlog_testkit::{batch_outcome, cases, incremental_outcome, Outcome};
+use sequence_datalog::core::{EvalConfig, Strategy as EvalStrategy};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn batch_equals_incremental_at_every_thread_count(case in cases()) {
+        let reference = batch_outcome(&case, &EvalConfig::with_threads(1));
+        let expected = reference
+            .extents_sorted()
+            .unwrap_or_else(|| panic!("default budgets must fit generated cases:\n{case}"));
+        let incremental_reference = incremental_outcome(&case, &EvalConfig::with_threads(1));
+        prop_assert_eq!(
+            incremental_reference.extents_sorted().as_ref(),
+            Some(&expected),
+            "incremental differs extensionally from batch\n{}",
+            case
+        );
+        for t in [2usize, 4, 8] {
+            let cfg = EvalConfig::with_threads(t);
+            // Batch: bit-for-bit (insertion order + stats) across threads.
+            prop_assert_eq!(
+                &batch_outcome(&case, &cfg),
+                &reference,
+                "batch at threads={} is not bit-for-bit identical\n{}",
+                t,
+                case
+            );
+            // Incremental: bit-for-bit across threads too.
+            prop_assert_eq!(
+                &incremental_outcome(&case, &cfg),
+                &incremental_reference,
+                "incremental at threads={} is not bit-for-bit identical\n{}",
+                t,
+                case
+            );
+        }
+    }
+
+    #[test]
+    fn budget_errors_agree_between_batch_and_incremental(case in cases()) {
+        let reference = batch_outcome(&case, &EvalConfig::default());
+        let Outcome::Model { stats, .. } = &reference else {
+            panic!("default budgets must fit generated cases:\n{case}");
+        };
+        // Tighten max_facts below the known fixpoint size: every route must
+        // now exhaust the Facts budget, at every thread count. (Cases whose
+        // fixpoint is tiny can't be made to fail this way; skip them.)
+        if stats.facts >= 4 {
+            let max_facts = stats.facts / 2;
+            for t in THREADS {
+                let cfg = EvalConfig {
+                    threads: t,
+                    max_facts,
+                    ..EvalConfig::default()
+                };
+                prop_assert_eq!(
+                    batch_outcome(&case, &cfg).failure(),
+                    Some("budget:Facts"),
+                    "batch at threads={} must exhaust the Facts budget\n{}",
+                    t,
+                    case
+                );
+                prop_assert_eq!(
+                    incremental_outcome(&case, &cfg).failure(),
+                    Some("budget:Facts"),
+                    "incremental at threads={} must exhaust the Facts budget\n{}",
+                    t,
+                    case
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(50))]
+
+    #[test]
+    fn naive_strategy_agrees_on_generated_cases(case in cases()) {
+        let expected = batch_outcome(&case, &EvalConfig::default())
+            .extents_sorted()
+            .unwrap_or_else(|| panic!("default budgets must fit generated cases:\n{case}"));
+        let naive_cfg = EvalConfig {
+            strategy: EvalStrategy::Naive,
+            ..EvalConfig::default()
+        };
+        prop_assert_eq!(
+            batch_outcome(&case, &naive_cfg).extents_sorted().as_ref(),
+            Some(&expected),
+            "naive batch differs\n{}",
+            case
+        );
+        prop_assert_eq!(
+            incremental_outcome(&case, &naive_cfg).extents_sorted().as_ref(),
+            Some(&expected),
+            "naive incremental differs\n{}",
+            case
+        );
+    }
+}

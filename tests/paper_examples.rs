@@ -275,6 +275,219 @@ fn section_2_1_subsequence_count() {
     assert_eq!(m.domain.len(), 7 * 8 / 2 + 1);
 }
 
+// ---------------------------------------------------------------------------
+// Incremental coverage: every paper program above is also run through the
+// session path — facts asserted one batch at a time, with a resume after
+// each — and the final extents must equal the one-shot model's. This closes
+// the gap where paper fidelity was only checked in batch mode.
+// ---------------------------------------------------------------------------
+
+type Setup = fn(&mut Engine);
+
+fn no_setup(_: &mut Engine) {}
+
+fn genome_setup(e: &mut Engine) {
+    let transcribe = library::transcribe(&mut e.alphabet);
+    let translate = library::translate(&mut e.alphabet);
+    e.register_transducer("transcribe", transcribe);
+    e.register_transducer("translate", translate);
+}
+
+fn echo_setup(e: &mut Engine) {
+    let syms: Vec<_> = "ab".chars().map(|c| e.alphabet.intern_char(c)).collect();
+    let echo = library::echo(&mut e.alphabet, &syms);
+    e.register_transducer("echo", echo);
+}
+
+/// Evaluate `src` once over all `facts`, then again through a session
+/// asserting one fact per batch; the extents of every program predicate
+/// must agree (as sets — insertion order legitimately differs because
+/// facts settle in arrival order).
+fn assert_incremental_matches_batch(src: &str, facts: &[(&str, &[&str])], setup: Setup) {
+    let mut e1 = Engine::new();
+    setup(&mut e1);
+    let p1 = e1.parse_program(src).unwrap();
+    let mut db = Database::new();
+    for (pred, args) in facts {
+        e1.add_fact(&mut db, pred, args);
+    }
+    let batch = e1.evaluate(&p1, &db).unwrap();
+
+    let mut e2 = Engine::new();
+    setup(&mut e2);
+    let p2 = e2.parse_program(src).unwrap();
+    // One Database per batch (here: per fact), interned against the store
+    // the session is about to take over — the assert_db arrival path.
+    let batch_dbs: Vec<Database> = facts
+        .iter()
+        .map(|(pred, args)| {
+            let mut db = Database::new();
+            e2.add_fact(&mut db, pred, args);
+            db
+        })
+        .collect();
+    let mut session = e2.into_session(&p2, EvalConfig::default()).unwrap();
+    // Settle the ground program clauses before any base fact arrives.
+    session.run().unwrap();
+    for db in &batch_dbs {
+        session.assert_db(db).unwrap();
+        session.run().unwrap();
+    }
+
+    for pred in p1.predicates() {
+        let mut a = e1.rendered_tuples(&batch, &pred);
+        let mut b = session.query(&pred);
+        a.sort();
+        b.sort();
+        assert_eq!(
+            a, b,
+            "extent of {pred} differs between batch and incremental for:\n{src}"
+        );
+    }
+}
+
+/// One incremental-coverage case: program source, facts, engine setup.
+type PaperCase = (
+    &'static str,
+    &'static [(&'static str, &'static [&'static str])],
+    Setup,
+);
+
+#[test]
+fn paper_programs_incremental_equals_batch() {
+    let abc_facts: &[(&str, &[&str])] = &[
+        ("r", &["abc"]),
+        ("r", &["aaabbbccc"]),
+        ("r", &["aabbcc"]),
+        ("r", &["abcabc"]),
+        ("r", &[""]),
+    ];
+    let cases: &[PaperCase] = &[
+        // Example 1.1 — suffixes.
+        ("suffix(X[N:end]) :- r(X).", &[("r", &["abcd"]), ("r", &["xy"])], no_setup),
+        // Example 1.2 — concatenations.
+        ("answer(X ++ Y) :- r(X), r(Y).", &[("r", &["ab"]), ("r", &["c"])], no_setup),
+        // Example 1.3 — a^n b^n c^n pattern matching.
+        (
+            r#"
+            answer(X) :- r(X), abcn(X[1:N1], X[N1+1:N2], X[N2+1:end]).
+            abcn("", "", "") :- true.
+            abcn(X, Y, Z) :- X[1] = "a", Y[1] = "b", Z[1] = "c",
+                             abcn(X[2:end], Y[2:end], Z[2:end]).
+            "#,
+            abc_facts,
+            no_setup,
+        ),
+        // Example 1.4 — reverse.
+        (
+            r#"
+            answer(Y) :- r(X), rev(X, Y).
+            rev("", "") :- true.
+            rev(X[1:N+1], X[N+1] ++ Y) :- r(X), rev(X[1:N], Y).
+            "#,
+            &[("r", &["110000"]), ("r", &["10"])],
+            no_setup,
+        ),
+        // Example 1.5 — rep1 (structural, finite).
+        (
+            r#"
+            rep1(X, X) :- true.
+            rep1(X, X[1:N]) :- rep1(X[N+1:end], X[1:N]).
+            "#,
+            &[("seq", &["abcdabcdabcd"])],
+            no_setup,
+        ),
+        // Example 5.1 — stratified construction.
+        (
+            "double(X ++ X) :- r(X).\nquadruple(X ++ X) :- double(X).",
+            &[("r", &["xy"]), ("r", &["z"])],
+            no_setup,
+        ),
+        // Example 1.6 (safe half) — transducer echo.
+        (
+            "answer(X, @echo(X, X)) :- rel(X).",
+            &[("rel", &["ab"]), ("rel", &["ba"])],
+            echo_setup,
+        ),
+        // Example 7.1 — DNA → RNA → protein via transducers.
+        (
+            "rnaseq(D, @transcribe(D)) :- dnaseq(D).\n\
+             proteinseq(D, @translate(R)) :- rnaseq(D, R).",
+            &[("dnaseq", &["acgtacgt"]), ("dnaseq", &["ttaa"])],
+            genome_setup,
+        ),
+        // Example 7.2 — hand-written transcription in Sequence Datalog.
+        (
+            r#"
+            rnaseq(D, R) :- dnaseq(D), transcribe(D, R).
+            transcribe("", "") :- true.
+            transcribe(D[1:N+1], R ++ T) :- dnaseq(D), transcribe(D[1:N], R),
+                                            trans(D[N+1], T).
+            trans("a", "u").
+            trans("t", "a").
+            trans("c", "g").
+            trans("g", "c").
+            "#,
+            &[("dnaseq", &["acgtacgt"]), ("dnaseq", &["ttaa"])],
+            no_setup,
+        ),
+        // Section 2.1 — subsequence count.
+        ("member(X) :- r(X).", &[("r", &["abcdefg"])], no_setup),
+        // Definition 5 — the complement function convention.
+        (
+            r#"
+            output(Y) :- comp(X, Y), input(X).
+            comp("", "") :- true.
+            comp(X[1:N+1], Y ++ B) :- input(X), comp(X[1:N], Y), flip(X[N+1], B).
+            flip("0", "1").
+            flip("1", "0").
+            "#,
+            &[("input", &["1100"])],
+            no_setup,
+        ),
+    ];
+    for (src, facts, setup) in cases {
+        assert_incremental_matches_batch(src, facts, *setup);
+    }
+}
+
+#[test]
+fn diverging_paper_programs_also_exhaust_budgets_incrementally() {
+    // Example 1.5 rep2 and Example 1.6 echo have infinite least fixpoints:
+    // the session route must fail with a budget error just like batch
+    // evaluation, and the failure must poison the session.
+    let cases: &[(&str, (&str, &[&str]))] = &[
+        (
+            "rep2(X, X) :- seq(X).\nrep2(X ++ Y, Y) :- rep2(X, Y).",
+            ("seq", &["ab"]),
+        ),
+        (
+            r#"
+            answer(X, Y) :- rel(X), echo(X, Y).
+            echo("", "") :- true.
+            echo(X, X[1] ++ X[1] ++ Z) :- echo(X[2:end], Z).
+            "#,
+            ("rel", &["ab"]),
+        ),
+    ];
+    for (src, (pred, args)) in cases {
+        let mut e = Engine::new();
+        let p = e.parse_program(src).unwrap();
+        let mut session = e.into_session(&p, EvalConfig::probe()).unwrap();
+        session.run().unwrap();
+        session.assert_fact(pred, args).unwrap();
+        match session.run() {
+            Err(EvalError::Budget { .. }) => {}
+            other => panic!("incremental evaluation must exhaust a budget, got {other:?}"),
+        }
+        assert!(session.is_poisoned());
+        assert!(matches!(
+            session.assert_fact(pred, &["x"]),
+            Err(EvalError::Poisoned { .. })
+        ));
+    }
+}
+
 #[test]
 fn definition_5_sequence_function_convention() {
     // A program expresses a function via db = {input(x)} and the output
