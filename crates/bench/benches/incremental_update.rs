@@ -34,7 +34,10 @@ fn bench(c: &mut Criterion) {
     // Differential pin: resumed == from-scratch on the final database.
     let full_facts = {
         let (mut e, p, db) = setup_rel(CHAIN_SRC, "chain0", &all_words);
-        e.evaluate(&p, &db).expect("full workload settles").stats.facts
+        e.evaluate(&p, &db)
+            .expect("full workload settles")
+            .stats
+            .facts
     };
     {
         let mut s = settled.clone();

@@ -9,7 +9,9 @@
 //! iteration asserts the fact count to pin that down.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use seqlog_bench::{abc_database, distinct_suffix_words, rng, setup, setup_rel, ABCN_SRC, PAIRS_SRC};
+use seqlog_bench::{
+    abc_database, distinct_suffix_words, rng, setup, setup_rel, ABCN_SRC, PAIRS_SRC,
+};
 use seqlog_core::eval::EvalConfig;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];

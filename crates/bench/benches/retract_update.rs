@@ -1,0 +1,129 @@
+//! One-fact retraction on a settled ≥8k-fact base vs batch re-evaluation
+//! of the surviving database (the Delete-and-Rederive value proposition).
+//!
+//! The workload is two independent trimming families sharing a session: a
+//! large *cold* family (a CHAIN_SRC-style mutually recursive chain plus a
+//! cross product, holding the bulk of the facts) and a small *hot* family.
+//! Retracting one hot seed word exercises the selective re-derive pass:
+//! only clauses whose head predicate lost tuples re-run, so the cold
+//! extents are never re-matched — while the batch route must re-derive all
+//! of them from scratch.
+//!
+//! Both routes are differentially pinned before timing: the maintained
+//! session's fact count must equal a from-scratch evaluation of the
+//! survivors. Session clones happen in `iter_batched` setup and are
+//! excluded from the measurement.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use seqlog_bench::distinct_suffix_words;
+use seqlog_core::EvalConfig;
+
+const HOT_COLD_SRC: &str = r#"
+    cold1(X[2:end]) :- cold0(X), X != "".
+    cold2(X[2:end]) :- cold1(X), X != "".
+    cold0(X[2:end]) :- cold2(X), X != "".
+    coldpairs(X, Y) :- cold0(X), cold2(Y).
+    hot1(X[2:end]) :- hot0(X), X != "".
+    hot0(X[2:end]) :- hot1(X), X != "".
+"#;
+
+/// The hot seed that gets retracted: short, tail symbol unused elsewhere.
+const RETRACT_WORD: &str = "abcabcabZ";
+/// A hot seed that stays (the hot family must not be trivially empty).
+const KEEP_WORD: &str = "bcabcabcY";
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("retract_update");
+    group.sample_size(10);
+
+    let cold_words = distinct_suffix_words(10, 40);
+
+    // Settle the full base once; every timed iteration works on a clone.
+    let settled = {
+        let mut e = seqlog_core::Engine::new();
+        let p = e.parse_program(HOT_COLD_SRC).expect("program parses");
+        let mut s = e
+            .into_session(&p, EvalConfig::default())
+            .expect("program compiles");
+        for w in &cold_words {
+            s.assert_fact("cold0", &[w]).unwrap();
+        }
+        s.assert_fact("hot0", &[RETRACT_WORD]).unwrap();
+        s.assert_fact("hot0", &[KEEP_WORD]).unwrap();
+        s.run().expect("workload settles");
+        s
+    };
+    let base_facts = settled.stats().facts;
+    assert!(
+        base_facts >= 8_000,
+        "settled base too small for the claim: {base_facts} facts"
+    );
+
+    // Differential pin: retract ≡ fresh batch evaluation of the survivors.
+    let mut survivor_words: Vec<(String, String)> = cold_words
+        .iter()
+        .map(|w| ("cold0".to_string(), w.clone()))
+        .collect();
+    survivor_words.push(("hot0".to_string(), KEEP_WORD.to_string()));
+    let survivor_facts = {
+        let mut e = seqlog_core::Engine::new();
+        let p = e.parse_program(HOT_COLD_SRC).expect("program parses");
+        let mut db = seqlog_core::Database::new();
+        for (pred, w) in &survivor_words {
+            e.add_fact(&mut db, pred, &[w]);
+        }
+        e.evaluate(&p, &db).expect("survivors settle").stats.facts
+    };
+    {
+        let mut s = settled.clone();
+        assert!(s.retract_fact("hot0", &[RETRACT_WORD]).unwrap());
+        assert_eq!(s.stats().facts, survivor_facts, "retract ≠ batch");
+    }
+
+    group.bench_with_input(
+        BenchmarkId::from_parameter(format!("retract1_on_{base_facts}facts")),
+        &settled,
+        |b, settled| {
+            b.iter_batched(
+                || settled.clone(),
+                |mut s| {
+                    assert!(s.retract_fact("hot0", &[RETRACT_WORD]).unwrap());
+                    let stats = s.stats();
+                    assert_eq!(stats.facts, survivor_facts);
+                    stats.facts
+                },
+                BatchSize::LargeInput,
+            )
+        },
+    );
+
+    group.bench_with_input(
+        BenchmarkId::from_parameter(format!("batch_reeval_{survivor_facts}facts")),
+        &survivor_words,
+        |b, words| {
+            b.iter_batched(
+                || {
+                    // Mirror setup_rel for the two-predicate survivor set.
+                    let mut e = seqlog_core::Engine::new();
+                    let p = e.parse_program(HOT_COLD_SRC).expect("program parses");
+                    let mut db = seqlog_core::Database::new();
+                    for (pred, w) in words {
+                        e.add_fact(&mut db, pred, &[w]);
+                    }
+                    (e, p, db)
+                },
+                |(mut e, p, db)| {
+                    let m = e.evaluate(&p, &db).unwrap();
+                    assert_eq!(m.stats.facts, survivor_facts);
+                    m.stats.facts
+                },
+                BatchSize::LargeInput,
+            )
+        },
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

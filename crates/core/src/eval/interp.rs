@@ -11,7 +11,7 @@
 //! clone), and per-column hash indexes for join candidate selection.
 
 use crate::compile::{PredId, PredTable};
-use seqlog_sequence::{FxHashMap, FxHasher, SeqId};
+use seqlog_sequence::{FxHashMap, FxHashSet, FxHasher, SeqId};
 use std::hash::Hasher;
 
 #[inline]
@@ -24,34 +24,45 @@ fn hash_tuple(tuple: &[SeqId]) -> u64 {
     h.finish()
 }
 
+/// Slot marker for a removed entry. A tombstone keeps the probe chains that
+/// ran through the slot intact (an empty slot would cut them short); lookups
+/// walk past it, and [`TupleIndex::rebuild`] (compaction) clears them.
+const TOMBSTONE: u32 = u32::MAX;
+
 /// Open-addressing index from tuple hash to tuple position: `slots` holds
-/// `pos + 1` (0 = empty) in a power-of-two table with linear probing.
-/// Duplicate detection therefore costs exactly one hash computation and one
-/// probe walk per insert — no separate `contains` + `insert` pair, and no
-/// tuple clone into a side set.
+/// `pos + 1` (0 = empty, [`TOMBSTONE`] = removed) in a power-of-two table
+/// with linear probing. Duplicate detection therefore costs exactly one hash
+/// computation and one probe walk per insert — no separate `contains` +
+/// `insert` pair, and no tuple clone into a side set.
 #[derive(Clone, Debug, Default)]
 struct TupleIndex {
     slots: Box<[u32]>,
+    /// Live tombstone count: buried slots still lengthen probe chains, so
+    /// they count toward the load factor until a rebuild clears them.
+    tombstones: usize,
 }
 
 impl TupleIndex {
     fn with_capacity(cap: usize) -> Self {
         Self {
             slots: vec![0u32; cap.next_power_of_two()].into_boxed_slice(),
+            tombstones: 0,
         }
     }
 
     /// Walk the probe sequence for `hash`; `matches(pos)` decides equality.
     /// Returns `Ok(pos)` when an equal tuple exists, `Err(slot)` with the
-    /// insertion slot otherwise.
+    /// insertion slot otherwise (reusing the first tombstone on the chain).
     #[inline]
     fn probe(&self, hash: u64, matches: impl Fn(u32) -> bool) -> Result<u32, usize> {
         debug_assert!(!self.slots.is_empty());
         let mask = self.slots.len() - 1;
         let mut i = (hash as usize) & mask;
+        let mut reusable: Option<usize> = None;
         loop {
             match self.slots[i] {
-                0 => return Err(i),
+                0 => return Err(reusable.unwrap_or(i)),
+                TOMBSTONE => reusable = reusable.or(Some(i)),
                 stored => {
                     let pos = stored - 1;
                     if matches(pos) {
@@ -63,14 +74,48 @@ impl TupleIndex {
         }
     }
 
+    /// The slot currently holding the position accepted by `matches`, if any.
+    #[inline]
+    fn find_slot(&self, hash: u64, matches: impl Fn(u32) -> bool) -> Option<usize> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            match self.slots[i] {
+                0 => return None,
+                TOMBSTONE => {}
+                stored => {
+                    if matches(stored - 1) {
+                        return Some(i);
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
     #[inline]
     fn occupy(&mut self, slot: usize, pos: u32) {
+        if self.slots[slot] == TOMBSTONE {
+            self.tombstones -= 1;
+        }
         self.slots[slot] = pos + 1;
+    }
+
+    /// Tombstone the slot holding position `pos` (found via `hash`).
+    fn bury(&mut self, hash: u64, pos: u32) {
+        if let Some(slot) = self.find_slot(hash, |p| p == pos) {
+            self.slots[slot] = TOMBSTONE;
+            self.tombstones += 1;
+        }
     }
 
     fn rebuild(&mut self, hashes: &[u64]) {
         let cap = (hashes.len() * 2).max(8).next_power_of_two();
         self.slots = vec![0u32; cap].into_boxed_slice();
+        self.tombstones = 0;
         let mask = cap - 1;
         for (pos, &hash) in hashes.iter().enumerate() {
             let mut i = (hash as usize) & mask;
@@ -83,6 +128,16 @@ impl TupleIndex {
 }
 
 /// The tuples of one predicate.
+///
+/// Removal ([`Relation::remove`]/[`Relation::remove_at`]) is two-phase:
+/// removed tuples stay at their positions as *tombstones* (their index slots
+/// are buried so probe chains survive, their column-index postings are
+/// withdrawn) until [`Relation::compact`] rebuilds the dense representation.
+/// Positions are therefore stable across a batch of removals — which is what
+/// the retraction machinery relies on — and compaction preserves the
+/// relative insertion order of the surviving tuples, so the engine's
+/// thread-determinism guarantee (identical per-relation iteration order for
+/// every thread count) is unaffected by deletions.
 #[derive(Clone, Debug, Default)]
 pub struct Relation {
     tuples: Vec<Box<[SeqId]>>,
@@ -91,12 +146,18 @@ pub struct Relation {
     index: TupleIndex,
     /// `col_index[c][v]` = positions of tuples with value `v` in column `c`.
     col_index: Vec<FxHashMap<SeqId, Vec<u32>>>,
+    /// Positions removed but not yet compacted away (normally empty).
+    dead: FxHashSet<u32>,
 }
 
 impl Relation {
     /// Insert a tuple; returns `true` when it was new. Exactly one hash
     /// computation and one probe walk; the tuple is moved, never cloned.
     pub fn insert(&mut self, tuple: Box<[SeqId]>) -> bool {
+        debug_assert!(
+            self.dead.is_empty(),
+            "insert into a relation with pending tombstones; compact first"
+        );
         if self.index.slots.is_empty() {
             self.index = TupleIndex::with_capacity(8);
         }
@@ -117,8 +178,9 @@ impl Relation {
         }
         self.tuples.push(tuple);
         self.hashes.push(hash);
-        // Grow at 3/4 load so probe chains stay short.
-        if self.tuples.len() * 4 >= self.index.slots.len() * 3 {
+        // Grow at 3/4 load so probe chains stay short (tombstones left by
+        // a tail-only compaction still occupy chain slots, so they count).
+        if (self.tuples.len() + self.index.tombstones) * 4 >= self.index.slots.len() * 3 {
             self.index.rebuild(&self.hashes);
         } else {
             self.index.occupy(slot, pos);
@@ -140,14 +202,109 @@ impl Relation {
             .is_ok()
     }
 
-    /// Number of tuples.
+    /// Position of `tuple`, if present (and not tombstoned).
+    pub fn position_of(&self, tuple: &[SeqId]) -> Option<u32> {
+        if self.tuples.is_empty() {
+            return None;
+        }
+        let hash = hash_tuple(tuple);
+        self.index
+            .probe(hash, |pos| {
+                let p = pos as usize;
+                self.hashes[p] == hash && self.tuples[p][..] == tuple[..]
+            })
+            .ok()
+    }
+
+    /// Remove the tuple at position `pos`: bury its index slot, withdraw its
+    /// column-index postings, and leave a tombstone at the position so that
+    /// other positions stay stable until [`Relation::compact`] runs. Returns
+    /// `false` when `pos` is already dead.
+    pub fn remove_at(&mut self, pos: u32) -> bool {
+        let p = pos as usize;
+        assert!(p < self.tuples.len(), "remove_at out of bounds");
+        if !self.dead.insert(pos) {
+            return false;
+        }
+        self.index.bury(self.hashes[p], pos);
+        for c in 0..self.tuples[p].len() {
+            let v = self.tuples[p][c];
+            if let Some(list) = self.col_index[c].get_mut(&v) {
+                // Postings are sorted by position; withdraw exactly one.
+                if let Ok(i) = list.binary_search(&pos) {
+                    list.remove(i);
+                }
+            }
+        }
+        true
+    }
+
+    /// Remove `tuple` by value; returns `true` when it was present.
+    pub fn remove(&mut self, tuple: &[SeqId]) -> bool {
+        match self.position_of(tuple) {
+            Some(pos) => self.remove_at(pos),
+            None => false,
+        }
+    }
+
+    /// Drop tombstoned positions: surviving tuples shift down preserving
+    /// their relative insertion order, and the tuple index and column
+    /// indexes are rebuilt dense. No-op when nothing was removed.
+    pub fn compact(&mut self) {
+        if self.dead.is_empty() {
+            return;
+        }
+        let dead = std::mem::take(&mut self.dead);
+        // Tail-only removals (the assert-rollback shape — every dead
+        // position is at the end): postings are already withdrawn and the
+        // index slots buried, so truncation suffices. The tombstoned slots
+        // stay in the index, counted toward its load factor, and are
+        // recycled by later inserts or swept by the next rebuild — no
+        // O(relation) column-index rebuild per budget refusal.
+        let live_len = self.tuples.len() - dead.len();
+        if dead.iter().all(|&p| (p as usize) >= live_len) {
+            self.tuples.truncate(live_len);
+            self.hashes.truncate(live_len);
+            return;
+        }
+        let mut keep = 0usize;
+        for pos in 0..self.tuples.len() {
+            if dead.contains(&(pos as u32)) {
+                continue;
+            }
+            if keep != pos {
+                self.tuples.swap(keep, pos);
+                self.hashes.swap(keep, pos);
+            }
+            keep += 1;
+        }
+        self.tuples.truncate(keep);
+        self.hashes.truncate(keep);
+        for m in &mut self.col_index {
+            m.clear();
+        }
+        for (pos, tuple) in self.tuples.iter().enumerate() {
+            for (c, &v) in tuple.iter().enumerate() {
+                self.col_index[c].entry(v).or_default().push(pos as u32);
+            }
+        }
+        self.index.rebuild(&self.hashes);
+    }
+
+    /// Number of tuple *positions* (including tombstones, which exist only
+    /// transiently between a removal batch and its [`Relation::compact`]).
     pub fn len(&self) -> usize {
         self.tuples.len()
     }
 
+    /// Number of live tuples.
+    pub fn live_len(&self) -> usize {
+        self.tuples.len() - self.dead.len()
+    }
+
     /// True when the relation is empty.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.live_len() == 0
     }
 
     /// Tuple at position `i` (insertion order).
@@ -155,9 +312,14 @@ impl Relation {
         &self.tuples[i]
     }
 
-    /// All tuples in insertion order.
+    /// All live tuples in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &[SeqId]> {
-        self.tuples.iter().map(|t| t.as_ref())
+        let all_live = self.dead.is_empty();
+        self.tuples
+            .iter()
+            .enumerate()
+            .filter(move |(i, _)| all_live || !self.dead.contains(&(*i as u32)))
+            .map(|(_, t)| t.as_ref())
     }
 
     /// Positions of tuples whose column `col` holds `v`, restricted to the
@@ -235,6 +397,40 @@ impl FactStore {
         added
     }
 
+    /// Remove a fact by value; returns `true` when it was present. The
+    /// relation keeps a tombstone at the position until
+    /// [`FactStore::compact`] runs (see [`Relation`] for the protocol).
+    pub fn remove(&mut self, pred: PredId, tuple: &[SeqId]) -> bool {
+        let removed = self
+            .rels
+            .get_mut(pred.index())
+            .is_some_and(|r| r.remove(tuple));
+        self.total -= usize::from(removed);
+        removed
+    }
+
+    /// Remove the fact at `pos` of `pred`'s relation (tombstoning it).
+    pub fn remove_at(&mut self, pred: PredId, pos: u32) -> bool {
+        let removed = self.rels[pred.index()].remove_at(pos);
+        self.total -= usize::from(removed);
+        removed
+    }
+
+    /// Position of `tuple` in `pred`'s relation, if present.
+    pub fn position_of(&self, pred: PredId, tuple: &[SeqId]) -> Option<u32> {
+        self.rels
+            .get(pred.index())
+            .and_then(|r| r.position_of(tuple))
+    }
+
+    /// Compact every relation after a removal batch (drop tombstones,
+    /// preserving surviving insertion order).
+    pub fn compact(&mut self) {
+        for r in &mut self.rels {
+            r.compact();
+        }
+    }
+
     /// Insert a fact by predicate name (boundary convenience).
     pub fn insert_named(&mut self, name: &str, tuple: Box<[SeqId]>) -> bool {
         let id = self.pred_id(name);
@@ -279,6 +475,14 @@ impl FactStore {
     /// Predicate names present, in id order.
     pub fn predicates(&self) -> impl Iterator<Item = &str> {
         self.preds.iter().map(|(_, n)| n)
+    }
+
+    /// Iterate `(PredId, relation)` pairs in id order.
+    pub fn relations(&self) -> impl Iterator<Item = (PredId, &Relation)> {
+        self.rels
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (PredId(i as u32), r))
     }
 
     /// Per-relation sizes snapshot, indexed by `PredId` (semi-naive delta
@@ -371,6 +575,76 @@ mod tests {
         }
         assert!(!rel.contains(&[sid(1000), sid(0)]));
         assert_eq!(rel.len(), 1000);
+    }
+
+    #[test]
+    fn remove_tombstones_then_compact_preserves_order() {
+        let mut rel = Relation::default();
+        for i in 0..100u32 {
+            assert!(rel.insert(vec![sid(i), sid(i % 7)].into()));
+        }
+        // Tombstone every third tuple: positions stay stable, probe chains
+        // survive, col_index postings are withdrawn.
+        for i in (0..100u32).step_by(3) {
+            assert!(rel.remove(&[sid(i), sid(i % 7)]));
+            assert!(!rel.remove(&[sid(i), sid(i % 7)]), "double remove {i}");
+        }
+        assert_eq!(rel.len(), 100, "positions stable before compaction");
+        assert_eq!(rel.live_len(), 100 - 34);
+        for i in 0..100u32 {
+            let present = i % 3 != 0;
+            assert_eq!(rel.contains(&[sid(i), sid(i % 7)]), present, "{i}");
+            if present {
+                assert_eq!(rel.position_of(&[sid(i), sid(i % 7)]), Some(i));
+            } else {
+                assert_eq!(rel.position_of(&[sid(i), sid(i % 7)]), None);
+                assert!(
+                    !rel.positions_with(0, sid(i), 0, rel.len()).contains(&i),
+                    "posting for removed tuple {i} must be withdrawn"
+                );
+            }
+        }
+        // Iteration skips tombstones in insertion order.
+        let live: Vec<u32> = rel.iter().map(|t| t[0].0).collect();
+        let expected: Vec<u32> = (0..100).filter(|i| i % 3 != 0).collect();
+        assert_eq!(live, expected);
+
+        rel.compact();
+        assert_eq!(rel.len(), 66);
+        assert_eq!(rel.live_len(), 66);
+        let dense: Vec<u32> = rel.iter().map(|t| t[0].0).collect();
+        assert_eq!(dense, expected, "compaction preserves insertion order");
+        for (pos, &i) in expected.iter().enumerate() {
+            assert_eq!(rel.position_of(&[sid(i), sid(i % 7)]), Some(pos as u32));
+            assert_eq!(
+                rel.positions_with(0, sid(i), 0, rel.len()),
+                &[pos as u32],
+                "col index rebuilt densely for {i}"
+            );
+        }
+        // Inserts after compaction work (including re-adding removed rows).
+        assert!(rel.insert(vec![sid(0), sid(0)].into()));
+        assert!(!rel.insert(vec![sid(1), sid(1)].into()), "survivor deduped");
+        assert_eq!(rel.len(), 67);
+    }
+
+    #[test]
+    fn factstore_remove_tracks_total() {
+        let mut fs = FactStore::new();
+        let r = fs.pred_id("r");
+        fs.insert(r, vec![sid(1)].into());
+        fs.insert(r, vec![sid(2)].into());
+        assert_eq!(fs.total_facts(), 2);
+        assert!(fs.remove(r, &[sid(1)]));
+        assert!(!fs.remove(r, &[sid(1)]));
+        assert_eq!(fs.total_facts(), 1);
+        fs.compact();
+        assert_eq!(fs.relation(r).len(), 1);
+        assert!(fs.contains_id(r, &[sid(2)]));
+        assert!(!fs.contains_id(r, &[sid(1)]));
+        // Removal of unknown predicates is a no-op, never an index panic.
+        assert!(!fs.remove(PredId(99), &[sid(1)]));
+        assert_eq!(fs.position_of(PredId(99), &[sid(1)]), None);
     }
 
     #[test]

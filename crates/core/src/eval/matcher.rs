@@ -519,13 +519,7 @@ fn unify_indexed(
 
 /// Match one atom's argument terms against a fact tuple, invoking `k` on
 /// each consistent extension.
-fn unify_tuple(
-    args: &[CSeq],
-    tuple: &[SeqId],
-    st: &mut Search,
-    env: &MatchEnv<'_>,
-    k: Cont<'_>,
-) {
+fn unify_tuple(args: &[CSeq], tuple: &[SeqId], st: &mut Search, env: &MatchEnv<'_>, k: Cont<'_>) {
     match args.split_first() {
         None => k(st, env),
         Some((arg, rest_args)) => {
@@ -578,15 +572,13 @@ pub fn solve_body(
 /// delta literal sees its chunk, literals before it the pre-round prefix,
 /// literals after it the full relation.
 #[inline]
-fn atom_window(
-    delta: Option<Delta<'_>>,
-    li: usize,
-    pred: usize,
-    rel_len: usize,
-) -> (usize, usize) {
+fn atom_window(delta: Option<Delta<'_>>, li: usize, pred: usize, rel_len: usize) -> (usize, usize) {
     match delta {
         Some(d) if li == d.at => (d.from.min(rel_len), d.to.min(rel_len)),
-        Some(d) if li < d.at => (0, d.sizes_before.get(pred).copied().unwrap_or(0).min(rel_len)),
+        Some(d) if li < d.at => (
+            0,
+            d.sizes_before.get(pred).copied().unwrap_or(0).min(rel_len),
+        ),
         _ => (0, rel_len),
     }
 }
@@ -807,12 +799,8 @@ fn search(
             let mut iv = Vec::new();
             t.seq_vars(&mut sv);
             t.idx_vars(&mut iv);
-            free_seq = free_seq.or(sv
-                .into_iter()
-                .find(|&v| st.b.seq[v as usize].is_none()));
-            free_idx = free_idx.or(iv
-                .into_iter()
-                .find(|&v| st.b.idx[v as usize].is_none()));
+            free_seq = free_seq.or(sv.into_iter().find(|&v| st.b.seq[v as usize].is_none()));
+            free_idx = free_idx.or(iv.into_iter().find(|&v| st.b.idx[v as usize].is_none()));
         }
     }
     if let Some(v) = free_seq {
@@ -1012,7 +1000,10 @@ mod tests {
         fx.fact("r", &["abc"]);
         let ms = fx.matches(&format!("p(X) :- r(X), X[N + {} : end] = \"a\".", i64::MAX));
         assert!(ms.is_empty());
-        let ms = fx.matches(&format!("p(X) :- r(X), X[1 - 2 - {} : end] = \"a\".", i64::MAX));
+        let ms = fx.matches(&format!(
+            "p(X) :- r(X), X[1 - 2 - {} : end] = \"a\".",
+            i64::MAX
+        ));
         assert!(ms.is_empty());
         // Ground overflowing endpoints on an atom argument, too.
         let ms = fx.matches(&format!("p(X) :- r(X[{} + {} : end]).", i64::MAX, i64::MAX));
@@ -1044,7 +1035,10 @@ mod tests {
         // Undefined dominates Unbound: no binding can repair an overflow.
         let dominated = CIdx::Add(
             Box::new(CIdx::Var(1)),
-            Box::new(CIdx::Add(Box::new(CIdx::Int(1)), Box::new(CIdx::Int(i64::MAX)))),
+            Box::new(CIdx::Add(
+                Box::new(CIdx::Int(1)),
+                Box::new(CIdx::Int(i64::MAX)),
+            )),
         );
         assert_eq!(eval_idx(&dominated, &b2, 10), IdxVal::Undefined);
     }

@@ -97,9 +97,9 @@ use crate::compile::{compile, CBase, CBody, CIdx, CSeq, CompileError, CompiledPr
 use crate::database::Database;
 use crate::registry::TransducerRegistry;
 use crate::Program;
-use interp::FactStore;
+use interp::{FactStore, Relation};
 use matcher::{solve_body, Bindings, Delta, MatchEnv};
-use seqlog_sequence::{ExtendedDomain, SeqId, SeqStore};
+use seqlog_sequence::{DomainMark, ExtendedDomain, FxHashSet, SeqId, SeqStore};
 use seqlog_transducer::{ExecLimits, ExecStats};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -311,6 +311,16 @@ struct RecipeBuf {
     count: usize,
 }
 
+impl RecipeBuf {
+    /// Empty the buffer for reuse, keeping its allocations (the DRed
+    /// over-delete loop runs one scratch buffer across all propagations).
+    fn clear(&mut self) {
+        self.seqs.clear();
+        self.idxs.clear();
+        self.count = 0;
+    }
+}
+
 /// Evaluate `program` over `db` to the least fixpoint.
 pub fn evaluate(
     program: &Program,
@@ -344,6 +354,17 @@ pub fn evaluate_compiled(
     }
     fx.run(program, store, registry, config)?;
     Ok(fx.into_model())
+}
+
+/// What one [`Fixpoint::assert_fact_full`] actually changed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AssertOutcome {
+    /// The fact was new to the interpretation (it will be part of the next
+    /// run's semi-naive delta).
+    pub new_fact: bool,
+    /// The fact was new to the *base* set (it may already have been present
+    /// as a derived fact).
+    pub new_base: bool,
 }
 
 /// Resumable semi-naive fixpoint state: an interpretation under
@@ -390,6 +411,13 @@ pub struct Fixpoint {
     /// life is a *full* round: it fires empty-body program clauses and
     /// initializes the semi-naive deltas.
     virgin: bool,
+    /// The *base* (asserted/seeded) facts, indexed by `PredId` — the `db`
+    /// of `lfp(T_{P,db})`. Retraction is defined over this set: derived
+    /// facts can only disappear by losing base support, and surviving base
+    /// facts are the re-derivation frontier of Delete-and-Rederive
+    /// ([`Fixpoint::retract_facts`]). A fact both derivable and asserted is
+    /// recorded here even when its `FactStore` insert deduped.
+    base: Vec<Relation>,
 }
 
 impl Fixpoint {
@@ -407,6 +435,7 @@ impl Fixpoint {
             sizes_done: Vec::new(),
             domain_done: 0,
             virgin: true,
+            base: Vec::new(),
         }
     }
 
@@ -420,9 +449,33 @@ impl Fixpoint {
     /// sequences (Definition 2) so a subsequent [`run`](Fixpoint::run) can
     /// match it read-only. Returns `true` when the fact is new; new facts
     /// become part of the next run's semi-naive delta.
+    ///
+    /// The fact is also recorded as *base* — even when the interpretation
+    /// already contains it as a derived fact — so that
+    /// [`retract_facts`](Fixpoint::retract_facts) knows what the database
+    /// proper consists of.
     pub fn assert_fact(&mut self, store: &mut SeqStore, pred: PredId, tuple: Box<[SeqId]>) -> bool {
+        self.assert_fact_full(store, pred, tuple).new_fact
+    }
+
+    /// [`assert_fact`](Fixpoint::assert_fact), reporting separately whether
+    /// the fact was new to the interpretation and new to the base set (the
+    /// distinction the session's atomic batch rollback needs).
+    pub fn assert_fact_full(
+        &mut self,
+        store: &mut SeqStore,
+        pred: PredId,
+        tuple: Box<[SeqId]>,
+    ) -> AssertOutcome {
+        if self.base.len() <= pred.index() {
+            self.base.resize_with(pred.index() + 1, Relation::default);
+        }
+        let new_base = self.base[pred.index()].insert(tuple.clone());
         if !self.facts.insert(pred, tuple) {
-            return false;
+            return AssertOutcome {
+                new_fact: false,
+                new_base,
+            };
         }
         // The just-inserted tuple is the relation's last; read it back for
         // domain closure instead of cloning it up front.
@@ -431,13 +484,68 @@ impl Fixpoint {
         for &id in inserted {
             self.domain.insert_closed(store, id);
         }
-        true
+        AssertOutcome {
+            new_fact: true,
+            new_base,
+        }
     }
 
     /// [`assert_fact`](Fixpoint::assert_fact) by predicate name.
     pub fn assert_named(&mut self, store: &mut SeqStore, pred: &str, tuple: Box<[SeqId]>) -> bool {
         let pid = self.facts.pred_id(pred);
         self.assert_fact(store, pid, tuple)
+    }
+
+    /// True when `tuple` is recorded as a base (asserted/seeded) fact.
+    pub fn is_base_fact(&self, pred: PredId, tuple: &[SeqId]) -> bool {
+        self.base
+            .get(pred.index())
+            .is_some_and(|r| r.contains(tuple))
+    }
+
+    /// A restore point for [`Fixpoint::domain_truncate`].
+    pub fn domain_mark(&self) -> DomainMark {
+        self.domain.mark()
+    }
+
+    /// Roll the domain back to `mark` (see [`ExtendedDomain::truncate`]).
+    /// Only sound when nothing but asserts happened since the mark.
+    pub fn domain_truncate(&mut self, store: &SeqStore, mark: DomainMark) {
+        self.domain.truncate(store, mark);
+    }
+
+    /// Reverse a *pending* assert (one made since the last run): withdraw
+    /// the fact from the interpretation and the base set without any
+    /// Delete-and-Rederive maintenance. Sound only because an un-run fact
+    /// has no derived consequences and sits beyond every watermark; the
+    /// session uses this (plus [`Fixpoint::domain_truncate`]) to make batch
+    /// asserts failure-atomic. Leaves tombstones — the caller finishes a
+    /// rollback (however many facts it spans) with one
+    /// [`Fixpoint::compact_pending`]. Returns whether the fact was present.
+    pub fn unassert_pending(&mut self, pred: PredId, tuple: &[SeqId], drop_base: bool) -> bool {
+        if drop_base {
+            self.drop_base_record(pred, tuple);
+        }
+        self.facts.remove(pred, tuple)
+    }
+
+    /// Withdraw only the *base* record of a duplicate assert (the fact
+    /// itself predates the assert and stays). The other half of the
+    /// session's batch rollback; tombstones like
+    /// [`Fixpoint::unassert_pending`].
+    pub fn drop_base_record(&mut self, pred: PredId, tuple: &[SeqId]) -> bool {
+        self.base
+            .get_mut(pred.index())
+            .is_some_and(|rel| rel.remove(tuple))
+    }
+
+    /// Compact every tombstone a rollback left behind (fact store and base
+    /// set). One call per rollback, not per fact.
+    pub fn compact_pending(&mut self) {
+        self.facts.compact();
+        for rel in &mut self.base {
+            rel.compact();
+        }
     }
 
     /// The current interpretation.
@@ -560,11 +668,7 @@ impl Fixpoint {
                     let CBody::Atom(atom) = lit else {
                         continue;
                     };
-                    let before = self
-                        .sizes_done
-                        .get(atom.pred.index())
-                        .copied()
-                        .unwrap_or(0);
+                    let before = self.sizes_done.get(atom.pred.index()).copied().unwrap_or(0);
                     let now = sizes_now.get(atom.pred.index()).copied().unwrap_or(0);
                     let mut from = before;
                     while from < now {
@@ -621,6 +725,342 @@ impl Fixpoint {
         finalize_stats(&mut self.stats, &self.facts, &self.domain);
         Ok(())
     }
+
+    /// Retract base facts and restore the least fixpoint of the surviving
+    /// database by **Delete-and-Rederive** (DRed). Returns how many of the
+    /// given facts were actually base facts (non-base facts — including
+    /// derived-only facts and unknown tuples — are ignored; derived facts
+    /// can only disappear by losing base support). When *nothing* qualifies
+    /// the call is a pure no-op: no maintenance runs and the state —
+    /// pending asserts included — is untouched.
+    ///
+    /// The maintenance runs to quiescence before returning, in four passes:
+    ///
+    /// 1. **Over-delete.** Starting from the retracted facts, deletion is
+    ///    propagated forward through the compiled clauses: any head
+    ///    instance with *some* derivation touching a deleted fact is marked
+    ///    deleted too (matching reuses the read-only two-phase machinery
+    ///    with the deleted tuple pinned as a one-element delta and every
+    ///    other literal ranging over the full pre-retraction store). This
+    ///    over-approximates — facts with surviving alternative derivations
+    ///    are marked as well — which is what makes it sound.
+    /// 2. **Domain shrinkage.** Facts derived by *domain-sensitive* clauses
+    ///    consult the extended active domain rather than body facts, so
+    ///    clause-body propagation cannot see their dependencies — and they
+    ///    can even keep an orphaned sequence in the domain circularly (a
+    ///    surviving `pair(ab, ab)` is the only remaining carrier of `ab`,
+    ///    and `ab`'s membership is the only justification of
+    ///    `pair(ab, ab)` — the `pair(X, X) :- true.` class of bug).
+    ///    Whenever anything is deleted, every fact under a domain-sensitive
+    ///    clause's head is therefore over-deleted too, the propagation
+    ///    re-runs, and the extended active domain is rebuilt from the
+    ///    surviving facts. Definition 4 makes the domain a function of the
+    ///    interpretation: when the facts that introduced a sequence go, its
+    ///    windows and the integers they pinned go too, and the re-derive
+    ///    pass restores exactly what the shrunken domain still supports.
+    /// 3. **Physical deletion.** Marked positions are tombstoned, relations
+    ///    compact (preserving surviving insertion order), the rebuilt
+    ///    domain is installed, surviving base facts that were over-deleted
+    ///    are re-seeded, and the semi-naive watermarks **regress soundly**:
+    ///    each predicate's watermark drops by the number of processed
+    ///    positions it lost, so pending (not yet run) asserts stay beyond
+    ///    it; the domain watermark resets.
+    /// 4. **Re-derive.** One targeted full round over the clauses that
+    ///    could re-derive a deleted fact (head predicate lost tuples, or
+    ///    domain-sensitive) restores alternative derivations, then the
+    ///    ordinary [`run`](Fixpoint::run) loop resumes semi-naive from the
+    ///    regressed watermarks to quiescence. The DRed invariant — after
+    ///    over-deletion the surviving interpretation is contained in the
+    ///    new least fixpoint — makes the result exactly
+    ///    `lfp(T_{P,db'})` for the surviving database `db'`, which is
+    ///    differentially fuzzed against fresh batch evaluation.
+    ///
+    /// On error the state poisons at the session layer: unlike a failed
+    /// grow-only `run`, a failed retraction may leave facts whose support
+    /// is already gone (an over-approximation), so no retry affordance is
+    /// offered.
+    pub fn retract_facts(
+        &mut self,
+        program: &CompiledProgram,
+        store: &mut SeqStore,
+        registry: &TransducerRegistry,
+        config: &EvalConfig,
+        facts: &[(PredId, Box<[SeqId]>)],
+    ) -> Result<usize, EvalError> {
+        let mut seeds: Vec<(PredId, u32)> = Vec::new();
+        let mut retracted = 0usize;
+        for (pred, tuple) in facts {
+            let Some(brel) = self.base.get_mut(pred.index()) else {
+                continue;
+            };
+            if !brel.remove(tuple) {
+                continue;
+            }
+            retracted += 1;
+            if let Some(pos) = self.facts.position_of(*pred, tuple) {
+                seeds.push((*pred, pos));
+            }
+        }
+        for rel in &mut self.base {
+            rel.compact();
+        }
+        if seeds.is_empty() {
+            return Ok(retracted);
+        }
+        self.delete_and_rederive(program, store, registry, config, seeds)?;
+        Ok(retracted)
+    }
+
+    /// The DRed passes (see [`Fixpoint::retract_facts`] for the protocol).
+    fn delete_and_rederive(
+        &mut self,
+        program: &CompiledProgram,
+        store: &mut SeqStore,
+        registry: &TransducerRegistry,
+        config: &EvalConfig,
+        seeds: Vec<(PredId, u32)>,
+    ) -> Result<(), EvalError> {
+        let nrels = self.facts.sizes().len();
+        let mut marked: Vec<FxHashSet<u32>> = Vec::new();
+        marked.resize_with(nrels, FxHashSet::default);
+        let mut work: Vec<(PredId, u32)> = Vec::new();
+        for (pred, pos) in seeds {
+            if marked[pred.index()].insert(pos) {
+                work.push((pred, pos));
+            }
+        }
+
+        // Head predicates of domain-sensitive clauses, in clause order.
+        let mut ds_heads: Vec<PredId> = Vec::new();
+        for c in &program.clauses {
+            if c.domain_sensitive && !ds_heads.contains(&c.head.pred) {
+                ds_heads.push(c.head.pred);
+            }
+        }
+
+        // --- Passes 1 + 2: over-delete closure + domain-sensitive wipe ---
+        // Everything here only *marks*: the store keeps the pre-retraction
+        // interpretation, so matching over it is exactly matching over the
+        // old `I` that classic DRed's over-deletion rule prescribes. The
+        // loop is sequential and worklist-ordered, hence deterministic for
+        // every thread count.
+        let sizes_full = self.facts.sizes();
+        let members: Vec<SeqId> = self.domain.iter().collect();
+        let mut tuple_scratch: Vec<SeqId> = Vec::new();
+        let mut buf = RecipeBuf::default();
+        let mut cursor = 0usize;
+        let mut wiped = ds_heads.is_empty();
+        loop {
+            while cursor < work.len() {
+                let (pred, pos) = work[cursor];
+                cursor += 1;
+                for (ci, clause) in program.clauses.iter().enumerate() {
+                    for (li, lit) in clause.body.iter().enumerate() {
+                        let CBody::Atom(atom) = lit else { continue };
+                        if atom.pred != pred {
+                            continue;
+                        }
+                        // One-element delta at literal `li`; `sizes_full`
+                        // as the "pre-round prefix" leaves every other
+                        // literal unrestricted over the old store.
+                        let task = MatchTask {
+                            clause: ci,
+                            delta: Some((li, pos as usize, pos as usize + 1)),
+                        };
+                        buf.clear();
+                        run_match_task(
+                            program,
+                            &task,
+                            store,
+                            &self.facts,
+                            &self.domain,
+                            &members,
+                            &sizes_full,
+                            &mut buf,
+                        );
+                        self.stats.derivations += buf.count as u64;
+                        for r in 0..buf.count {
+                            if eval_recipe(
+                                clause,
+                                &buf,
+                                r,
+                                &mut tuple_scratch,
+                                store,
+                                &self.facts,
+                                &self.domain,
+                                registry,
+                                config,
+                                &mut self.stats,
+                            )? {
+                                let hp = clause.head.pred;
+                                if let Some(hpos) = self.facts.position_of(hp, &tuple_scratch) {
+                                    if marked[hp.index()].insert(hpos) {
+                                        work.push((hp, hpos));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if wiped {
+                break;
+            }
+            // Any deletion can shrink the extended active domain, and a
+            // domain-sensitive derivation can even carry its own
+            // justification (the `pair(ab, ab)` circularity above), so a
+            // shrink test against the surviving facts would be fooled.
+            // Over-delete everything a domain-sensitive clause could have
+            // derived — the re-derive pass restores what the new domain
+            // still supports — and propagate those deletions too.
+            wiped = true;
+            for &pred in &ds_heads {
+                let rel = self.facts.relation(pred);
+                for pos in 0..rel.len() as u32 {
+                    if marked[pred.index()].insert(pos) {
+                        work.push((pred, pos));
+                    }
+                }
+            }
+        }
+        // The extended active domain induced by the surviving facts
+        // (Definition 4: the domain is a function of the interpretation, so
+        // it shrinks with it).
+        let new_domain = rebuild_surviving_domain(store, &self.facts, &marked);
+
+        // --- Pass 3: physical deletion + sound watermark regression ---
+        // Per predicate, the new watermark is the number of *surviving*
+        // processed positions: compaction preserves relative order, so the
+        // first `new_done[p]` surviving tuples are exactly the survivors of
+        // the processed prefix, and pending asserts stay beyond it.
+        let mut new_done: Vec<usize> = (0..nrels)
+            .map(|i| self.sizes_done.get(i).copied().unwrap_or(0))
+            .collect();
+        for (pi, set) in marked.iter().enumerate() {
+            if set.is_empty() {
+                continue;
+            }
+            let removed_below = set.iter().filter(|&&p| (p as usize) < new_done[pi]).count();
+            new_done[pi] -= removed_below;
+            for &pos in set.iter() {
+                self.facts.remove_at(PredId(pi as u32), pos);
+            }
+        }
+        self.facts.compact();
+        self.domain = new_domain;
+
+        // Re-seed base facts the over-deletion removed (surviving base
+        // facts are the support re-derivation grows from). They land beyond
+        // the regressed watermarks, so the resumed loop treats them as
+        // delta facts.
+        for (pi, brel) in self.base.iter().enumerate() {
+            if marked.get(pi).is_none_or(FxHashSet::is_empty) {
+                continue;
+            }
+            let pred = PredId(pi as u32);
+            for t in brel.iter() {
+                if self.facts.insert(pred, t.into()) {
+                    let rel = self.facts.relation(pred);
+                    let inserted = rel.tuple(rel.len() - 1);
+                    for &id in inserted {
+                        self.domain.insert_closed(store, id);
+                    }
+                }
+            }
+        }
+
+        // Watermarks regress *before* the re-derive round commits: if that
+        // round errors mid-commit, the regressed watermarks still cover the
+        // interrupted work (re-matching is idempotent), never skip it.
+        self.sizes_done = new_done;
+        self.domain_done = 0;
+
+        // --- Pass 4: targeted re-derive round, then resume to quiescence.
+        // Only clauses that can re-derive a deleted fact need a full
+        // application: those whose head predicate lost tuples, plus every
+        // domain-sensitive clause (their instantiation set changed with the
+        // domain). All other clauses' conclusions are intact — the
+        // surviving store is a subset of the old one and their head
+        // relations lost nothing — so they are sound to skip.
+        if !self.virgin {
+            let deleted_preds: FxHashSet<u32> = marked
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.is_empty())
+                .map(|(i, _)| i as u32)
+                .collect();
+            let domain_now = self.domain.len();
+            let rederive_members: Vec<SeqId> = self.domain.iter().collect();
+            let tasks: Vec<MatchTask> = program
+                .clauses
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.domain_sensitive || deleted_preds.contains(&c.head.pred.0))
+                .map(|(ci, _)| MatchTask {
+                    clause: ci,
+                    delta: None,
+                })
+                .collect();
+            if !tasks.is_empty() {
+                let threads = match config.threads {
+                    0 => default_threads(),
+                    n => n,
+                };
+                self.stats.rounds += 1;
+                let bufs = match_round(
+                    program,
+                    &tasks,
+                    store,
+                    &self.facts,
+                    &self.domain,
+                    &rederive_members,
+                    &self.sizes_done,
+                    threads,
+                );
+                commit_round(
+                    program,
+                    &tasks,
+                    &bufs,
+                    store,
+                    &mut self.facts,
+                    &mut self.domain,
+                    registry,
+                    config,
+                    &mut self.stats,
+                )?;
+                // `sizes_done` stays regressed: pending asserts, re-seeded
+                // base facts, and this round's additions all sit beyond it
+                // and form the resumed loop's delta. Domain-sensitive
+                // clauses are caught up with the domain as of round start.
+                self.domain_done = domain_now;
+            }
+        }
+        self.run(program, store, registry, config)
+    }
+}
+
+/// The extended active domain induced by the unmarked facts: closure of
+/// every sequence occurring in a surviving tuple (Definition 2; program
+/// constants are window-closed in the store but, as in batch evaluation,
+/// only enter the domain through facts).
+fn rebuild_surviving_domain(
+    store: &mut SeqStore,
+    facts: &FactStore,
+    marked: &[FxHashSet<u32>],
+) -> ExtendedDomain {
+    let mut domain = ExtendedDomain::new();
+    for (pred, rel) in facts.relations() {
+        let dead = &marked[pred.index()];
+        for pos in 0..rel.len() {
+            if dead.contains(&(pos as u32)) {
+                continue;
+            }
+            for &id in rel.tuple(pos) {
+                domain.insert_closed(store, id);
+            }
+        }
+    }
+    domain
 }
 
 /// `available_parallelism()`, resolved once per process: on Linux it reads
@@ -642,7 +1082,12 @@ fn default_threads() -> usize {
 const PAR_THRESHOLD: usize = 4096;
 
 /// Rough work estimate for one task, in candidate tuples.
-fn task_cost(program: &CompiledProgram, task: &MatchTask, facts: &FactStore, members: usize) -> usize {
+fn task_cost(
+    program: &CompiledProgram,
+    task: &MatchTask,
+    facts: &FactStore,
+    members: usize,
+) -> usize {
     let clause = &program.clauses[task.clause];
     let atoms_len = |skip: Option<usize>| -> usize {
         clause
@@ -692,7 +1137,16 @@ fn match_round(
             .iter()
             .map(|t| {
                 let mut buf = RecipeBuf::default();
-                run_match_task(program, t, store, facts, domain, members, sizes_before, &mut buf);
+                run_match_task(
+                    program,
+                    t,
+                    store,
+                    facts,
+                    domain,
+                    members,
+                    sizes_before,
+                    &mut buf,
+                );
                 buf
             })
             .collect();
@@ -775,7 +1229,14 @@ fn run_match_task(
 /// substitution (free slots are bound and restored) — no `Bindings` clone
 /// per derivation.
 fn emit_recipes(b: &mut Bindings, members: &[SeqId], int_upper: i64, out: &mut RecipeBuf) {
-    fn rec(b: &mut Bindings, seq_at: usize, idx_at: usize, members: &[SeqId], int_upper: i64, out: &mut RecipeBuf) {
+    fn rec(
+        b: &mut Bindings,
+        seq_at: usize,
+        idx_at: usize,
+        members: &[SeqId],
+        int_upper: i64,
+        out: &mut RecipeBuf,
+    ) {
         if let Some(v) = (seq_at..b.seq.len()).find(|&v| b.seq[v].is_none()) {
             for &m in members {
                 b.seq[v] = Some(m);
@@ -794,8 +1255,10 @@ fn emit_recipes(b: &mut Bindings, members: &[SeqId], int_upper: i64, out: &mut R
         }
         // Fully bound: snapshot the substitution as a recipe.
         out.count += 1;
-        out.seqs.extend(b.seq.iter().map(|s| s.expect("fully bound")));
-        out.idxs.extend(b.idx.iter().map(|n| n.expect("fully bound")));
+        out.seqs
+            .extend(b.seq.iter().map(|s| s.expect("fully bound")));
+        out.idxs
+            .extend(b.idx.iter().map(|n| n.expect("fully bound")));
     }
     rec(b, 0, 0, members, int_upper, out);
 }
@@ -879,7 +1342,16 @@ pub fn tp_step(
             delta: None,
         };
         let mut buf = RecipeBuf::default();
-        run_match_task(program, &task, store, facts, domain, &members, &[], &mut buf);
+        run_match_task(
+            program,
+            &task,
+            store,
+            facts,
+            domain,
+            &members,
+            &[],
+            &mut buf,
+        );
         let clause = &program.clauses[ci];
         let mut tuple: Vec<SeqId> = Vec::new();
         for r in 0..buf.count {
@@ -973,12 +1445,8 @@ fn commit_idx(t: &CIdx, idxs: &[i64], end_val: i64) -> Option<i64> {
         CIdx::Int(i) => Some(*i),
         CIdx::Var(v) => Some(idxs[*v as usize]),
         CIdx::End => Some(end_val),
-        CIdx::Add(x, y) => {
-            commit_idx(x, idxs, end_val)?.checked_add(commit_idx(y, idxs, end_val)?)
-        }
-        CIdx::Sub(x, y) => {
-            commit_idx(x, idxs, end_val)?.checked_sub(commit_idx(y, idxs, end_val)?)
-        }
+        CIdx::Add(x, y) => commit_idx(x, idxs, end_val)?.checked_add(commit_idx(y, idxs, end_val)?),
+        CIdx::Sub(x, y) => commit_idx(x, idxs, end_val)?.checked_sub(commit_idx(y, idxs, end_val)?),
     }
 }
 
@@ -1005,10 +1473,9 @@ fn eval_head(
                 CBase::Var(v) => seqs[*v as usize],
             };
             let end_val = store.len_of(base_id) as i64;
-            let (Some(n1), Some(n2)) = (
-                commit_idx(lo, idxs, end_val),
-                commit_idx(hi, idxs, end_val),
-            ) else {
+            let (Some(n1), Some(n2)) =
+                (commit_idx(lo, idxs, end_val), commit_idx(hi, idxs, end_val))
+            else {
                 return Ok(None);
             };
             Ok(store.subseq(base_id, n1, n2))

@@ -49,11 +49,11 @@ pub mod prelude {
     pub use crate::database::Database;
     pub use crate::engine::Engine;
     pub use crate::eval::{EvalConfig, EvalError, Model, Strategy};
-    pub use crate::session::EngineSession;
     pub use crate::guard::guard_program;
     pub use crate::model::is_model;
     pub use crate::registry::TransducerRegistry;
     pub use crate::safety::analyze;
+    pub use crate::session::EngineSession;
     pub use crate::translate::translate_program;
     pub use seqlog_sequence::{Alphabet, ExtendedDomain, SeqId, SeqStore, Sym};
     pub use seqlog_transducer::{Network, Transducer};

@@ -45,7 +45,14 @@ pub fn is_model_compiled(
             return Ok(false);
         }
     }
-    closed_under_tp(program, &candidate.facts, &candidate.domain, store, registry, config)
+    closed_under_tp(
+        program,
+        &candidate.facts,
+        &candidate.domain,
+        store,
+        registry,
+        config,
+    )
 }
 
 /// Is the interpretation closed under the T-operator — `T_{P,db}(I) ⊆ I`?

@@ -17,6 +17,11 @@
 //!   happens at assert time, mirroring the evaluator's pre-closing of
 //!   program constants — and the next [`run`](EngineSession::run) resumes
 //!   with those facts as the semi-naive delta;
+//! * [`retract_fact`](EngineSession::retract_fact) /
+//!   [`retract_db`](EngineSession::retract_db) **remove** base facts and
+//!   immediately restore the least fixpoint of the surviving database by
+//!   Delete-and-Rederive ([`Fixpoint::retract_facts`]) — the non-monotone
+//!   half of the update surface;
 //! * [`query`](EngineSession::query) / [`answers`](EngineSession::answers) /
 //!   [`snapshot`](EngineSession::snapshot) read the current interpretation
 //!   between updates.
@@ -32,26 +37,86 @@
 //! differentially fuzzed in `tests/fuzz_differential.rs` and checked for
 //! every paper example in `tests/paper_examples.rs`.)
 //!
+//! # Retraction
+//!
+//! Sessions distinguish **base facts** (asserted through this API, or
+//! seeded from a database) from **derived facts**. Only base facts can be
+//! retracted; derived facts disappear exactly when they lose all base
+//! support. After any `retract_*` call that **takes effect** (returns
+//! `true`, or a positive count), the session is settled at
+//! `lfp(T_{P,db'})` for the surviving base set `db'` — bit-for-bit equal
+//! across thread counts, and extent-equal to a fresh batch evaluation of
+//! the survivors (the differential oracle in `tests/fuzz_differential.rs`).
+//! Deletion under recursion is where naive implementations go wrong, so the
+//! engine uses Delete-and-Rederive with an explicit *domain shrinkage* pass:
+//! the extended active domain is a function of the interpretation
+//! (Definition 4), so when the facts that introduced a sequence are
+//! retracted, domain-sensitive clauses such as `pair(X, X) :- true.` must
+//! lose the instantiations those sequences justified. See
+//! [`Fixpoint::retract_facts`] for the four DRed passes. Retracting a fact
+//! that is not a base fact — including a typo, an unknown predicate, or a
+//! derived-only fact — is a **no-op**: it returns `false`/count `0`, never
+//! interns anything, and leaves the session exactly as it was — including
+//! any pending (un-run) asserts, which stay pending until the next
+//! [`run`](EngineSession::run) or effective retraction.
+//!
+//! An effective retraction settles eagerly (it behaves like an implicit
+//! [`run`](EngineSession::run), processing any pending asserts too): a
+//! half-maintained interpretation would serve wrong answers, so there is no
+//! "retract now, re-derive later" mode.
+//!
+//! # Budgets are exact on the update surface
+//!
+//! An assert that would push the state past `max_facts` or `max_domain` is
+//! **refused before it applies**: the fact (and any partial window closure)
+//! is rolled back, the error reports the would-be stats, and the session
+//! stays healthy — so an accepted assert can never make the next `run` fail
+//! its entry budget check. Batch asserts
+//! ([`assert_facts`](EngineSession::assert_facts) /
+//! [`assert_db`](EngineSession::assert_db)) are **failure-atomic**: on a
+//! mid-batch rejection every fact of the batch is rolled back and the
+//! pre-call state is restored exactly. (The commit phase of a `run` keeps
+//! its documented behavior: it stops — and poisons — one fact past the
+//! budget; the poisoned state is the diagnostic artifact.) Oversized
+//! sequences are still rejected eagerly, before the quadratic window
+//! closure. Budget refusals never poison. Refused asserts may leave
+//! sequences in the append-only interner; the interner is not part of the
+//! interpretation, so this is unobservable through the query API.
+//!
+//! # Predicates outside the compiled program
+//!
+//! `assert_*` **allows** predicates the program never mentions: they intern
+//! fresh `PredId`s past the compiled table and become inert relations — no
+//! clause consumes them, but they are queryable, contribute their sequences
+//! to the extended active domain, and are retractable like any base fact.
+//! (This mirrors batch evaluation, which seeds database-only predicates the
+//! same way.) The read/retract surface (`query`, `relation`, `pred_id`,
+//! `retract_*`) never interns: an unknown name is simply absent.
+//!
 //! # Error handling: sessions poison
 //!
 //! If a `run` fails — a budget exhausts mid-commit, a transducer gets stuck
 //! — the session's state is a partially committed round: still a *sound*
 //! under-approximation (every fact in it is derivable), but not a fixpoint.
-//! The session then **poisons**: every later `assert_*`/`run` returns
-//! [`EvalError::Poisoned`] wrapping the original error, while the read API
-//! (`query`/`snapshot`/`stats`) stays available for post-mortem inspection.
-//! Callers that want to retry with larger budgets re-evaluate from scratch;
-//! keeping recovery out of scope keeps the equivalence guarantee above
-//! simple to state and test.
+//! The session then **poisons**: every later `assert_*`/`retract_*`/`run`
+//! returns [`EvalError::Poisoned`] wrapping the original error, while the
+//! read API (`query`/`snapshot`/`stats`) stays available for post-mortem
+//! inspection. A failed **retraction** poisons identically, with one
+//! honest difference in the post-mortem state: an interrupted
+//! Delete-and-Rederive may leave facts whose base support is already gone,
+//! i.e. an *over*-approximation of the new fixpoint (the retraction did not
+//! finish taking effect). Callers that want to retry with larger budgets
+//! re-evaluate from scratch; keeping recovery out of scope keeps the
+//! equivalence guarantee above simple to state and test.
 
 use crate::ast::Program;
 use crate::compile::{compile, CompiledProgram, PredId};
 use crate::database::Database;
 use crate::engine::Engine;
 use crate::eval::interp::Relation;
-use crate::eval::{EvalConfig, EvalError, EvalStats, Fixpoint, Model};
+use crate::eval::{AssertOutcome, BudgetKind, EvalConfig, EvalError, EvalStats, Fixpoint, Model};
 use crate::registry::TransducerRegistry;
-use seqlog_sequence::{Alphabet, SeqId, SeqStore};
+use seqlog_sequence::{Alphabet, DomainMark, SeqId, SeqStore};
 
 /// A persistent evaluation session over one compiled program.
 ///
@@ -118,35 +183,88 @@ impl EngineSession {
             let mut stats = self.fx.stats();
             stats.max_seq_len = stats.max_seq_len.max(len);
             return Err(EvalError::Budget {
-                kind: crate::eval::BudgetKind::SeqLen,
+                kind: BudgetKind::SeqLen,
                 stats,
             });
         }
         Ok(())
     }
 
-    /// Eager cumulative-size enforcement on the assert path: once the fact
-    /// count or domain size already exceeds its budget, further asserts
-    /// are refused (each accepted assert can overshoot by at most one fact
-    /// plus one tuple's window closure — the same bounded overshoot the
-    /// commit phase allows). Without this, a flood of asserts between runs
-    /// would grow the state unboundedly before any budget fired. Rejection
+    /// Intern string arguments as a tuple, enforcing `max_seq_len` eagerly.
+    fn intern_tuple(&mut self, args: &[&str]) -> Result<Vec<SeqId>, EvalError> {
+        let mut tuple: Vec<SeqId> = Vec::with_capacity(args.len());
+        for s in args {
+            let syms = self.alphabet.seq_of_str(s);
+            let id = self.store.intern_vec(syms);
+            self.check_seq_budget(id)?;
+            tuple.push(id);
+        }
+        Ok(tuple)
+    }
+
+    /// One assert with **exact** cumulative-budget enforcement: a fact that
+    /// would push the state past `max_facts` or `max_domain` is refused
+    /// with the interpretation restored to exactly its pre-call state
+    /// (fact, base record, and partial window closure all rolled back).
+    /// The reported stats are the would-be (peak) stats, so the caller sees
+    /// what tripped. Duplicate asserts never grow the state and are always
+    /// admitted (they still record base status for retraction). Refusal
     /// does not poison.
-    fn check_state_budgets(&self) -> Result<(), EvalError> {
+    fn assert_ids_exact(
+        &mut self,
+        pid: PredId,
+        tuple: Box<[SeqId]>,
+    ) -> Result<AssertOutcome, EvalError> {
+        for &id in tuple.iter() {
+            self.check_seq_budget(id)?;
+        }
+        if self.fx.facts().contains_id(pid, &tuple) {
+            return Ok(self.fx.assert_fact_full(&mut self.store, pid, tuple));
+        }
         let stats = self.fx.stats();
-        if stats.facts > self.config.max_facts {
+        if stats.facts + 1 > self.config.max_facts {
+            let mut peak = stats;
+            peak.facts += 1;
             return Err(EvalError::Budget {
-                kind: crate::eval::BudgetKind::Facts,
-                stats,
+                kind: BudgetKind::Facts,
+                stats: peak,
             });
         }
-        if stats.domain_size > self.config.max_domain {
+        let dmark = self.fx.domain_mark();
+        let outcome = self
+            .fx
+            .assert_fact_full(&mut self.store, pid, tuple.clone());
+        debug_assert!(outcome.new_fact, "absent fact must insert");
+        if self.fx.domain().len() > self.config.max_domain {
+            let peak = self.fx.stats();
+            self.fx.unassert_pending(pid, &tuple, outcome.new_base);
+            self.fx.compact_pending();
+            self.fx.domain_truncate(&self.store, dmark);
             return Err(EvalError::Budget {
-                kind: crate::eval::BudgetKind::DomainSize,
-                stats,
+                kind: BudgetKind::DomainSize,
+                stats: peak,
             });
         }
-        Ok(())
+        Ok(outcome)
+    }
+
+    /// Reverse a prefix of a failed batch assert (newest first), restoring
+    /// the exact pre-batch state. Removals tombstone; one compaction pass
+    /// at the end settles the whole rollback, however large the batch.
+    fn rollback_asserts(
+        &mut self,
+        applied: &[(PredId, Box<[SeqId]>, AssertOutcome)],
+        dmark: DomainMark,
+    ) {
+        for (pid, tuple, outcome) in applied.iter().rev() {
+            if outcome.new_fact {
+                self.fx.unassert_pending(*pid, tuple, outcome.new_base);
+            } else if outcome.new_base {
+                self.fx.drop_base_record(*pid, tuple);
+            }
+        }
+        self.fx.compact_pending();
+        self.fx.domain_truncate(&self.store, dmark);
     }
 
     /// Intern `text` as a sequence and window-close it, so it can serve as
@@ -167,60 +285,188 @@ impl EngineSession {
 
     /// Assert one base fact with string arguments. Returns `true` when the
     /// fact is new; new facts become the next [`run`](EngineSession::run)'s
-    /// semi-naive delta. Duplicate asserts are no-ops; arguments longer
-    /// than `max_seq_len` are rejected eagerly (no fact inserted, session
-    /// not poisoned).
+    /// semi-naive delta. Duplicate asserts never grow the interpretation
+    /// (but still mark the fact as *base*, so it survives retraction of its
+    /// other derivations); arguments longer than `max_seq_len` and facts
+    /// that would exceed `max_facts`/`max_domain` are refused eagerly and
+    /// exactly (state untouched, session not poisoned).
     pub fn assert_fact(&mut self, pred: &str, args: &[&str]) -> Result<bool, EvalError> {
         self.guard_poison()?;
-        self.check_state_budgets()?;
-        let mut tuple: Vec<SeqId> = Vec::with_capacity(args.len());
-        for s in args {
-            let syms = self.alphabet.seq_of_str(s);
-            let id = self.store.intern_vec(syms);
-            self.check_seq_budget(id)?;
-            tuple.push(id);
-        }
+        let tuple = self.intern_tuple(args)?;
         let pid = self.fx.pred_id(pred);
-        Ok(self.fx.assert_fact(&mut self.store, pid, tuple.into()))
+        Ok(self.assert_ids_exact(pid, tuple.into())?.new_fact)
     }
 
     /// Assert a batch of string-argument facts; returns how many were new.
+    ///
+    /// **Failure-atomic**: if any fact of the batch is refused (budget) the
+    /// whole batch rolls back and the session state is exactly what it was
+    /// before the call; on a poisoned session nothing is applied either.
     pub fn assert_facts(&mut self, facts: &[(&str, &[&str])]) -> Result<usize, EvalError> {
+        self.guard_poison()?;
+        let dmark = self.fx.domain_mark();
+        let mut applied: Vec<(PredId, Box<[SeqId]>, AssertOutcome)> = Vec::new();
         let mut added = 0;
         for (pred, args) in facts {
-            added += usize::from(self.assert_fact(pred, args)?);
+            let step = self.intern_tuple(args).and_then(|tuple| {
+                let pid = self.fx.pred_id(pred);
+                self.assert_batch_step(pid, tuple.into(), &mut applied)
+            });
+            match step {
+                Ok(n) => added += n,
+                Err(e) => {
+                    self.rollback_asserts(&applied, dmark);
+                    return Err(e);
+                }
+            }
         }
         Ok(added)
+    }
+
+    /// One entry of an atomic batch: apply the assert with exact budgets
+    /// and record what it changed in `applied`, so a later
+    /// [`rollback_asserts`](EngineSession::rollback_asserts) can reverse
+    /// it. Returns 1 when the fact was new. The single place the batch
+    /// bookkeeping condition lives — `assert_facts` and `assert_db` both
+    /// route through it.
+    fn assert_batch_step(
+        &mut self,
+        pid: PredId,
+        tuple: Box<[SeqId]>,
+        applied: &mut Vec<(PredId, Box<[SeqId]>, AssertOutcome)>,
+    ) -> Result<usize, EvalError> {
+        let outcome = self.assert_ids_exact(pid, tuple.clone())?;
+        if outcome.new_fact || outcome.new_base {
+            applied.push((pid, tuple, outcome));
+        }
+        Ok(usize::from(outcome.new_fact))
     }
 
     /// Assert one base fact over already-interned sequences (ids must come
     /// from this session's store — e.g. from
     /// [`assert_seq`](EngineSession::assert_seq), or from the owning
-    /// [`Engine`] before [`Engine::into_session`]).
+    /// [`Engine`] before [`Engine::into_session`]). Budgets are enforced
+    /// exactly, as in [`assert_fact`](EngineSession::assert_fact).
     pub fn assert_fact_ids(&mut self, pred: &str, tuple: &[SeqId]) -> Result<bool, EvalError> {
         self.guard_poison()?;
-        self.check_state_budgets()?;
-        for &id in tuple {
-            self.check_seq_budget(id)?;
-        }
         let pid = self.fx.pred_id(pred);
-        Ok(self.fx.assert_fact(&mut self.store, pid, tuple.into()))
+        Ok(self.assert_ids_exact(pid, tuple.into())?.new_fact)
     }
 
     /// Assert every fact of `db` (built against this session's store);
-    /// returns how many were new.
+    /// returns how many were new. **Failure-atomic**, like
+    /// [`assert_facts`](EngineSession::assert_facts).
     pub fn assert_db(&mut self, db: &Database) -> Result<usize, EvalError> {
         self.guard_poison()?;
+        let dmark = self.fx.domain_mark();
+        let mut applied: Vec<(PredId, Box<[SeqId]>, AssertOutcome)> = Vec::new();
         let mut added = 0;
         for (pred, tuple) in db.iter() {
-            self.check_state_budgets()?;
-            for &id in tuple {
-                self.check_seq_budget(id)?;
-            }
             let pid = self.fx.pred_id(pred);
-            added += usize::from(self.fx.assert_fact(&mut self.store, pid, tuple.into()));
+            match self.assert_batch_step(pid, tuple.into(), &mut applied) {
+                Ok(n) => added += n,
+                Err(e) => {
+                    self.rollback_asserts(&applied, dmark);
+                    return Err(e);
+                }
+            }
         }
         Ok(added)
+    }
+
+    /// Retract one base fact with string arguments; returns `true` when the
+    /// fact was a base fact and has been retracted. Non-base facts
+    /// (derived-only, unknown predicate, never-interned arguments) are
+    /// **no-ops** returning `false`: nothing is interned, and the session
+    /// state — pending asserts included — is left exactly as it was.
+    ///
+    /// When the retraction takes effect the session is **settled**: the
+    /// interpretation equals a fresh batch evaluation of the surviving base
+    /// facts (pending asserts included), maintained incrementally by
+    /// Delete-and-Rederive — see the [module docs](self) and
+    /// [`Fixpoint::retract_facts`]. On failure the session poisons, exactly
+    /// like [`run`](EngineSession::run).
+    pub fn retract_fact(&mut self, pred: &str, args: &[&str]) -> Result<bool, EvalError> {
+        self.guard_poison()?;
+        let Some(pid) = self.fx.facts().lookup_pred(pred) else {
+            return Ok(false);
+        };
+        let Some(tuple) = self.lookup_tuple(args) else {
+            return Ok(false);
+        };
+        self.retract_ids_batch(vec![(pid, tuple.into())])
+            .map(|n| n > 0)
+    }
+
+    /// Resolve string arguments to interned ids **without interning**
+    /// anything (not even alphabet symbols): `None` when some argument was
+    /// never interned, in which case no such fact can exist.
+    fn lookup_tuple(&self, args: &[&str]) -> Option<Vec<SeqId>> {
+        let mut tuple: Vec<SeqId> = Vec::with_capacity(args.len());
+        for s in args {
+            let syms = self.alphabet.lookup_seq_of_str(s)?;
+            tuple.push(self.store.lookup(&syms)?);
+        }
+        Some(tuple)
+    }
+
+    /// [`retract_fact`](EngineSession::retract_fact) over already-interned
+    /// sequences.
+    pub fn retract_fact_ids(&mut self, pred: &str, tuple: &[SeqId]) -> Result<bool, EvalError> {
+        self.guard_poison()?;
+        let Some(pid) = self.fx.facts().lookup_pred(pred) else {
+            return Ok(false);
+        };
+        self.retract_ids_batch(vec![(pid, tuple.into())])
+            .map(|n| n > 0)
+    }
+
+    /// Retract every fact of `db` in one Delete-and-Rederive maintenance
+    /// pass; returns how many were base facts (and are now gone). Unknown
+    /// predicates and non-base facts are skipped; if nothing qualifies the
+    /// call is a pure no-op (count `0`, session untouched).
+    pub fn retract_db(&mut self, db: &Database) -> Result<usize, EvalError> {
+        self.guard_poison()?;
+        let mut batch: Vec<(PredId, Box<[SeqId]>)> = Vec::new();
+        for (pred, tuple) in db.iter() {
+            if let Some(pid) = self.fx.facts().lookup_pred(pred) {
+                batch.push((pid, tuple.into()));
+            }
+        }
+        self.retract_ids_batch(batch)
+    }
+
+    /// True when the session knows `pred(args…)` as a *base* fact (i.e. a
+    /// retraction of it would take effect). Read-only: interns nothing.
+    pub fn is_base_fact(&self, pred: &str, args: &[&str]) -> bool {
+        let Some(pid) = self.fx.facts().lookup_pred(pred) else {
+            return false;
+        };
+        match self.lookup_tuple(args) {
+            Some(tuple) => self.fx.is_base_fact(pid, &tuple),
+            None => false,
+        }
+    }
+
+    /// Run one retraction maintenance pass, poisoning on failure (the same
+    /// discipline as [`run`](EngineSession::run)).
+    fn retract_ids_batch(
+        &mut self,
+        batch: Vec<(PredId, Box<[SeqId]>)>,
+    ) -> Result<usize, EvalError> {
+        match self.fx.retract_facts(
+            &self.program,
+            &mut self.store,
+            &self.registry,
+            &self.config,
+            &batch,
+        ) {
+            Ok(n) => Ok(n),
+            Err(e) => {
+                self.poisoned = Some(e.clone());
+                Err(e)
+            }
+        }
     }
 
     /// Resume the fixpoint over everything asserted since the last run.

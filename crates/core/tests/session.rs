@@ -176,7 +176,10 @@ fn budget_error_mid_session_poisons() {
         other => panic!("expected Poisoned, got {other:?}"),
     }
     assert!(matches!(s.run(), Err(EvalError::Poisoned { .. })));
-    assert!(matches!(s.assert_seq("zz"), Err(EvalError::Poisoned { .. })));
+    assert!(matches!(
+        s.assert_seq("zz"),
+        Err(EvalError::Poisoned { .. })
+    ));
     assert!(matches!(s.poison(), Some(EvalError::Budget { .. })));
 
     // …while the read API stays available, and the partial state is a
@@ -239,6 +242,272 @@ fn max_rounds_is_a_per_run_budget() {
     assert!(s.is_poisoned());
 }
 
+/// Oracle: after any retraction, the session must equal a fresh batch
+/// evaluation of the surviving base facts.
+fn assert_retract_matches_batch(
+    s: &EngineSession,
+    src: &str,
+    survivors: &[(&str, &str)],
+    preds: &[&str],
+) {
+    assert_eq!(
+        session_extents(s, preds),
+        batch_extents(src, survivors, preds),
+        "retract ≢ fresh batch evaluation of the survivors"
+    );
+}
+
+#[test]
+fn retract_removes_unsupported_derivations() {
+    let preds = ["chain0", "chain1", "chain2", "pairs"];
+    let mut s = session(CHAIN_SRC, EvalConfig::default());
+    s.assert_fact("chain0", &["abcabs"]).unwrap();
+    s.assert_fact("chain0", &["bbat"]).unwrap();
+    s.run().unwrap();
+
+    assert!(s.retract_fact("chain0", &["abcabs"]).unwrap());
+    assert_retract_matches_batch(&s, CHAIN_SRC, &[("chain0", "bbat")], &preds);
+    assert!(!s.is_poisoned());
+
+    // Retracting the last base fact empties the model entirely.
+    assert!(s.retract_fact("chain0", &["bbat"]).unwrap());
+    assert_retract_matches_batch(&s, CHAIN_SRC, &[], &preds);
+    assert_eq!(s.stats().facts, 0);
+    assert_eq!(s.stats().domain_size, 0, "domain shrinks with the facts");
+
+    // The emptied session keeps serving.
+    s.assert_fact("chain0", &["cacacu"]).unwrap();
+    s.run().unwrap();
+    assert_retract_matches_batch(&s, CHAIN_SRC, &[("chain0", "cacacu")], &preds);
+}
+
+#[test]
+fn retract_preserves_alternative_derivations() {
+    // p is derivable from either feed; retracting one base fact must keep
+    // every fact the other still supports (the re-derive half of DRed).
+    let src = r#"
+        p(X) :- r(X).
+        p(X) :- s(X).
+        q(X[2:end]) :- p(X), X != "".
+    "#;
+    let mut s = session(src, EvalConfig::default());
+    s.assert_fact("r", &["abc"]).unwrap();
+    s.assert_fact("s", &["abc"]).unwrap();
+    s.assert_fact("r", &["xyz"]).unwrap();
+    s.run().unwrap();
+
+    assert!(s.retract_fact("r", &["abc"]).unwrap());
+    // p("abc") — and its whole derived chain — survives via s("abc").
+    assert_retract_matches_batch(
+        &s,
+        src,
+        &[("s", "abc"), ("r", "xyz")],
+        &["p", "q", "r", "s"],
+    );
+
+    assert!(s.retract_fact("s", &["abc"]).unwrap());
+    assert_retract_matches_batch(&s, src, &[("r", "xyz")], &["p", "q", "r", "s"]);
+}
+
+#[test]
+fn retract_of_asserted_and_derived_fact_keeps_the_derivation() {
+    // A fact both asserted as base AND derivable by a rule: retracting the
+    // base record must leave the derived fact in place (it still has
+    // support), matching batch evaluation of the survivors.
+    let src = "p(X) :- r(X).";
+    let mut s = session(src, EvalConfig::default());
+    s.assert_fact("r", &["ab"]).unwrap();
+    s.assert_fact("p", &["ab"]).unwrap(); // also derivable from r("ab")
+    s.run().unwrap();
+    assert!(s.is_base_fact("p", &["ab"]));
+
+    assert!(s.retract_fact("p", &["ab"]).unwrap());
+    assert!(!s.is_base_fact("p", &["ab"]));
+    assert_retract_matches_batch(&s, src, &[("r", "ab")], &["p", "r"]);
+    assert_eq!(s.query("p"), vec![vec!["ab".to_string()]], "still derived");
+
+    // And the reverse order: retracting the supporting base fact while the
+    // head stays asserted keeps p("ab") but drops r("ab").
+    let mut s2 = session(src, EvalConfig::default());
+    s2.assert_fact("r", &["ab"]).unwrap();
+    s2.assert_fact("p", &["ab"]).unwrap();
+    s2.run().unwrap();
+    assert!(s2.retract_fact("r", &["ab"]).unwrap());
+    assert_retract_matches_batch(&s2, src, &[("p", "ab")], &["p", "r"]);
+}
+
+#[test]
+fn retract_shrinks_the_extended_domain_for_domain_sensitive_clauses() {
+    // The Expressiveness-fragment trap: `pair(X, X) :- true.` instantiates
+    // over the extended active domain itself. When the only fact that
+    // introduced "ab" (and its windows) is retracted, those pair facts
+    // must vanish even though no clause body mentions r0 — the domain
+    // shrinkage pass of DRed, not atom propagation, has to catch it.
+    let src = "pair(X, X) :- true.\nsuf(X[N:end]) :- r0(X).";
+    let preds = ["pair", "r0", "suf"];
+    let mut s = session(src, EvalConfig::default());
+    s.assert_fact("r0", &["ab"]).unwrap();
+    s.assert_fact("r0", &["c"]).unwrap();
+    s.run().unwrap();
+    let domain_before = s.stats().domain_size;
+    // Domain: ε, a, b, ab, c → pair has 5 facts.
+    assert_eq!(s.query("pair").len(), 5);
+
+    assert!(s.retract_fact("r0", &["ab"]).unwrap());
+    assert!(
+        s.stats().domain_size < domain_before,
+        "retraction must shrink the extended domain"
+    );
+    // Domain now: ε, c → pair(ε,ε), pair(c,c) only; suffixes of "ab" gone.
+    assert_retract_matches_batch(&s, src, &[("r0", "c")], &preds);
+    assert_eq!(s.query("pair").len(), 2);
+}
+
+#[test]
+fn retract_noops_do_not_touch_state_or_intern() {
+    let mut s = session("p(X) :- r(X).", EvalConfig::default());
+    s.assert_fact("r", &["ab"]).unwrap();
+    s.run().unwrap();
+    let stats = s.stats();
+
+    // Unknown predicate: no-op, and the predicate is NOT interned.
+    assert!(!s.retract_fact("nosuch", &["ab"]).unwrap());
+    assert!(s.pred_id("nosuch").is_none(), "read path must not intern");
+    // Known predicate, never-asserted word: no-op.
+    assert!(!s.retract_fact("r", &["zz"]).unwrap());
+    // Derived-only fact: no-op (p("ab") has no base record).
+    assert!(!s.retract_fact("p", &["ab"]).unwrap());
+    assert!(!s.is_base_fact("p", &["ab"]));
+    assert_eq!(s.stats(), stats, "no-op retractions leave stats untouched");
+    assert_eq!(s.query("p"), vec![vec!["ab".to_string()]]);
+
+    // A no-op retraction is NOT an implicit run: a pending assert stays
+    // pending through it (only an *effective* retraction settles).
+    s.assert_fact("r", &["cd"]).unwrap();
+    assert!(!s.retract_fact("r", &["never-there"]).unwrap());
+    assert_eq!(s.query("p").len(), 1, "pending delta not yet derived");
+    s.run().unwrap();
+    assert_eq!(s.answers("p"), ["ab", "cd"], "next run settles it");
+}
+
+#[test]
+fn retract_with_pending_asserts_settles_the_union() {
+    // Retraction settles eagerly: pending (un-run) asserts are processed
+    // by the same maintenance pass, and a pending assert can itself be
+    // retracted before it was ever run.
+    let preds = ["chain0", "chain1", "chain2", "pairs"];
+    let mut s = session(CHAIN_SRC, EvalConfig::default());
+    s.assert_fact("chain0", &["abcabs"]).unwrap();
+    s.run().unwrap();
+    s.assert_fact("chain0", &["bbat"]).unwrap(); // pending
+    s.assert_fact("chain0", &["cacacu"]).unwrap(); // pending
+    assert!(s.retract_fact("chain0", &["cacacu"]).unwrap());
+    assert_retract_matches_batch(
+        &s,
+        CHAIN_SRC,
+        &[("chain0", "abcabs"), ("chain0", "bbat")],
+        &preds,
+    );
+
+    // Retract before the very first run (virgin fixpoint).
+    let mut v = session(CHAIN_SRC, EvalConfig::default());
+    v.assert_fact("chain0", &["abcabs"]).unwrap();
+    v.assert_fact("chain0", &["bbat"]).unwrap();
+    assert!(v.retract_fact("chain0", &["abcabs"]).unwrap());
+    assert_retract_matches_batch(&v, CHAIN_SRC, &[("chain0", "bbat")], &preds);
+}
+
+#[test]
+fn retract_db_batches_one_maintenance_pass() {
+    let preds = ["chain0", "chain1", "chain2", "pairs"];
+    let mut e = Engine::new();
+    let p = e.parse_program(CHAIN_SRC).unwrap();
+    let mut keep = Database::new();
+    e.add_fact(&mut keep, "chain0", &["cacacu"]);
+    let mut drop2 = Database::new();
+    e.add_fact(&mut drop2, "chain0", &["abcabs"]);
+    e.add_fact(&mut drop2, "chain0", &["bbat"]);
+    let mut never = Database::new();
+    e.add_fact(&mut never, "nosuch", &["zz"]); // never asserted
+    let mut s = e.into_session(&p, EvalConfig::default()).unwrap();
+    s.assert_db(&keep).unwrap();
+    s.assert_db(&drop2).unwrap();
+    s.run().unwrap();
+
+    // Retracting facts that were never asserted — unknown predicate
+    // included — is a no-op pass.
+    let stats_before = s.stats();
+    assert_eq!(s.retract_db(&never).unwrap(), 0);
+    assert_eq!(s.stats(), stats_before);
+    assert!(
+        s.pred_id("nosuch").is_none(),
+        "retract path must not intern"
+    );
+
+    let rounds_before = s.stats().rounds;
+    assert_eq!(s.retract_db(&drop2).unwrap(), 2);
+    let maintenance_rounds = s.stats().rounds - rounds_before;
+    assert_retract_matches_batch(&s, CHAIN_SRC, &[("chain0", "cacacu")], &preds);
+    // Both retractions shared one DRed pass: one targeted re-derive round
+    // plus the resumed loop — far fewer than two full maintenance runs.
+    assert!(
+        maintenance_rounds <= 4,
+        "batched retraction used {maintenance_rounds} rounds"
+    );
+}
+
+#[test]
+fn retract_frees_budget_headroom() {
+    // Budgets are cumulative state bounds; retraction shrinks the state,
+    // so a full session regains capacity — important for long-lived
+    // serving processes cycling through tenants.
+    let config = EvalConfig {
+        max_facts: 4,
+        ..EvalConfig::default()
+    };
+    let mut s = session("p(X) :- r(X).", config);
+    s.assert_fact("r", &["a"]).unwrap();
+    s.assert_fact("r", &["b"]).unwrap();
+    s.run().unwrap(); // 2 base + 2 derived = 4 = max_facts
+    assert!(matches!(
+        s.assert_fact("r", &["c"]),
+        Err(EvalError::Budget { .. })
+    ));
+    assert!(s.retract_fact("r", &["a"]).unwrap()); // frees r(a), p(a)
+    assert!(s.assert_fact("r", &["c"]).unwrap(), "headroom regained");
+    s.run().unwrap();
+    assert_eq!(s.answers("p"), ["b", "c"]);
+    assert!(!s.is_poisoned());
+}
+
+#[test]
+fn retract_is_bit_for_bit_deterministic_across_threads() {
+    let src = r#"
+        p(X) :- r(X).
+        p(X) :- s(X).
+        pairs(X, Y) :- p(X), p(Y).
+    "#;
+    let run_at = |threads: usize| {
+        let mut s = session(src, EvalConfig::with_threads(threads));
+        for w in ["abc", "de", "f", "gh"] {
+            s.assert_fact("r", &[w]).unwrap();
+        }
+        s.assert_fact("s", &["abc"]).unwrap();
+        s.run().unwrap();
+        s.retract_fact("r", &["abc"]).unwrap();
+        s.retract_fact("r", &["f"]).unwrap();
+        let extents: Vec<Vec<Vec<String>>> = ["p", "pairs", "r", "s"]
+            .iter()
+            .map(|p| s.query(p)) // insertion order, NOT sorted: bit-for-bit
+            .collect();
+        (extents, s.stats())
+    };
+    let reference = run_at(1);
+    for t in [2, 4, 8] {
+        assert_eq!(run_at(t), reference, "threads={t} diverged");
+    }
+}
+
 #[test]
 fn check_model_confirms_settled_sessions() {
     let mut s = session(CHAIN_SRC, EvalConfig::default());
@@ -279,10 +548,7 @@ fn oversized_asserts_are_rejected_eagerly_without_poisoning() {
         Err(EvalError::Budget { kind, .. }) => assert_eq!(kind, BudgetKind::SeqLen),
         other => panic!("expected SeqLen budget rejection, got {other:?}"),
     }
-    assert!(matches!(
-        s.assert_seq(&long),
-        Err(EvalError::Budget { .. })
-    ));
+    assert!(matches!(s.assert_seq(&long), Err(EvalError::Budget { .. })));
     assert!(!s.is_poisoned(), "eager rejection must not poison");
     assert_eq!(s.stats().facts, 0, "no fact entered the interpretation");
     // The session keeps serving within budget.
@@ -292,30 +558,133 @@ fn oversized_asserts_are_rejected_eagerly_without_poisoning() {
 }
 
 #[test]
-fn assert_floods_are_stopped_by_the_cumulative_budgets() {
-    // The size budgets must bite on the assert path too: once the state
-    // already exceeds max_facts, further asserts are refused (bounded
-    // overshoot of one fact), without waiting for the next run() — and
-    // without poisoning.
+fn assert_floods_are_stopped_exactly_at_the_budget() {
+    // The size budgets bite on the assert path with *exact* enforcement:
+    // an assert that would push the state past max_facts is refused before
+    // it applies — no overshoot, no waiting for the next run(), and no
+    // poisoning. Crucially, the asserts and the run-entry budget check now
+    // agree: a session filled to the brim by asserts still runs.
     let config = EvalConfig {
         max_facts: 3,
         ..EvalConfig::default()
     };
-    let mut s = session("p(X) :- r(X).", config);
+    let mut s = session("q(X) :- r(X), s(X).", config);
     let mut accepted = 0;
     let mut refused = 0;
     for i in 0..10 {
         match s.assert_fact("r", &[&format!("w{i}")]) {
             Ok(true) => accepted += 1,
             Ok(false) => unreachable!("all words distinct"),
-            Err(EvalError::Budget { kind, .. }) => {
+            Err(EvalError::Budget { kind, stats }) => {
                 assert_eq!(kind, BudgetKind::Facts);
+                assert_eq!(stats.facts, 4, "error reports the would-be stats");
                 refused += 1;
             }
             Err(other) => panic!("unexpected error {other:?}"),
         }
     }
-    assert_eq!(accepted, 4, "overshoot bounded at max_facts + 1");
-    assert_eq!(refused, 6);
+    assert_eq!(accepted, 3, "exactly max_facts accepted, zero overshoot");
+    assert_eq!(refused, 7);
     assert!(!s.is_poisoned(), "budget refusal must not poison");
+    assert_eq!(s.stats().facts, 3);
+    // Duplicate asserts are no-growth and stay admissible at the brim.
+    assert!(!s.assert_fact("r", &["w0"]).unwrap());
+    // The accepted asserts can never make the next run fail its entry
+    // budget check (the join derives nothing: s is empty).
+    s.run().expect("a full-to-the-budget session still runs");
+    assert!(!s.is_poisoned());
+}
+
+#[test]
+fn domain_budget_is_exact_on_the_assert_path() {
+    // A word whose window closure would blow max_domain is refused with
+    // the domain rolled back to exactly its pre-call state; smaller words
+    // still fit afterwards.
+    let config = EvalConfig {
+        max_domain: 12,
+        ..EvalConfig::default()
+    };
+    let mut s = session("p(X) :- r(X).", config);
+    s.assert_fact("r", &["ab"]).unwrap(); // ε, a, b, ab → 4 members
+    let before = s.stats();
+    // "cdefg" alone closes to 5·6/2 = 15 windows ≫ the remaining headroom.
+    match s.assert_fact("r", &["cdefg"]) {
+        Err(EvalError::Budget { kind, stats }) => {
+            assert_eq!(kind, BudgetKind::DomainSize);
+            assert!(stats.domain_size > 12, "peak stats show what tripped");
+        }
+        other => panic!("expected DomainSize refusal, got {other:?}"),
+    }
+    assert!(!s.is_poisoned());
+    let after = s.stats();
+    assert_eq!(after.facts, before.facts, "fact rolled back");
+    assert_eq!(after.domain_size, before.domain_size, "closure rolled back");
+    // Headroom still serves smaller facts, and the session still runs.
+    assert!(s.assert_fact("r", &["cd"]).unwrap());
+    s.run().unwrap();
+    assert_eq!(s.answers("p"), ["ab", "cd"]);
+}
+
+#[test]
+fn batch_asserts_are_failure_atomic() {
+    let config = EvalConfig {
+        max_facts: 4,
+        ..EvalConfig::default()
+    };
+    let mut s = session("p(X) :- r(X).", config);
+    s.assert_fact("r", &["keep"]).unwrap();
+    s.run().unwrap();
+    let stats_before = s.stats();
+    let rows_before = s.query("r");
+
+    // Settled: r(keep) + p(keep) = 2 facts. a1, a2 fill to the budget of
+    // 4; the duplicate is admissible (no growth); a3 trips — and then the
+    // whole batch, duplicate's base record included, must roll back.
+    let err = s
+        .assert_facts(&[
+            ("r", &["a1"] as &[&str]),
+            ("r", &["a2"]),
+            ("r", &["keep"]), // duplicate mid-batch: no growth, base-only
+            ("r", &["a3"]),   // refused: would be fact 5 > 4
+            ("r", &["a4"]),
+        ])
+        .unwrap_err();
+    let EvalError::Budget { kind, .. } = &err else {
+        panic!("expected Budget, got {err:?}");
+    };
+    assert_eq!(*kind, BudgetKind::Facts);
+    assert!(!s.is_poisoned(), "batch refusal must not poison");
+    assert_eq!(s.stats().facts, stats_before.facts, "no fact survived");
+    assert_eq!(
+        s.stats().domain_size,
+        stats_before.domain_size,
+        "no closure survived"
+    );
+    assert_eq!(s.query("r"), rows_before, "extents exactly restored");
+    // The rolled-back batch left the session fully serviceable.
+    assert_eq!(s.assert_facts(&[("r", &["b1"] as &[&str])]).unwrap(), 1);
+    s.run().unwrap();
+    assert_eq!(s.answers("p"), ["b1", "keep"]);
+}
+
+#[test]
+fn batch_asserts_on_poisoned_sessions_apply_nothing() {
+    let config = EvalConfig {
+        max_rounds: 2,
+        ..EvalConfig::default()
+    };
+    let mut s = session("p(X[2:end]) :- p(X), X != \"\".", config);
+    s.assert_fact("p", &["aaaaaaaa"]).unwrap();
+    assert!(s.run().is_err(), "the chain needs more than 2 rounds");
+    assert!(s.is_poisoned());
+    let facts_before = s.stats().facts;
+    match s.assert_facts(&[("p", &["zz"] as &[&str]), ("p", &["yy"])]) {
+        Err(EvalError::Poisoned { .. }) => {}
+        other => panic!("expected Poisoned, got {other:?}"),
+    }
+    assert_eq!(s.stats().facts, facts_before, "nothing applied");
+    assert!(matches!(
+        s.retract_fact("p", &["aaaaaaaa"]),
+        Err(EvalError::Poisoned { .. })
+    ));
 }

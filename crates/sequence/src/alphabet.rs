@@ -108,6 +108,17 @@ impl Alphabet {
         text.chars().map(|c| self.intern_char(c)).collect()
     }
 
+    /// Resolve every character of `text` **without interning**: `None` as
+    /// soon as some character was never interned (such a sequence cannot
+    /// exist in any store built through this alphabet). The read-only
+    /// counterpart of [`Alphabet::seq_of_str`].
+    pub fn lookup_seq_of_str(&self, text: &str) -> Option<Vec<Sym>> {
+        let mut buf = [0u8; 4];
+        text.chars()
+            .map(|c| self.lookup(c.encode_utf8(&mut buf)))
+            .collect()
+    }
+
     /// Render a sequence of symbols as a string. Single-character symbol
     /// names are concatenated directly; longer names appear as `<name>`.
     pub fn render(&self, seq: &[Sym]) -> String {

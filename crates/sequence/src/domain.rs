@@ -29,6 +29,16 @@ pub struct ExtendedDomain {
     max_len: usize,
 }
 
+/// A restore point for [`ExtendedDomain::truncate`]: everything inserted
+/// after [`ExtendedDomain::mark`] can be popped off again, exactly reversing
+/// the insertions (members are appended in insertion order, so the suffix
+/// beyond the mark is precisely what was added since).
+#[derive(Clone, Copy, Debug)]
+pub struct DomainMark {
+    members: usize,
+    max_len: usize,
+}
+
 impl ExtendedDomain {
     /// Create an empty domain.
     pub fn new() -> Self {
@@ -138,6 +148,31 @@ impl ExtendedDomain {
     /// for obtaining snapshots). Supports semi-naive domain deltas.
     pub fn members_since(&self, since: usize) -> &[SeqId] {
         &self.order[since.min(self.order.len())..]
+    }
+
+    /// A restore point for [`ExtendedDomain::truncate`].
+    pub fn mark(&self) -> DomainMark {
+        DomainMark {
+            members: self.order.len(),
+            max_len: self.max_len,
+        }
+    }
+
+    /// Roll the domain back to `mark`, removing every member inserted since.
+    /// `store` resolves member lengths so the length buckets unwind; each
+    /// popped member is necessarily the most recent entry of its bucket.
+    /// Used by the session's exact budget enforcement to refuse an assert
+    /// whose window closure would exceed `max_domain` without leaving a
+    /// partial closure behind.
+    pub fn truncate(&mut self, store: &SeqStore, mark: DomainMark) {
+        debug_assert!(mark.members <= self.order.len(), "stale domain mark");
+        while self.order.len() > mark.members {
+            let id = self.order.pop().expect("non-empty beyond mark");
+            self.members.remove(&id);
+            let popped = self.by_len[store.len_of(id)].pop();
+            debug_assert_eq!(popped, Some(id), "length buckets out of sync");
+        }
+        self.max_len = mark.max_len;
     }
 }
 
@@ -264,6 +299,34 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn truncate_exactly_reverses_insertions() {
+        let mut a = Alphabet::new();
+        let mut st = SeqStore::new();
+        let mut d = ExtendedDomain::new();
+        insert_str(&mut a, &mut st, &mut d, "ab");
+        let before_len = d.len();
+        let mark = d.mark();
+        insert_str(&mut a, &mut st, &mut d, "cdefg");
+        assert!(d.len() > before_len);
+        assert_eq!(d.max_len(), 5);
+        d.truncate(&st, mark);
+        assert_eq!(d.len(), before_len);
+        assert_eq!(d.max_len(), 2);
+        let cd = st.intern(&a.seq_of_str("cd"));
+        assert!(!d.contains(cd), "rolled-back member must be gone");
+        assert!(d.members_of_len(5).is_empty());
+        // Re-inserting after a rollback restores the same set.
+        insert_str(&mut a, &mut st, &mut d, "cdefg");
+        assert!(d.contains(cd));
+        assert_eq!(d.max_len(), 5);
+        // Truncating to the current state is a no-op.
+        let here = d.mark();
+        let len = d.len();
+        d.truncate(&st, here);
+        assert_eq!(d.len(), len);
     }
 
     #[test]

@@ -280,8 +280,7 @@ impl Bencher {
                 black_box(routine(input));
                 busy += t.elapsed();
             }
-            self.samples_ns
-                .push(busy.as_nanos() as f64 / iters as f64);
+            self.samples_ns.push(busy.as_nanos() as f64 / iters as f64);
         }
     }
 
@@ -324,7 +323,11 @@ fn report(id: &str, bencher: &Bencher, json: Option<&Path>) {
         fmt_ns(max)
     );
     if let Some(path) = json {
-        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
             let _ = writeln!(
                 f,
                 "{{\"id\":\"{id}\",\"median_ns\":{median:.1},\"min_ns\":{min:.1},\"max_ns\":{max:.1},\"samples\":{}}}",

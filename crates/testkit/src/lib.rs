@@ -10,6 +10,18 @@
 //! heads, equality literals), and every case is terminating by
 //! construction, so `batch ≡ incremental ≡ parallel` is decidable per case.
 //!
+//! Two case families are generated over the same shape grammar:
+//!
+//! * [`FuzzCase`] — assert-only batches; oracle: batch ≡ incremental ≡
+//!   parallel ([`batch_outcome`] vs [`incremental_outcome`]).
+//! * [`InterleavedCase`] — assert/**retract** interleavings; oracle: after
+//!   any history, the session equals a fresh batch evaluation of the
+//!   *surviving* base facts ([`interleaved_outcome`] vs
+//!   [`surviving_batch_outcome`]) — the Delete-and-Rederive correctness
+//!   bar, with the ground-domain-sensitive shape (`gd(X, X) :- true.`)
+//!   forced in regularly because retraction must shrink the extended
+//!   active domain it enumerates.
+//!
 //! Generation is built on the workspace's `proptest` shim: strategies are
 //! deterministic per test name ([`proptest::test_runner::TestRng`]), so a
 //! failing case reproduces by running the same test — the seed is pinned by
@@ -95,6 +107,23 @@ fn word_strategy(max_len: usize) -> impl Strategy<Value = String> {
 
 /// Number of distinct program shapes [`CaseStrategy`] draws from.
 pub const SHAPE_COUNT: usize = 9;
+
+/// The unary head predicate of shape `kind` (instance `u`), when it has
+/// one. The interleaving generator occasionally asserts base facts *into*
+/// these derived predicates: a fact both asserted and derivable is exactly
+/// the case where retraction must distinguish base support from rule
+/// support (DRed's re-seed pass).
+fn shape_unary_head(kind: usize, u: usize) -> Option<String> {
+    match kind {
+        0 => Some(format!("c{u}x0")),
+        1 => Some(format!("suf{u}")),
+        2 => Some(format!("pre{u}")),
+        3 => Some(format!("t{u}")),
+        5 => Some(format!("occ{u}")),
+        8 => Some(format!("m{u}p")),
+        _ => None, // dbl/cat construct, fr/gd are binary
+    }
+}
 
 /// Emit the clauses of shape `kind` (see the module docs), with predicate
 /// names suffixed by `u` so composed instances never collide, feeding from
@@ -191,6 +220,221 @@ impl Strategy for CaseStrategy {
     }
 }
 
+/// One session operation of an [`InterleavedCase`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// `assert_fact(pred, [word])`.
+    Assert {
+        /// Base predicate (`r0`/`r1`).
+        pred: String,
+        /// Unary argument.
+        word: String,
+    },
+    /// `retract_fact(pred, [word])` — may be a no-op (never asserted, or
+    /// already retracted), which is part of the surface under test.
+    Retract {
+        /// Base predicate.
+        pred: String,
+        /// Unary argument.
+        word: String,
+    },
+}
+
+/// A generated assert/retract interleaving over a safe program: the
+/// non-monotone counterpart of [`FuzzCase`]. The session route applies each
+/// step's ops in order with a [`EngineSession::run`]-equivalent settle after
+/// the step; the oracle route batch-evaluates the *surviving* base facts.
+///
+/// [`EngineSession::run`]: seqlog_core::session::EngineSession::run
+#[derive(Clone, Debug)]
+pub struct InterleavedCase {
+    /// Program source (terminating by construction).
+    pub program: String,
+    /// Operation batches in arrival order.
+    pub steps: Vec<Vec<Op>>,
+}
+
+impl InterleavedCase {
+    /// The surviving base facts under set semantics (asserts dedupe, a
+    /// retract removes the fact when present), in first-assert order.
+    pub fn surviving_facts(&self) -> Vec<(String, String)> {
+        let mut order: Vec<(String, String)> = Vec::new();
+        let mut live: std::collections::BTreeSet<(String, String)> = Default::default();
+        for op in self.steps.iter().flatten() {
+            match op {
+                Op::Assert { pred, word } => {
+                    let key = (pred.clone(), word.clone());
+                    if live.insert(key.clone()) && !order.contains(&key) {
+                        order.push(key);
+                    }
+                }
+                Op::Retract { pred, word } => {
+                    live.remove(&(pred.clone(), word.clone()));
+                }
+            }
+        }
+        order.retain(|k| live.contains(k));
+        order
+    }
+
+    /// Total number of operations.
+    pub fn op_count(&self) -> usize {
+        self.steps.iter().map(Vec::len).sum()
+    }
+
+    /// True when some op retracts a word that was asserted earlier (the
+    /// interesting, effective retraction — as opposed to no-op retracts).
+    pub fn has_effective_retract(&self) -> bool {
+        let mut live: std::collections::BTreeSet<(&str, &str)> = Default::default();
+        for op in self.steps.iter().flatten() {
+            match op {
+                Op::Assert { pred, word } => {
+                    live.insert((pred, word));
+                }
+                Op::Retract { pred, word } => {
+                    if live.remove(&(pred.as_str(), word.as_str())) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Display for InterleavedCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program:\n{}", self.program)?;
+        for (i, step) in self.steps.iter().enumerate() {
+            write!(f, "step {i}:")?;
+            for op in step {
+                match op {
+                    Op::Assert { pred, word } => write!(f, " +{pred}({word:?})")?,
+                    Op::Retract { pred, word } => write!(f, " -{pred}({word:?})")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Strategy producing [`InterleavedCase`]s. Roughly a third of the ops are
+/// retractions, most of which target previously asserted facts (the rest
+/// exercise the no-op path). With `force_gd`, every program includes the
+/// ground-domain-sensitive shape `gd(X, X) :- true.` — the domain-shrink
+/// trap retraction must handle; without it, every third case still does.
+pub struct InterleavedCaseStrategy {
+    /// Shape instances composed per program (1..=max).
+    pub max_shapes: usize,
+    /// Operation batches per case (1..=max).
+    pub max_steps: usize,
+    /// Ops per batch (0..=max; at least one assert overall is guaranteed).
+    pub max_ops_per_step: usize,
+    /// Maximum word length (alphabet `{a, b, c}`, empty words included).
+    pub max_word_len: usize,
+    /// Always include the ground-domain-sensitive shape.
+    pub force_gd: bool,
+}
+
+impl Default for InterleavedCaseStrategy {
+    fn default() -> Self {
+        Self {
+            max_shapes: 3,
+            max_steps: 4,
+            max_ops_per_step: 4,
+            max_word_len: 5,
+            force_gd: false,
+        }
+    }
+}
+
+/// The default interleaved-case strategy.
+pub fn interleaved_cases() -> InterleavedCaseStrategy {
+    InterleavedCaseStrategy::default()
+}
+
+/// [`interleaved_cases`] with the ground-domain-sensitive shape forced into
+/// every program (guaranteed domain-shrinkage coverage).
+pub fn interleaved_cases_with_gd() -> InterleavedCaseStrategy {
+    InterleavedCaseStrategy {
+        force_gd: true,
+        ..InterleavedCaseStrategy::default()
+    }
+}
+
+impl Strategy for InterleavedCaseStrategy {
+    type Value = InterleavedCase;
+
+    fn generate(&self, rng: &mut TestRng) -> InterleavedCase {
+        let words = word_strategy(self.max_word_len);
+        let n_shapes = 1 + (rng.next_u64() as usize) % self.max_shapes;
+        let mut program = String::new();
+        let mut has_gd = false;
+        // Feed predicates, plus the unary *derived* predicates of the
+        // chosen shapes: asserting into a derived predicate makes facts
+        // that are both base and rule-supported, the re-seed-sensitive
+        // class of retraction.
+        let mut assertable: Vec<String> = vec!["r0".to_string(), "r1".to_string()];
+        for u in 0..n_shapes {
+            let kind = (rng.next_u64() as usize) % SHAPE_COUNT;
+            has_gd |= kind == 7;
+            let base = (rng.next_u64() as usize) % 2;
+            shape_clauses(kind, u, base, &mut program);
+            assertable.extend(shape_unary_head(kind, u));
+        }
+        if !has_gd && (self.force_gd || rng.next_u64().is_multiple_of(3)) {
+            shape_clauses(7, n_shapes, 0, &mut program);
+        }
+        let mut pool: Vec<(String, String)> = Vec::new();
+        let n_steps = 1 + (rng.next_u64() as usize) % self.max_steps;
+        let mut steps: Vec<Vec<Op>> = (0..n_steps)
+            .map(|_| {
+                let n_ops = (rng.next_u64() as usize) % (self.max_ops_per_step + 1);
+                (0..n_ops)
+                    .map(|_| {
+                        let pick_pred = |rng: &mut TestRng, assertable: &[String]| {
+                            if assertable.len() > 2 && rng.next_u64().is_multiple_of(5) {
+                                assertable[2 + (rng.next_u64() as usize) % (assertable.len() - 2)]
+                                    .clone()
+                            } else {
+                                format!("r{}", rng.next_u64() % 2)
+                            }
+                        };
+                        let retract = !pool.is_empty() && rng.next_u64().is_multiple_of(3);
+                        if retract {
+                            if rng.next_u64().is_multiple_of(4) {
+                                // A (most likely) never-asserted fact: the
+                                // no-op retraction path.
+                                Op::Retract {
+                                    pred: pick_pred(rng, &assertable),
+                                    word: words.generate(rng),
+                                }
+                            } else {
+                                let (pred, word) =
+                                    pool[(rng.next_u64() as usize) % pool.len()].clone();
+                                Op::Retract { pred, word }
+                            }
+                        } else {
+                            let pred = pick_pred(rng, &assertable);
+                            let word = words.generate(rng);
+                            pool.push((pred.clone(), word.clone()));
+                            Op::Assert { pred, word }
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        if pool.is_empty() {
+            steps[0].push(Op::Assert {
+                pred: "r0".to_string(),
+                word: words.generate(rng),
+            });
+        }
+        InterleavedCase { program, steps }
+    }
+}
+
 /// The observable result of evaluating a case: either the rendered extents
 /// of every predicate (in per-relation insertion order), or the error it
 /// failed with. [`Outcome::extents_sorted`] gives the set-level view for
@@ -230,6 +474,17 @@ impl Outcome {
             }
             Outcome::Failed(_) => None,
         }
+    }
+
+    /// [`Outcome::extents_sorted`] with empty relations dropped. The
+    /// session route keeps a (now empty) relation for a predicate whose
+    /// last fact was retracted; the fresh-batch oracle never saw that
+    /// predicate at all. Set-level equality must ignore the difference.
+    pub fn extents_sorted_nonempty(&self) -> Option<BTreeMap<String, Vec<Vec<String>>>> {
+        self.extents_sorted().map(|mut out| {
+            out.retain(|_, v| !v.is_empty());
+            out
+        })
     }
 
     /// The failure label, if the route failed.
@@ -315,6 +570,66 @@ pub fn incremental_outcome(case: &FuzzCase, config: &EvalConfig) -> Outcome {
     }
 }
 
+/// Session route for an interleaved case: apply each step's ops in order
+/// (retractions settle eagerly), then resume the fixpoint, and read the
+/// final extents. The first failing op or resume ends the route (sessions
+/// poison on evaluation errors; budget-refused asserts are reported the
+/// same way for cross-route comparison).
+pub fn interleaved_outcome(case: &InterleavedCase, config: &EvalConfig) -> Outcome {
+    let mut e = Engine::new();
+    let program = e
+        .parse_program(&case.program)
+        .expect("generated programs parse");
+    let mut session = e
+        .into_session(&program, *config)
+        .expect("generated programs compile");
+    for step in &case.steps {
+        for op in step {
+            let result = match op {
+                Op::Assert { pred, word } => session.assert_fact(pred, &[word]).map(|_| ()),
+                Op::Retract { pred, word } => session.retract_fact(pred, &[word]).map(|_| ()),
+            };
+            if let Err(err) = result {
+                return Outcome::from_error(&err);
+            }
+        }
+        if let Err(err) = session.run() {
+            return Outcome::from_error(&err);
+        }
+    }
+    let model = session.snapshot();
+    let extents = session
+        .predicates()
+        .map(|pred| (pred.to_string(), session.query(pred)))
+        .collect();
+    Outcome::Model {
+        extents,
+        stats: model.stats,
+    }
+}
+
+/// The retraction oracle: batch-evaluate the case's *surviving* base facts
+/// from scratch. [`interleaved_outcome`] must agree with this extent-wise
+/// (Definition 4 / Theorem 2: the least fixpoint is a function of the
+/// database, however the database came to be).
+pub fn surviving_batch_outcome(case: &InterleavedCase, config: &EvalConfig) -> Outcome {
+    let mut e = Engine::new();
+    let program = e
+        .parse_program(&case.program)
+        .expect("generated programs parse");
+    let mut db = Database::new();
+    for (pred, word) in case.surviving_facts() {
+        e.add_fact(&mut db, &pred, &[&word]);
+    }
+    match e.evaluate_with(&program, &db, config) {
+        Ok(m) => Outcome::Model {
+            stats: m.stats,
+            extents: render_store(&e, &m.facts),
+        },
+        Err(err) => Outcome::from_error(&err),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,6 +644,106 @@ mod tests {
             let out = batch_outcome(&case, &EvalConfig::default());
             assert!(out.failure().is_none(), "default budgets must fit: {case}");
         }
+    }
+
+    #[test]
+    fn interleaved_cases_generate_effective_retractions() {
+        let mut rng = TestRng::from_name("interleaved_cases_generate_effective_retractions");
+        let strat = interleaved_cases_with_gd();
+        let mut effective = 0usize;
+        let mut noop_retracts = 0usize;
+        for _ in 0..64 {
+            let case = strat.generate(&mut rng);
+            assert!(
+                case.program.contains("gd"),
+                "force_gd must include the ground-domain-sensitive shape:\n{case}"
+            );
+            assert!(!case.surviving_facts().is_empty() || case.op_count() > 0);
+            effective += usize::from(case.has_effective_retract());
+            noop_retracts += case
+                .steps
+                .iter()
+                .flatten()
+                .filter(|op| matches!(op, Op::Retract { .. }))
+                .count();
+        }
+        assert!(
+            effective >= 16,
+            "only {effective}/64 cases retract an asserted fact — generator too weak"
+        );
+        assert!(noop_retracts > 0, "retract ops must occur at all");
+    }
+
+    #[test]
+    fn surviving_facts_apply_set_semantics() {
+        let op = |retract: bool, pred: &str, word: &str| {
+            if retract {
+                Op::Retract {
+                    pred: pred.into(),
+                    word: word.into(),
+                }
+            } else {
+                Op::Assert {
+                    pred: pred.into(),
+                    word: word.into(),
+                }
+            }
+        };
+        let case = InterleavedCase {
+            program: "t0(X) :- r0(X).\n".into(),
+            steps: vec![
+                vec![
+                    op(false, "r0", "a"),
+                    op(false, "r0", "b"),
+                    op(false, "r0", "a"),
+                ],
+                vec![op(true, "r0", "a"), op(true, "r1", "zz")], // r1(zz): no-op
+                vec![op(false, "r0", "a"), op(true, "r0", "b")],
+            ],
+        };
+        assert!(case.has_effective_retract());
+        assert_eq!(
+            case.surviving_facts(),
+            vec![("r0".to_string(), "a".to_string())],
+            "assert/retract/re-assert leaves the fact live; b stays dead"
+        );
+    }
+
+    #[test]
+    fn interleaved_routes_agree_on_a_pinned_case() {
+        // One deterministic domain-shrinking case, checked without the
+        // fuzz harness: gd(X, X) ranges over the whole extended domain, so
+        // retracting "ab" must drop its windows from gd.
+        let mk = |pred: &str, word: &str, retract: bool| {
+            if retract {
+                Op::Retract {
+                    pred: pred.into(),
+                    word: word.into(),
+                }
+            } else {
+                Op::Assert {
+                    pred: pred.into(),
+                    word: word.into(),
+                }
+            }
+        };
+        let case = InterleavedCase {
+            program: "gd0(X, X) :- true.\nsuf0(X[N:end]) :- r0(X).\n".into(),
+            steps: vec![
+                vec![mk("r0", "ab", false), mk("r0", "c", false)],
+                vec![mk("r0", "ab", true)],
+            ],
+        };
+        let config = EvalConfig::default();
+        let oracle = surviving_batch_outcome(&case, &config)
+            .extents_sorted_nonempty()
+            .expect("oracle settles");
+        let session = interleaved_outcome(&case, &config)
+            .extents_sorted_nonempty()
+            .expect("session settles");
+        assert_eq!(session, oracle);
+        // And the shrink really happened: gd0 holds only ε and "c" pairs.
+        assert_eq!(oracle["gd0"].len(), 2);
     }
 
     #[test]

@@ -39,7 +39,11 @@ fn main() {
     {
         let mut fresh = 0;
         for word in batch {
-            fresh += usize::from(session.assert_fact("chain0", &[word]).expect("session healthy"));
+            fresh += usize::from(
+                session
+                    .assert_fact("chain0", &[word])
+                    .expect("session healthy"),
+            );
         }
         let before = session.stats();
         let stats = session.run().expect("budgets fit");
@@ -51,6 +55,24 @@ fn main() {
             session.relation("pairs").map_or(0, |r| r.len()),
         );
     }
+
+    // Traffic is non-monotone in a live system: retiring a record retracts
+    // its base fact, and Delete-and-Rederive maintenance drops exactly the
+    // derived facts that lost all support (alternative derivations
+    // survive) — equivalent to re-evaluating the surviving database from
+    // scratch, at a fraction of the cost.
+    let facts_before = session.stats().facts;
+    assert!(session
+        .retract_fact("chain0", &["bbbcacat"])
+        .expect("session healthy"));
+    println!(
+        "retract chain0(\"bbbcacat\"): {} -> {} facts, {} pairs",
+        facts_before,
+        session.stats().facts,
+        session.relation("pairs").map_or(0, |r| r.len()),
+    );
+    // Retracting a fact that was never asserted is a no-op.
+    assert!(!session.retract_fact("chain0", &["zzz"]).expect("healthy"));
 
     // Point queries between updates read the settled model directly.
     let snapshot = session.snapshot();
@@ -66,5 +88,8 @@ fn main() {
         .map(|p| format!("{p}={}", session.relation(p).map_or(0, |r| r.len())))
         .collect();
     println!("extents: {}", sizes.join(" "));
-    assert!(session.check_model().expect("check runs"), "settled ⇒ model");
+    assert!(
+        session.check_model().expect("check runs"),
+        "settled ⇒ model"
+    );
 }

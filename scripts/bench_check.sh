@@ -3,13 +3,16 @@
 # budget per benchmark and aggregates per-benchmark medians into
 # BENCH_<N>.json at the repo root, so successive PRs can track the perf
 # trajectory. Includes the parallel_scaling bench (the same workloads swept
-# over EvalConfig::threads ∈ {1,2,4,8}) and the incremental_update bench
-# (small session delta on a ≥5k-fact settled base vs batch re-evaluation).
-# Usage: scripts/bench_check.sh [N]  (default N=3).
+# over EvalConfig::threads ∈ {1,2,4,8}), the incremental_update bench
+# (small session delta on a ≥5k-fact settled base vs batch re-evaluation),
+# and the retract_update bench (one-fact retraction on a ≥8k-fact settled
+# base, maintained by Delete-and-Rederive, vs batch re-evaluation of the
+# surviving database).
+# Usage: scripts/bench_check.sh [N]  (default N=4).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-N="${1:-3}"
+N="${1:-4}"
 OUT="BENCH_${N}.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
@@ -18,6 +21,7 @@ trap 'rm -f "$RAW"' EXIT
 BENCH_JSON="$RAW" cargo bench -q -p seqlog-bench \
     --bench ex15_recursion --bench thm3_ptime --bench fig2_square \
     --bench parallel_scaling --bench incremental_update \
+    --bench retract_update \
     -- --measurement-time 1
 
 {

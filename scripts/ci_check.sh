@@ -1,19 +1,25 @@
 #!/usr/bin/env bash
-# The full pre-merge check: tier-1 (release build + every test suite,
-# which includes the pinned-seed differential fuzz suite in
-# tests/fuzz_differential.rs) plus a zero-warning clippy pass over every
-# target. The fuzz generator is seeded from test names (see
-# crates/shims/proptest), so a failure here reproduces locally by running
-# the same test — no seed to copy around.
+# The full pre-merge check: formatting, tier-1 (release build + every test
+# suite), the differential fuzz suites — including the retraction oracle
+# (assert/retract interleavings vs fresh batch evaluation of the surviving
+# base facts) — and a zero-warning clippy pass over every target. The fuzz
+# generators are seeded from test names (see crates/shims/proptest), so a
+# failure here reproduces locally by running the same test — no seed to
+# copy around.
 # Usage: scripts/ci_check.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --check
+
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q (includes tests/fuzz_differential.rs with its pinned seed)"
+echo "==> cargo test -q (includes tests/fuzz_differential.rs with its pinned seeds:"
+echo "    batch/incremental properties AND the retraction oracle — retract ≡ fresh"
+echo "    batch evaluation of the surviving base facts, 600 generated cases)"
 cargo test -q
 
 echo "==> cargo clippy --all-targets -- -D warnings"

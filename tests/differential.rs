@@ -138,7 +138,10 @@ fn assert_thread_counts_agree(
         match e.evaluate_with(program, db, &cfg) {
             Ok(model) => match &reference {
                 None => {
-                    assert!(reference_err.is_none(), "threads={threads} succeeded, earlier failed");
+                    assert!(
+                        reference_err.is_none(),
+                        "threads={threads} succeeded, earlier failed"
+                    );
                     reference = Some((threads, model));
                 }
                 Some((t0, m0)) => {
@@ -158,7 +161,10 @@ fn assert_thread_counts_agree(
             },
             Err(err) => match &reference_err {
                 None => {
-                    assert!(reference.is_none(), "threads={threads} failed, earlier succeeded");
+                    assert!(
+                        reference.is_none(),
+                        "threads={threads} failed, earlier succeeded"
+                    );
                     reference_err = Some((threads, err));
                 }
                 Some((t0, e0)) => {
@@ -168,8 +174,14 @@ fn assert_thread_counts_agree(
                         "error variant differs between threads={t0} and threads={threads}"
                     );
                     if let (
-                        EvalError::Budget { kind: k0, stats: s0 },
-                        EvalError::Budget { kind: k1, stats: s1 },
+                        EvalError::Budget {
+                            kind: k0,
+                            stats: s0,
+                        },
+                        EvalError::Budget {
+                            kind: k1,
+                            stats: s1,
+                        },
                     ) = (e0, &err)
                     {
                         assert_eq!(k0, k1, "budget kind differs at threads={threads}");

@@ -17,12 +17,28 @@
 //!   kind at every thread count;
 //! * the naive strategy agrees with all of the above.
 //!
+//! The **retraction oracle** (Delete-and-Rederive correctness): for
+//! generated assert/retract interleavings, after every history the session
+//! must equal a fresh batch evaluation of the *surviving* base facts —
+//! extent-wise against the oracle, bit-for-bit across thread counts along
+//! the session route, and deterministically (same outcome at every thread
+//! count, correct extents on success) under tightened budgets. A dedicated
+//! generator variant forces the ground-domain-sensitive shape
+//! `gd(X, X) :- true.` into every program, so retractions that *shrink the
+//! extended active domain* — the fragment-sensitive trap where a deleted
+//! fact takes its sequences' windows (and the integers they pinned) out of
+//! every domain enumeration — are guaranteed coverage.
+//!
 //! The generator is deterministic per test name (the shim's `TestRng`), so
 //! the seed is pinned: a CI failure reproduces locally by running the same
 //! test, and `scripts/ci_check.sh` runs this suite on every check.
 
 use proptest::prelude::*;
-use seqlog_testkit::{batch_outcome, cases, incremental_outcome, Outcome};
+use seqlog_testkit::interleaved_outcome;
+use seqlog_testkit::{
+    batch_outcome, cases, incremental_outcome, interleaved_cases, interleaved_cases_with_gd,
+    surviving_batch_outcome, Outcome,
+};
 use sequence_datalog::core::{EvalConfig, Strategy as EvalStrategy};
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
@@ -93,6 +109,94 @@ proptest! {
                     Some("budget:Facts"),
                     "incremental at threads={} must exhaust the Facts budget\n{}",
                     t,
+                    case
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn retraction_equals_fresh_batch_of_survivors(case in interleaved_cases()) {
+        let reference = surviving_batch_outcome(&case, &EvalConfig::with_threads(1));
+        let expected = reference
+            .extents_sorted_nonempty()
+            .unwrap_or_else(|| panic!("default budgets must fit generated cases:\n{case}"));
+        let session_reference = interleaved_outcome(&case, &EvalConfig::with_threads(1));
+        prop_assert_eq!(
+            session_reference.extents_sorted_nonempty().as_ref(),
+            Some(&expected),
+            "session after retractions differs from a fresh batch evaluation \
+             of the surviving base facts\n{}",
+            case
+        );
+        // The session route itself is bit-for-bit deterministic (extents in
+        // insertion order AND stats) at every thread count.
+        for t in [2usize, 4, 8] {
+            prop_assert_eq!(
+                &interleaved_outcome(&case, &EvalConfig::with_threads(t)),
+                &session_reference,
+                "interleaved session at threads={} is not bit-for-bit identical\n{}",
+                t,
+                case
+            );
+        }
+    }
+
+    #[test]
+    fn retraction_shrinks_domains_correctly_on_gd_cases(case in interleaved_cases_with_gd()) {
+        // Every case carries `gd(X, X) :- true.`: the ground
+        // domain-sensitive shape whose extent IS the extended active
+        // domain (squared onto the diagonal). Any effective retraction
+        // must shrink it exactly to the survivors' domain.
+        let expected = surviving_batch_outcome(&case, &EvalConfig::with_threads(1))
+            .extents_sorted_nonempty()
+            .unwrap_or_else(|| panic!("default budgets must fit generated cases:\n{case}"));
+        let session = interleaved_outcome(&case, &EvalConfig::with_threads(1));
+        prop_assert_eq!(
+            session.extents_sorted_nonempty().as_ref(),
+            Some(&expected),
+            "domain-sensitive extents diverged after retraction\n{}",
+            case
+        );
+    }
+
+    #[test]
+    fn retraction_under_tightened_budgets_stays_deterministic(case in interleaved_cases()) {
+        let reference = surviving_batch_outcome(&case, &EvalConfig::default());
+        let Outcome::Model { stats, .. } = &reference else {
+            panic!("default budgets must fit generated cases:\n{case}");
+        };
+        // Tighten max_facts below the surviving fixpoint size (cases whose
+        // fixpoint is tiny can't be tightened meaningfully; skip them).
+        // The session route's *peak* state (before retractions) is at
+        // least as large, so it may fail at an assert, a resume, or a
+        // maintenance pass — whatever happens must be identical at every
+        // thread count, and a success must still produce the oracle
+        // extents.
+        if stats.facts >= 4 {
+            let tight = EvalConfig {
+                max_facts: stats.facts / 2,
+                ..EvalConfig::default()
+            };
+            let at1 = interleaved_outcome(&case, &EvalConfig { threads: 1, ..tight });
+            for t in [2usize, 4, 8] {
+                prop_assert_eq!(
+                    &interleaved_outcome(&case, &EvalConfig { threads: t, ..tight }),
+                    &at1,
+                    "tight-budget interleaved route diverged at threads={}\n{}",
+                    t,
+                    case
+                );
+            }
+            if let Some(extents) = at1.extents_sorted_nonempty() {
+                prop_assert_eq!(
+                    Some(&extents),
+                    reference.extents_sorted_nonempty().as_ref(),
+                    "a tight-budget success must still match the oracle\n{}",
                     case
                 );
             }

@@ -364,9 +364,17 @@ fn paper_programs_incremental_equals_batch() {
     ];
     let cases: &[PaperCase] = &[
         // Example 1.1 — suffixes.
-        ("suffix(X[N:end]) :- r(X).", &[("r", &["abcd"]), ("r", &["xy"])], no_setup),
+        (
+            "suffix(X[N:end]) :- r(X).",
+            &[("r", &["abcd"]), ("r", &["xy"])],
+            no_setup,
+        ),
         // Example 1.2 — concatenations.
-        ("answer(X ++ Y) :- r(X), r(Y).", &[("r", &["ab"]), ("r", &["c"])], no_setup),
+        (
+            "answer(X ++ Y) :- r(X), r(Y).",
+            &[("r", &["ab"]), ("r", &["c"])],
+            no_setup,
+        ),
         // Example 1.3 — a^n b^n c^n pattern matching.
         (
             r#"
