@@ -1,0 +1,193 @@
+//! Durability cost and recovery latency for the session WAL + snapshot
+//! layer (PR 5).
+//!
+//! Two groups:
+//!
+//! * `wal_overhead` — the same 512-assert burst into an idle session,
+//!   unlogged vs logged (flush-per-record, the default) vs logged with
+//!   `sync_data` (fsync-per-record). The spread between the first two is
+//!   the price of crash-consistency against a process kill; the third adds
+//!   survival of an OS crash.
+//! * `recovery_time` — `open_durable` on a prepared directory: once where
+//!   the state lives in the log tail (snapshot of the empty attach point +
+//!   513 records to replay through the session paths), and once where a
+//!   `checkpoint` folded everything into the snapshot (empty tail). The
+//!   gap is what the auto-checkpoint cadence trades between log-tail
+//!   replay and snapshot decode at recovery time (with this trivial
+//!   program the replay route can win; the balance tips as derivation
+//!   per record grows).
+//!
+//! Both groups pin their fact and record counts before/while timing, so a
+//! silently short log or a lossy recovery fails the bench instead of
+//! flattering it.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use seqlog_core::session::EngineSession;
+use seqlog_core::{DurabilityOptions, Engine, EvalConfig};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A trivial program: asserts commit one base fact each, and the settling
+/// run derives exactly one `t0` tuple per `r0` word, so the timings are
+/// dominated by the durability machinery rather than by derivation.
+const SRC: &str = "t0(X) :- r0(X).\n";
+
+/// Asserts per timed burst (and per prepared log tail).
+const BURST: usize = 512;
+
+/// Self-cleaning scratch directory (std-only; the bench crate does not
+/// depend on the testkit).
+struct ScratchDir {
+    path: PathBuf,
+}
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "seqlog-bench-durability-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&path).expect("create scratch dir");
+        ScratchDir { path }
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// `n` distinct words ("a"/"b"/"c" base-3 digits, length 10) — the bench
+/// needs more than the 26 unique-tail words `distinct_suffix_words` caps
+/// at, and suffix-collision-freedom is irrelevant here.
+fn words(n: usize) -> Vec<String> {
+    assert!(n <= 3usize.pow(10));
+    (0..n)
+        .map(|i| {
+            (0..10)
+                .rev()
+                .map(|d| char::from(b'a' + ((i / 3usize.pow(d)) % 3) as u8))
+                .collect()
+        })
+        .collect()
+}
+
+fn fresh_session() -> EngineSession {
+    let mut e = Engine::new();
+    let p = e.parse_program(SRC).expect("benchmark program parses");
+    e.into_session(&p, EvalConfig::default())
+        .expect("program compiles")
+}
+
+/// No auto-checkpointing: `wal_overhead` must time pure logging, and the
+/// `recovery_time` dirs control their snapshots explicitly.
+fn opts(sync_data: bool) -> DurabilityOptions {
+    DurabilityOptions {
+        snapshot_every: 0,
+        sync_data,
+        ..DurabilityOptions::default()
+    }
+}
+
+fn assert_burst(s: &mut EngineSession, words: &[String]) -> usize {
+    for w in words {
+        assert!(s.assert_fact("r0", &[w]).expect("assert commits"));
+    }
+    let facts = s.stats().facts;
+    assert_eq!(facts, words.len(), "burst committed short");
+    facts
+}
+
+fn wal_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_overhead");
+    group.sample_size(10);
+    let ws = words(BURST);
+
+    group.bench_with_input(
+        BenchmarkId::from_parameter(format!("assert{BURST}_unlogged")),
+        &ws,
+        |b, ws| {
+            b.iter_batched(
+                fresh_session,
+                |mut s| assert_burst(&mut s, ws),
+                BatchSize::LargeInput,
+            )
+        },
+    );
+
+    for (label, sync_data) in [("logged", false), ("logged_fsync", true)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("assert{BURST}_{label}")),
+            &ws,
+            |b, ws| {
+                b.iter_batched(
+                    || {
+                        let dir = ScratchDir::new(label);
+                        let mut s = fresh_session();
+                        s.make_durable(&dir.path, opts(sync_data))
+                            .expect("attach log");
+                        (s, dir)
+                    },
+                    // The dir rides along so its cleanup lands in the next
+                    // setup phase, outside the measurement.
+                    |(mut s, dir)| (assert_burst(&mut s, ws), dir),
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Build a durable dir holding `BURST` asserts + one settling run
+/// (BURST+1 log records); with `checkpointed`, fold it all into a
+/// snapshot so the log tail is dead weight.
+fn prepared_dir(tag: &str, checkpointed: bool) -> (ScratchDir, usize) {
+    let dir = ScratchDir::new(tag);
+    let mut s = fresh_session();
+    s.make_durable(&dir.path, opts(false)).expect("attach log");
+    for w in &words(BURST) {
+        assert!(s.assert_fact("r0", &[w]).expect("assert commits"));
+    }
+    s.run().expect("workload settles");
+    if checkpointed {
+        s.checkpoint().expect("checkpoint");
+    }
+    assert_eq!(s.durable_records(), Some(BURST as u64 + 1));
+    let facts = s.stats().facts;
+    assert_eq!(facts, 2 * BURST, "one t0 per r0 expected");
+    (dir, facts)
+}
+
+fn recover(dir: &Path, expect_facts: usize) -> usize {
+    let mut e = Engine::new();
+    let p = e.parse_program(SRC).expect("benchmark program parses");
+    let s = EngineSession::open_durable(e, &p, EvalConfig::default(), dir, opts(false))
+        .expect("recovery succeeds");
+    assert_eq!(s.durable_records(), Some(BURST as u64 + 1));
+    let facts = s.stats().facts;
+    assert_eq!(facts, expect_facts, "recovery lost facts");
+    facts
+}
+
+fn recovery_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery_time");
+    group.sample_size(10);
+
+    for (tag, checkpointed) in [("replay_tail", false), ("from_snapshot", true)] {
+        let (dir, facts) = prepared_dir(tag, checkpointed);
+        let records = if checkpointed { 0 } else { BURST + 1 };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{tag}_{records}records_{facts}facts")),
+            &dir,
+            |b, dir| b.iter(|| recover(&dir.path, facts)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, wal_overhead, recovery_time);
+criterion_main!(benches);

@@ -233,6 +233,11 @@ pub enum EvalError {
         /// The error that poisoned the session.
         original: Box<EvalError>,
     },
+    /// A durable session's on-disk state could not be written or rebuilt
+    /// (see [`crate::wal`] and [`crate::snapshot`]). On the write path the
+    /// refused mutation was **not** applied; on the recovery path no
+    /// session state was replaced.
+    Recovery(crate::wal::RecoveryError),
 }
 
 impl fmt::Display for EvalError {
@@ -249,6 +254,7 @@ impl fmt::Display for EvalError {
             Self::Poisoned { original } => {
                 write!(f, "session poisoned by earlier error: {original}")
             }
+            Self::Recovery(e) => write!(f, "durability: {e}"),
         }
     }
 }
@@ -258,6 +264,12 @@ impl std::error::Error for EvalError {}
 impl From<CompileError> for EvalError {
     fn from(e: CompileError) -> Self {
         Self::Compile(e)
+    }
+}
+
+impl From<crate::wal::RecoveryError> for EvalError {
+    fn from(e: crate::wal::RecoveryError) -> Self {
+        Self::Recovery(e)
     }
 }
 
@@ -566,6 +578,19 @@ impl Fixpoint {
         stats
     }
 
+    /// The raw cumulative statistics, exactly as the round loop last left
+    /// them — **not** finalized against the current state. This is what the
+    /// durability layer must persist: [`Fixpoint::stats`] latches
+    /// `max_seq_len` against the *current* domain into its returned copy,
+    /// and a live session only writes that latch into its own state at the
+    /// next run's budget check. Persisting the finalized copy would let a
+    /// checkpoint taken between an assert and a retract record a high-water
+    /// mark the uncrashed session never records — breaking bit-for-bit
+    /// recovery by the act of checkpointing.
+    pub fn stats_raw(&self) -> EvalStats {
+        self.stats
+    }
+
     /// A [`Model`] clone of the current state (the session read API).
     pub fn snapshot(&self) -> Model {
         Model {
@@ -583,6 +608,102 @@ impl Fixpoint {
             domain: self.domain,
             stats,
         }
+    }
+
+    /// The base (asserted/seeded) relations, indexed by `PredId`. May be
+    /// shorter than the fact store's relation list (predicates that were
+    /// never asserted have no entry). Read-only: the durability layer
+    /// serializes this to snapshots.
+    pub fn base_relations(&self) -> &[Relation] {
+        &self.base
+    }
+
+    /// The per-relation semi-naive watermarks (processed fact counts,
+    /// indexed by `PredId`); facts beyond them form the next run's delta.
+    pub fn sizes_done(&self) -> &[usize] {
+        &self.sizes_done
+    }
+
+    /// True until the first round has run (the first round of a fixpoint's
+    /// life is a full round).
+    pub fn is_virgin(&self) -> bool {
+        self.virgin
+    }
+
+    /// True when the domain-sensitive clauses have been evaluated against
+    /// the current extended active domain (no pending domain growth).
+    pub fn domain_settled(&self) -> bool {
+        self.domain_done == self.domain.len()
+    }
+
+    /// Rebuild a `Fixpoint` from persisted parts. The extended active
+    /// domain is **recomputed** by closing over every sequence of every
+    /// loaded fact (Definition 4 makes it a function of the
+    /// interpretation) — it is deliberately not a parameter, so no on-disk
+    /// format can install a domain the facts do not justify. Constructive
+    /// growth is therefore exactly reproduced: a corrupt or stale domain
+    /// cannot survive recovery. The recomputation visits members in
+    /// relation-iteration order; callers that recorded the live session's
+    /// chronological member order can re-impose it afterwards with
+    /// [`Fixpoint::adopt_domain_order`], which accepts only a permutation
+    /// of the recomputed set.
+    ///
+    /// `domain_settled` restores the domain watermark as a bit: either the
+    /// domain-sensitive clauses are caught up (`domain_done = |domain|`) or
+    /// they re-run in full on the next `run` (`domain_done = 0`). The two
+    /// unsettled cases are behaviorally identical — any pending growth
+    /// already forces a full re-run of every domain-sensitive clause — so
+    /// the bit loses nothing, and bit-for-bit stats equality with an
+    /// uncrashed session is preserved.
+    pub fn restore(
+        store: &mut SeqStore,
+        facts: FactStore,
+        base: Vec<Relation>,
+        stats: EvalStats,
+        sizes_done: Vec<usize>,
+        virgin: bool,
+        domain_settled: bool,
+    ) -> Self {
+        let mut domain = ExtendedDomain::new();
+        for (_, rel) in facts.relations() {
+            for tuple in rel.iter() {
+                for &id in tuple {
+                    domain.insert_closed(store, id);
+                }
+            }
+        }
+        let domain_done = if domain_settled { domain.len() } else { 0 };
+        Self {
+            facts,
+            domain,
+            stats,
+            sizes_done,
+            domain_done,
+            virgin,
+            base,
+        }
+    }
+
+    /// Adopt a recorded extended-domain member order (see
+    /// [`ExtendedDomain::reorder`]): the set stays the recomputed closure,
+    /// only the insertion order — which free-variable enumeration makes
+    /// observable — is taken from the record, and only after verifying it
+    /// is exactly a permutation of that closure. Returns `false` (domain
+    /// untouched) when it is not.
+    pub fn adopt_domain_order(&mut self, store: &SeqStore, order: &[SeqId]) -> bool {
+        self.domain.reorder(store, order)
+    }
+
+    /// Test-only mutant for the recovery harness: pretend every loaded
+    /// fact has already been processed (stale watermarks). A correct
+    /// restore leaves pending facts beyond the watermarks; this erases
+    /// them from the next run's delta, which the recovery fuzz oracle must
+    /// detect as missing derivations.
+    #[doc(hidden)]
+    pub fn force_settled_watermarks(&mut self) {
+        self.sizes_done = self.facts.sizes();
+        self.domain_done = self.domain.len();
+        self.virgin = false;
     }
 
     /// Drive the two-phase round loop to quiescence, resuming from the

@@ -35,13 +35,16 @@ pub mod parser;
 pub mod registry;
 pub mod safety;
 pub mod session;
+pub mod snapshot;
 pub mod translate;
+pub mod wal;
 
 pub use ast::{Atom, BodyLit, Clause, IndexTerm, IndexedBase, Program, SeqTerm};
 pub use database::Database;
 pub use engine::Engine;
 pub use eval::{BudgetKind, EvalConfig, EvalError, EvalStats, Fixpoint, Model, Strategy};
-pub use session::EngineSession;
+pub use session::{DurabilityOptions, EngineSession};
+pub use wal::RecoveryError;
 
 /// Commonly used items, re-exported for `use seqlog_core::prelude::*`.
 pub mod prelude {
@@ -53,8 +56,9 @@ pub mod prelude {
     pub use crate::model::is_model;
     pub use crate::registry::TransducerRegistry;
     pub use crate::safety::analyze;
-    pub use crate::session::EngineSession;
+    pub use crate::session::{DurabilityOptions, EngineSession};
     pub use crate::translate::translate_program;
+    pub use crate::wal::RecoveryError;
     pub use seqlog_sequence::{Alphabet, ExtendedDomain, SeqId, SeqStore, Sym};
     pub use seqlog_transducer::{Network, Transducer};
 }

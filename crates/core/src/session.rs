@@ -105,9 +105,57 @@
 //! honest difference in the post-mortem state: an interrupted
 //! Delete-and-Rederive may leave facts whose base support is already gone,
 //! i.e. an *over*-approximation of the new fixpoint (the retraction did not
-//! finish taking effect). Callers that want to retry with larger budgets
-//! re-evaluate from scratch; keeping recovery out of scope keeps the
-//! equivalence guarantee above simple to state and test.
+//! finish taking effect). In-memory sessions have no way back from poison
+//! other than re-evaluating from scratch; **durable** sessions additionally
+//! offer [`recover`](EngineSession::recover), which rebuilds the last
+//! healthy state from disk (below).
+//!
+//! # Durability: write-ahead log, snapshots, recovery
+//!
+//! [`open_durable`](EngineSession::open_durable) /
+//! [`make_durable`](EngineSession::make_durable) attach a durability
+//! directory holding a **write-ahead log** (`wal.bin`) and binary
+//! **snapshots** (`snap-<covered>.bin`):
+//!
+//! * Every committed mutation batch — assert batch, retract batch, and each
+//!   [`run`](EngineSession::run) boundary — is appended to the log **before**
+//!   its in-memory commit, as a length-prefixed, CRC-checksummed record. A
+//!   batch that is logged but then *refused* (budget) is compensated with an
+//!   `Abort` record so replay skips it. Records are **logical** (predicate
+//!   names plus per-argument symbol names), so replay through the ordinary
+//!   session API re-interns everything in the original order and the
+//!   append-only interners reproduce identical ids.
+//! * Snapshots capture the alphabet, sequence store, relations, base-fact
+//!   set, cumulative stats, and the semi-naive watermarks — atomically
+//!   (write-then-rename) and whole-file checksummed. One is written every
+//!   [`DurabilityOptions::snapshot_every`] records, on
+//!   [`checkpoint`](EngineSession::checkpoint), and on attach.
+//! * **Recovery** ([`open_durable`](EngineSession::open_durable) on an
+//!   existing directory, or [`recover`](EngineSession::recover) on a
+//!   poisoned durable session) loads the newest valid snapshot, replays the
+//!   log tail after it, and resumes the fixpoint from the watermarks. A torn
+//!   final record (a crash mid-append) is truncated away; *interior*
+//!   corruption is a hard [`RecoveryError`] — committed history is never
+//!   silently dropped. The extended active domain is a **function of the
+//!   interpretation** (Definition 4), so its membership is rebuilt from the
+//!   restored facts by re-closing every tuple — never trusted from disk; a
+//!   corrupted snapshot can therefore fail its checksum or its structural
+//!   validation, but cannot smuggle domain members past the fixpoint
+//!   semantics. Only the domain's member *order* — observable through
+//!   free-variable enumeration, hence part of bit-for-bit fidelity — comes
+//!   from the snapshot, and only after it verifies as an exact permutation
+//!   of the rebuilt closure.
+//!
+//! The recovery oracle (fuzzed with crash injection in
+//! `tests/fuzz_recovery.rs`): a recovered session is **bit-for-bit equal**
+//! — relation extents, insertion order, stats invariants, for every
+//! `EvalConfig::threads` — to a fresh session that applies the surviving
+//! logged history in order. Equivalently, after a final `run`, its model
+//! equals a fresh batch evaluation of the surviving base facts, by the
+//! equivalence guarantee above.
+
+use std::fs;
+use std::path::{Path, PathBuf};
 
 use crate::ast::Program;
 use crate::compile::{compile, CompiledProgram, PredId};
@@ -116,14 +164,85 @@ use crate::engine::Engine;
 use crate::eval::interp::Relation;
 use crate::eval::{AssertOutcome, BudgetKind, EvalConfig, EvalError, EvalStats, Fixpoint, Model};
 use crate::registry::TransducerRegistry;
-use seqlog_sequence::{Alphabet, DomainMark, SeqId, SeqStore};
+use crate::snapshot::{list_snapshots, SessionSnapshot};
+use crate::wal::{
+    read_wal, LoggedFact, ReadRecord, RecoveryError, WalReadOptions, WalRecord, WalWriter, WAL_FILE,
+};
+use seqlog_sequence::{Alphabet, DomainMark, SeqId, SeqStore, Sym};
+
+/// Tuning for a durable session (see the [module docs](self)).
+#[derive(Clone, Debug)]
+pub struct DurabilityOptions {
+    /// Write a snapshot automatically after this many log records (0
+    /// disables auto-checkpointing; only explicit
+    /// [`checkpoint`](EngineSession::checkpoint)/
+    /// [`compact`](EngineSession::compact) calls snapshot then).
+    pub snapshot_every: usize,
+    /// `fsync` the log after every record. Off by default: every record is
+    /// still flushed to the OS before the in-memory commit, so recovery is
+    /// exact after a process kill; syncing additionally survives an OS
+    /// crash at a large per-record cost (measured by the `wal_overhead`
+    /// bench).
+    pub sync_data: bool,
+    /// Snapshots retained after a new one is written.
+    pub snapshots_kept: usize,
+    /// Test-only mutant: skip WAL checksum verification. Exists so the
+    /// recovery fuzz harness can prove its oracle catches a weakened
+    /// reader; never set in production.
+    #[doc(hidden)]
+    pub danger_skip_crc: bool,
+    /// Test-only mutant: treat a torn tail as a hard error instead of
+    /// truncating it.
+    #[doc(hidden)]
+    pub danger_skip_tail_truncation: bool,
+    /// Test-only mutant: restore snapshots with stale (fully caught-up)
+    /// watermarks, erasing pending facts from the next run's delta.
+    #[doc(hidden)]
+    pub danger_stale_watermarks: bool,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        Self {
+            snapshot_every: 64,
+            sync_data: false,
+            snapshots_kept: 2,
+            danger_skip_crc: false,
+            danger_skip_tail_truncation: false,
+            danger_stale_watermarks: false,
+        }
+    }
+}
+
+impl DurabilityOptions {
+    fn read_options(&self) -> WalReadOptions {
+        WalReadOptions {
+            danger_verify_crc: !self.danger_skip_crc,
+            danger_truncate_torn_tail: !self.danger_skip_tail_truncation,
+        }
+    }
+}
+
+/// The attached durability state of a session: the directory, the
+/// append handle, and the auto-checkpoint cadence counter.
+#[derive(Debug)]
+struct Durability {
+    dir: PathBuf,
+    wal: WalWriter,
+    opts: DurabilityOptions,
+    since_snapshot: usize,
+}
 
 /// A persistent evaluation session over one compiled program.
 ///
 /// Create one with [`Engine::into_session`] (the session takes ownership of
 /// the engine's interners and registry). See the [module docs](self) for
 /// the update/query protocol and the poisoning contract.
-#[derive(Clone)]
+///
+/// Cloning a durable session yields a **detached** (in-memory) clone: two
+/// writers appending to one log would interleave incompatible histories,
+/// so the clone's `durability` is dropped and only the original keeps
+/// logging.
 pub struct EngineSession {
     alphabet: Alphabet,
     store: SeqStore,
@@ -132,6 +251,22 @@ pub struct EngineSession {
     config: EvalConfig,
     fx: Fixpoint,
     poisoned: Option<EvalError>,
+    durability: Option<Durability>,
+}
+
+impl Clone for EngineSession {
+    fn clone(&self) -> Self {
+        Self {
+            alphabet: self.alphabet.clone(),
+            store: self.store.clone(),
+            registry: self.registry.clone(),
+            program: self.program.clone(),
+            config: self.config,
+            fx: self.fx.clone(),
+            poisoned: self.poisoned.clone(),
+            durability: None,
+        }
+    }
 }
 
 impl EngineSession {
@@ -159,7 +294,35 @@ impl EngineSession {
             config,
             fx,
             poisoned: None,
+            durability: None,
         })
+    }
+
+    /// Open a **durable** session backed by `dir`. On a fresh (or empty)
+    /// directory this is [`open`](EngineSession::open) followed by
+    /// [`make_durable`](EngineSession::make_durable); when `dir` already
+    /// holds a log, the session is **recovered** instead: the newest valid
+    /// snapshot is loaded, the log tail is replayed through the ordinary
+    /// session paths, and the fixpoint resumes from the persisted
+    /// watermarks (see the [module docs](self) for the recovery
+    /// guarantee). The caller must supply the same program text and
+    /// registered transducers the original session had; mismatches are
+    /// refused with [`EvalError::Recovery`] before any state is replaced.
+    pub fn open_durable(
+        engine: Engine,
+        program: &Program,
+        config: EvalConfig,
+        dir: impl AsRef<Path>,
+        opts: DurabilityOptions,
+    ) -> Result<Self, EvalError> {
+        let dir = dir.as_ref();
+        let mut session = Self::open(engine, program, config)?;
+        if dir.join(WAL_FILE).exists() {
+            session.attach_recover(dir.to_path_buf(), opts)?;
+        } else {
+            session.make_durable(dir, opts)?;
+        }
+        Ok(session)
     }
 
     fn guard_poison(&self) -> Result<(), EvalError> {
@@ -169,6 +332,468 @@ impl EngineSession {
             }),
             None => Ok(()),
         }
+    }
+
+    /// Attach a write-ahead log (and snapshots) under `dir` to this
+    /// session. The directory must not already hold a log (recover one
+    /// with [`open_durable`](EngineSession::open_durable) instead); an
+    /// initial snapshot of the current state is written immediately, so
+    /// recovery never depends on replaying history from before this call.
+    /// From here on every committed assert/retract batch and every
+    /// [`run`](EngineSession::run) boundary is appended to the log
+    /// **before** its in-memory commit.
+    pub fn make_durable(
+        &mut self,
+        dir: impl AsRef<Path>,
+        opts: DurabilityOptions,
+    ) -> Result<(), EvalError> {
+        self.guard_poison()?;
+        if self.durability.is_some() {
+            return Err(mismatch("session is already durable"));
+        }
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)
+            .map_err(|e| EvalError::Recovery(RecoveryError::io("create durability dir", &e)))?;
+        let wal_path = dir.join(WAL_FILE);
+        if wal_path.exists() {
+            return Err(mismatch(
+                "directory already holds a log; use open_durable to recover it",
+            ));
+        }
+        let wal = WalWriter::create(&wal_path, 0, opts.sync_data).map_err(EvalError::Recovery)?;
+        self.durability = Some(Durability {
+            dir: dir.to_path_buf(),
+            wal,
+            opts,
+            since_snapshot: 0,
+        });
+        match self.write_checkpoint() {
+            Ok(_) => Ok(()),
+            Err(e) => {
+                self.durability = None;
+                let _ = fs::remove_file(&wal_path);
+                Err(e)
+            }
+        }
+    }
+
+    /// Write a snapshot of the current state now (in addition to the
+    /// automatic cadence of [`DurabilityOptions::snapshot_every`]);
+    /// returns the snapshot's path. Recovery loads the newest valid
+    /// snapshot and replays only the log records after it.
+    pub fn checkpoint(&mut self) -> Result<PathBuf, EvalError> {
+        self.guard_poison()?;
+        self.write_checkpoint()
+    }
+
+    /// [`checkpoint`](EngineSession::checkpoint), then rewrite the log as
+    /// an empty file whose `base_index` is the snapshot's covered record
+    /// count — bounding both the log's size and recovery's replay work.
+    /// Old snapshots beyond [`DurabilityOptions::snapshots_kept`] are
+    /// pruned as part of the checkpoint.
+    pub fn compact(&mut self) -> Result<(), EvalError> {
+        self.guard_poison()?;
+        self.write_checkpoint()?;
+        let d = self
+            .durability
+            .as_mut()
+            .expect("write_checkpoint verified durability");
+        let next = d.wal.next_index();
+        let wal_path = d.dir.join(WAL_FILE);
+        let tmp = d.dir.join(format!("{WAL_FILE}.tmp"));
+        let fresh = WalWriter::create(&tmp, next, d.opts.sync_data).map_err(EvalError::Recovery)?;
+        drop(fresh);
+        fs::rename(&tmp, &wal_path)
+            .map_err(|e| EvalError::Recovery(RecoveryError::io("rename compacted log", &e)))?;
+        let contents = read_wal(&wal_path, &d.opts.read_options()).map_err(EvalError::Recovery)?;
+        d.wal = WalWriter::reopen(&wal_path, &contents, d.opts.sync_data)
+            .map_err(EvalError::Recovery)?;
+        Ok(())
+    }
+
+    /// Rebuild this session's state from its own snapshot + log — the
+    /// recovery path for a **poisoned** durable session. The in-memory
+    /// state (a partially committed round, or an interrupted
+    /// Delete-and-Rederive) is discarded and replaced by a replay of the
+    /// durable history; a final record that fails replay — the one whose
+    /// live execution poisoned the session — is truncated away, so the
+    /// result is the last healthy state, pending (logged, un-run) asserts
+    /// included, and the poison is cleared. Callers typically raise
+    /// budgets via [`config_mut`](EngineSession::config_mut) first, in
+    /// which case the failing record may now replay successfully and
+    /// nothing is truncated.
+    ///
+    /// On failure the session is left exactly as it was (state, poison,
+    /// and log attachment untouched). After a successful recovery,
+    /// previously obtained [`SeqId`]s are invalidated: the interners are
+    /// rebuilt from disk.
+    pub fn recover(&mut self) -> Result<EvalStats, EvalError> {
+        let Some(d) = self.durability.as_ref() else {
+            return Err(mismatch("session is not durable; nothing to recover from"));
+        };
+        let dir = d.dir.clone();
+        let opts = d.opts.clone();
+        self.attach_recover(dir, opts)?;
+        Ok(self.stats())
+    }
+
+    /// True when this session logs to a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Total log records ever committed by this durable session (across
+    /// compactions), or `None` when not durable.
+    pub fn durable_records(&self) -> Option<u64> {
+        self.durability.as_ref().map(|d| d.wal.next_index())
+    }
+
+    /// Current byte length of the write-ahead log, or `None` when not
+    /// durable. The crash-injection harness uses this to pick kill
+    /// offsets at and between record boundaries.
+    pub fn wal_len(&self) -> Option<u64> {
+        self.durability.as_ref().map(|d| d.wal.len())
+    }
+
+    /// The durability directory, when attached.
+    pub fn durability_dir(&self) -> Option<&Path> {
+        self.durability.as_ref().map(|d| d.dir.as_path())
+    }
+
+    /// Append one record, counting it toward the auto-checkpoint cadence.
+    /// No-op on non-durable sessions. On append failure the mutation must
+    /// be refused by the caller — nothing has committed in memory.
+    fn log_record(&mut self, rec: &WalRecord) -> Result<(), EvalError> {
+        if let Some(d) = self.durability.as_mut() {
+            d.wal.append(rec).map_err(EvalError::Recovery)?;
+            d.since_snapshot += 1;
+        }
+        Ok(())
+    }
+
+    /// Compensate a logged-but-refused batch with an [`WalRecord::Abort`]
+    /// so replay skips it, and hand back the original refusal. If even the
+    /// compensation cannot be written the session poisons: without it, a
+    /// later crash would replay the refused batch as committed.
+    fn abort_logged(&mut self, original: EvalError) -> EvalError {
+        if self.durability.is_some() {
+            if let Err(e) = self.log_record(&WalRecord::Abort) {
+                self.poisoned = Some(e.clone());
+                return e;
+            }
+        }
+        original
+    }
+
+    /// Auto-checkpoint hook, called after every successfully committed
+    /// durable mutation. A failed automatic snapshot is deliberately not
+    /// surfaced: the log remains authoritative, so the only consequence is
+    /// a longer replay tail (explicit
+    /// [`checkpoint`](EngineSession::checkpoint) calls do surface errors).
+    fn after_mutation(&mut self) {
+        let Some(d) = self.durability.as_ref() else {
+            return;
+        };
+        if d.opts.snapshot_every > 0 && d.since_snapshot >= d.opts.snapshot_every {
+            let _ = self.write_checkpoint();
+        }
+    }
+
+    fn write_checkpoint(&mut self) -> Result<PathBuf, EvalError> {
+        let Some(d) = self.durability.as_ref() else {
+            return Err(mismatch("session is not durable"));
+        };
+        let covered = d.wal.next_index();
+        let snap = SessionSnapshot::capture(covered, &self.alphabet, &self.store, &self.fx);
+        let path = snap
+            .write(&d.dir, d.opts.snapshots_kept)
+            .map_err(EvalError::Recovery)?;
+        if let Some(d) = self.durability.as_mut() {
+            d.since_snapshot = 0;
+        }
+        Ok(path)
+    }
+
+    /// A [`LoggedFact`] for an already-interned tuple: predicate name plus
+    /// per-argument symbol names, read back through the interners.
+    fn logged_fact_ids(&self, pred: &str, tuple: &[SeqId]) -> LoggedFact {
+        LoggedFact {
+            pred: pred.to_string(),
+            args: tuple
+                .iter()
+                .map(|&id| {
+                    self.store
+                        .get(id)
+                        .iter()
+                        .map(|&s| self.alphabet.name(s).to_string())
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Load the newest usable snapshot under `dir`, replay the log tail
+    /// through the ordinary (unlogged) apply paths, and swap the rebuilt
+    /// state into `self`. See the [module docs](self) for the protocol; on
+    /// any error `self` is untouched.
+    fn attach_recover(&mut self, dir: PathBuf, opts: DurabilityOptions) -> Result<(), EvalError> {
+        let wal_path = dir.join(WAL_FILE);
+        let contents = read_wal(&wal_path, &opts.read_options()).map_err(EvalError::Recovery)?;
+        let last_index = contents.base_index + contents.records.len() as u64;
+
+        // Newest snapshot consistent with the log. A snapshot claiming
+        // records the log never had means committed history vanished —
+        // hard corruption, not something to silently fall back from.
+        let mut chosen: Option<(SessionSnapshot, PathBuf)> = None;
+        let mut first_err: Option<RecoveryError> = None;
+        for (covered, path) in list_snapshots(&dir).map_err(EvalError::Recovery)? {
+            if covered > last_index {
+                return Err(mismatch(&format!(
+                    "snapshot covers {covered} records but the log ends at {last_index}"
+                )));
+            }
+            if covered < contents.base_index {
+                // Predates the log's compaction base: its tail records are
+                // gone, so it cannot seed a replay. Try an older... there
+                // is nothing older that could work either.
+                first_err.get_or_insert(RecoveryError::Mismatch {
+                    detail: format!(
+                        "snapshot covers {covered} records but the log starts at {}",
+                        contents.base_index
+                    ),
+                });
+                continue;
+            }
+            match SessionSnapshot::read(&path) {
+                Ok(s) => {
+                    chosen = Some((s, path));
+                    break;
+                }
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        let Some((snap, snap_path)) = chosen else {
+            return Err(EvalError::Recovery(first_err.unwrap_or_else(|| {
+                RecoveryError::Mismatch {
+                    detail: "no usable snapshot found".to_string(),
+                }
+            })));
+        };
+
+        let tail: Vec<&ReadRecord> = contents
+            .records
+            .iter()
+            .filter(|r| r.index >= snap.covered)
+            .collect();
+        let mut scratch = self.rebuild_scratch(&snap, &snap_path, &opts)?;
+        let mut next_index = last_index;
+        let mut truncate_at = None;
+        if let Err((k, e)) = replay_records(&mut scratch, &tail, u64::MAX) {
+            if k + 1 != last_index {
+                // Only the *final* record may fail replay (the poisoned
+                // tail, or a torn abort): committed interior records
+                // replayed successfully once, so a mid-log failure means
+                // the environment — program, registry, budgets — does not
+                // match the history, and truncating would destroy it.
+                return Err(mismatch(&format!(
+                    "log record {k} failed to replay mid-log ({e}); refusing to truncate \
+                     committed history"
+                )));
+            }
+            scratch = self.rebuild_scratch(&snap, &snap_path, &opts)?;
+            replay_records(&mut scratch, &tail, k).map_err(|(i, e2)| {
+                mismatch(&format!("log record {i} failed prefix replay: {e2}"))
+            })?;
+            let failing = contents
+                .records
+                .iter()
+                .find(|r| r.index == k)
+                .expect("failing index comes from these records");
+            truncate_at = Some(failing.start_offset);
+            next_index = k;
+        }
+
+        let mut wal =
+            WalWriter::reopen(&wal_path, &contents, opts.sync_data).map_err(EvalError::Recovery)?;
+        if let Some(offset) = truncate_at {
+            wal.truncate_to(offset, next_index)
+                .map_err(EvalError::Recovery)?;
+        }
+        let since_snapshot = (next_index - snap.covered) as usize;
+        self.alphabet = scratch.alphabet;
+        self.store = scratch.store;
+        self.fx = scratch.fx;
+        self.poisoned = None;
+        self.durability = Some(Durability {
+            dir,
+            wal,
+            opts,
+            since_snapshot,
+        });
+        Ok(())
+    }
+
+    /// Install a snapshot into a detached scratch session sharing this
+    /// session's program, registry, and config, verifying the loaded
+    /// interners extend the caller's (same alphabet prefix, same sequence
+    /// prefix, program predicates a prefix of the loaded table) so the
+    /// compiled program's ids stay valid over the loaded state.
+    fn rebuild_scratch(
+        &self,
+        snap: &SessionSnapshot,
+        snap_path: &Path,
+        opts: &DurabilityOptions,
+    ) -> Result<EngineSession, EvalError> {
+        let (alphabet, mut store, fx) = snap
+            .install(snap_path, opts.danger_stale_watermarks)
+            .map_err(EvalError::Recovery)?;
+        if !self.program.preds.is_prefix_of(fx.facts().preds()) {
+            return Err(mismatch(
+                "program predicates are not a prefix of the persisted predicate table",
+            ));
+        }
+        // Shared-prefix consistency: the caller's interners and the loaded
+        // ones both descend from the same compiled program by append-only
+        // interning of the same logged history, so whichever is shorter
+        // must be a content-prefix of the other. (On `open_durable` the
+        // caller holds just the program's symbols; on `recover()` the live
+        // session has grown past the snapshot — both directions are fine,
+        // divergence is not.) Compared by *name*, not raw ids: past the
+        // common length the two sides may intern different symbols.
+        let n_syms = self.alphabet.len().min(alphabet.len());
+        if self
+            .alphabet
+            .iter()
+            .take(n_syms)
+            .any(|(s, name)| alphabet.name(s) != name)
+        {
+            return Err(mismatch("persisted alphabet diverges from the session's"));
+        }
+        let n_seqs = self.store.count().min(store.count());
+        for i in 0..n_seqs {
+            let id = SeqId(i as u32);
+            let live = self.store.get(id);
+            let loaded = store.get(id);
+            if live.len() != loaded.len()
+                || live
+                    .iter()
+                    .zip(loaded.iter())
+                    .any(|(&a, &b)| self.alphabet.name(a) != alphabet.name(b))
+            {
+                return Err(mismatch(
+                    "persisted sequence store diverges from the session's",
+                ));
+            }
+        }
+        // Every compiled constant must resolve inside the loaded store (its
+        // content equality is covered by the shared-prefix check above).
+        if self
+            .program
+            .constants()
+            .iter()
+            .any(|id| (id.0 as usize) >= store.count())
+        {
+            return Err(mismatch(
+                "program constants are missing from the persisted sequence store",
+            ));
+        }
+        for id in self.program.constants() {
+            store.close_windows(id);
+        }
+        Ok(EngineSession {
+            alphabet,
+            store,
+            registry: self.registry.clone(),
+            program: self.program.clone(),
+            config: self.config,
+            fx,
+            poisoned: None,
+            durability: None,
+        })
+    }
+
+    /// Replay an [`WalRecord::AssertBatch`]: the unlogged twin of
+    /// [`assert_facts`](EngineSession::assert_facts) (failure-atomic, same
+    /// budget order), interning through the logged symbol names.
+    fn apply_assert_batch(&mut self, facts: &[LoggedFact]) -> Result<usize, EvalError> {
+        let dmark = self.fx.domain_mark();
+        let mut applied: Vec<(PredId, Box<[SeqId]>, AssertOutcome)> = Vec::new();
+        let mut added = 0;
+        for f in facts {
+            let step = self.intern_logged_tuple(&f.args).and_then(|tuple| {
+                let pid = self.fx.pred_id(&f.pred);
+                self.assert_batch_step(pid, tuple.into(), &mut applied)
+            });
+            match step {
+                Ok(n) => added += n,
+                Err(e) => {
+                    self.rollback_asserts(&applied, dmark);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(added)
+    }
+
+    /// Replay a [`WalRecord::RetractBatch`]: the unlogged twin of
+    /// [`retract_db`](EngineSession::retract_db). Resolution is
+    /// lookup-only, exactly like the live path.
+    fn apply_retract_batch(&mut self, facts: &[LoggedFact]) -> Result<usize, EvalError> {
+        let mut batch: Vec<(PredId, Box<[SeqId]>)> = Vec::new();
+        for f in facts {
+            let Some(pid) = self.fx.facts().lookup_pred(&f.pred) else {
+                continue;
+            };
+            let Some(tuple) = self.lookup_logged_tuple(&f.args) else {
+                continue;
+            };
+            batch.push((pid, tuple.into()));
+        }
+        if batch.is_empty() {
+            return Ok(0);
+        }
+        self.fx.retract_facts(
+            &self.program,
+            &mut self.store,
+            &self.registry,
+            &self.config,
+            &batch,
+        )
+    }
+
+    /// Replay a [`WalRecord::Run`] boundary.
+    fn replay_run(&mut self) -> Result<(), EvalError> {
+        self.fx
+            .run(&self.program, &mut self.store, &self.registry, &self.config)
+    }
+
+    /// Intern a logged tuple (per-argument symbol names), enforcing
+    /// `max_seq_len` eagerly like [`intern_tuple`](Self::intern_tuple).
+    fn intern_logged_tuple(&mut self, args: &[Vec<String>]) -> Result<Vec<SeqId>, EvalError> {
+        let mut tuple: Vec<SeqId> = Vec::with_capacity(args.len());
+        for names in args {
+            let syms: Vec<Sym> = names.iter().map(|n| self.alphabet.intern(n)).collect();
+            let id = self.store.intern_vec(syms);
+            self.check_seq_budget(id)?;
+            tuple.push(id);
+        }
+        Ok(tuple)
+    }
+
+    /// Resolve a logged tuple without interning anything (`None` when some
+    /// symbol or sequence was never interned — no such fact can exist).
+    fn lookup_logged_tuple(&self, args: &[Vec<String>]) -> Option<Vec<SeqId>> {
+        let mut tuple: Vec<SeqId> = Vec::with_capacity(args.len());
+        for names in args {
+            let mut syms: Vec<Sym> = Vec::with_capacity(names.len());
+            for n in names {
+                syms.push(self.alphabet.lookup(n)?);
+            }
+            tuple.push(self.store.lookup(&syms)?);
+        }
+        Some(tuple)
     }
 
     /// Eager `max_seq_len` enforcement on the assert path: domain closure
@@ -293,8 +918,18 @@ impl EngineSession {
     pub fn assert_fact(&mut self, pred: &str, args: &[&str]) -> Result<bool, EvalError> {
         self.guard_poison()?;
         let tuple = self.intern_tuple(args)?;
+        if self.durability.is_some() {
+            let rec = WalRecord::AssertBatch(vec![logged_fact_strs(pred, args)]);
+            self.log_record(&rec)?;
+        }
         let pid = self.fx.pred_id(pred);
-        Ok(self.assert_ids_exact(pid, tuple.into())?.new_fact)
+        match self.assert_ids_exact(pid, tuple.into()) {
+            Ok(outcome) => {
+                self.after_mutation();
+                Ok(outcome.new_fact)
+            }
+            Err(e) => Err(self.abort_logged(e)),
+        }
     }
 
     /// Assert a batch of string-argument facts; returns how many were new.
@@ -304,6 +939,15 @@ impl EngineSession {
     /// before the call; on a poisoned session nothing is applied either.
     pub fn assert_facts(&mut self, facts: &[(&str, &[&str])]) -> Result<usize, EvalError> {
         self.guard_poison()?;
+        if self.durability.is_some() && !facts.is_empty() {
+            let rec = WalRecord::AssertBatch(
+                facts
+                    .iter()
+                    .map(|(pred, args)| logged_fact_strs(pred, args))
+                    .collect(),
+            );
+            self.log_record(&rec)?;
+        }
         let dmark = self.fx.domain_mark();
         let mut applied: Vec<(PredId, Box<[SeqId]>, AssertOutcome)> = Vec::new();
         let mut added = 0;
@@ -316,10 +960,11 @@ impl EngineSession {
                 Ok(n) => added += n,
                 Err(e) => {
                     self.rollback_asserts(&applied, dmark);
-                    return Err(e);
+                    return Err(self.abort_logged(e));
                 }
             }
         }
+        self.after_mutation();
         Ok(added)
     }
 
@@ -349,8 +994,18 @@ impl EngineSession {
     /// exactly, as in [`assert_fact`](EngineSession::assert_fact).
     pub fn assert_fact_ids(&mut self, pred: &str, tuple: &[SeqId]) -> Result<bool, EvalError> {
         self.guard_poison()?;
+        if self.durability.is_some() {
+            let rec = WalRecord::AssertBatch(vec![self.logged_fact_ids(pred, tuple)]);
+            self.log_record(&rec)?;
+        }
         let pid = self.fx.pred_id(pred);
-        Ok(self.assert_ids_exact(pid, tuple.into())?.new_fact)
+        match self.assert_ids_exact(pid, tuple.into()) {
+            Ok(outcome) => {
+                self.after_mutation();
+                Ok(outcome.new_fact)
+            }
+            Err(e) => Err(self.abort_logged(e)),
+        }
     }
 
     /// Assert every fact of `db` (built against this session's store);
@@ -358,6 +1013,15 @@ impl EngineSession {
     /// [`assert_facts`](EngineSession::assert_facts).
     pub fn assert_db(&mut self, db: &Database) -> Result<usize, EvalError> {
         self.guard_poison()?;
+        if self.durability.is_some() {
+            let logged: Vec<LoggedFact> = db
+                .iter()
+                .map(|(pred, tuple)| self.logged_fact_ids(pred, tuple))
+                .collect();
+            if !logged.is_empty() {
+                self.log_record(&WalRecord::AssertBatch(logged))?;
+            }
+        }
         let dmark = self.fx.domain_mark();
         let mut applied: Vec<(PredId, Box<[SeqId]>, AssertOutcome)> = Vec::new();
         let mut added = 0;
@@ -367,10 +1031,11 @@ impl EngineSession {
                 Ok(n) => added += n,
                 Err(e) => {
                     self.rollback_asserts(&applied, dmark);
-                    return Err(e);
+                    return Err(self.abort_logged(e));
                 }
             }
         }
+        self.after_mutation();
         Ok(added)
     }
 
@@ -394,8 +1059,13 @@ impl EngineSession {
         let Some(tuple) = self.lookup_tuple(args) else {
             return Ok(false);
         };
-        self.retract_ids_batch(vec![(pid, tuple.into())])
-            .map(|n| n > 0)
+        if self.durability.is_some() {
+            let rec = WalRecord::RetractBatch(vec![self.logged_fact_ids(pred, &tuple)]);
+            self.log_record(&rec)?;
+        }
+        let n = self.retract_ids_batch(vec![(pid, tuple.into())])?;
+        self.after_mutation();
+        Ok(n > 0)
     }
 
     /// Resolve string arguments to interned ids **without interning**
@@ -417,8 +1087,13 @@ impl EngineSession {
         let Some(pid) = self.fx.facts().lookup_pred(pred) else {
             return Ok(false);
         };
-        self.retract_ids_batch(vec![(pid, tuple.into())])
-            .map(|n| n > 0)
+        if self.durability.is_some() {
+            let rec = WalRecord::RetractBatch(vec![self.logged_fact_ids(pred, tuple)]);
+            self.log_record(&rec)?;
+        }
+        let n = self.retract_ids_batch(vec![(pid, tuple.into())])?;
+        self.after_mutation();
+        Ok(n > 0)
     }
 
     /// Retract every fact of `db` in one Delete-and-Rederive maintenance
@@ -428,12 +1103,24 @@ impl EngineSession {
     pub fn retract_db(&mut self, db: &Database) -> Result<usize, EvalError> {
         self.guard_poison()?;
         let mut batch: Vec<(PredId, Box<[SeqId]>)> = Vec::new();
+        let mut logged: Vec<LoggedFact> = Vec::new();
         for (pred, tuple) in db.iter() {
             if let Some(pid) = self.fx.facts().lookup_pred(pred) {
+                if self.durability.is_some() {
+                    logged.push(self.logged_fact_ids(pred, tuple));
+                }
                 batch.push((pid, tuple.into()));
             }
         }
-        self.retract_ids_batch(batch)
+        if batch.is_empty() {
+            return Ok(0);
+        }
+        if self.durability.is_some() {
+            self.log_record(&WalRecord::RetractBatch(logged))?;
+        }
+        let n = self.retract_ids_batch(batch)?;
+        self.after_mutation();
+        Ok(n)
     }
 
     /// True when the session knows `pred(args…)` as a *base* fact (i.e. a
@@ -475,11 +1162,15 @@ impl EngineSession {
     /// `max_rounds` is a per-run budget, the size budgets are cumulative.
     pub fn run(&mut self) -> Result<EvalStats, EvalError> {
         self.guard_poison()?;
+        self.log_record(&WalRecord::Run)?;
         match self
             .fx
             .run(&self.program, &mut self.store, &self.registry, &self.config)
         {
-            Ok(()) => Ok(self.fx.stats()),
+            Ok(()) => {
+                self.after_mutation();
+                Ok(self.fx.stats())
+            }
             Err(e) => {
                 self.poisoned = Some(e.clone());
                 Err(e)
@@ -594,4 +1285,63 @@ impl EngineSession {
             &self.config,
         )
     }
+}
+
+/// A consistency violation between snapshot, log, and caller environment.
+fn mismatch(detail: &str) -> EvalError {
+    EvalError::Recovery(RecoveryError::Mismatch {
+        detail: detail.to_string(),
+    })
+}
+
+/// A [`LoggedFact`] for string arguments, split per character exactly like
+/// [`Alphabet::seq_of_str`] — interner-independent, so replay re-interns in
+/// the same order and reproduces identical ids.
+fn logged_fact_strs(pred: &str, args: &[&str]) -> LoggedFact {
+    LoggedFact {
+        pred: pred.to_string(),
+        args: args
+            .iter()
+            .map(|s| s.chars().map(String::from).collect())
+            .collect(),
+    }
+}
+
+/// Replay a log tail (records already filtered to `index >= snapshot
+/// coverage`) against a freshly restored scratch session, stopping before
+/// `limit`. A record followed by [`WalRecord::Abort`] was refused and rolled
+/// back live, so the pair is skipped whole; a replay failure reports the
+/// failing record's index so the caller can decide between truncating a
+/// poisoned tail and refusing to touch committed history.
+fn replay_records(
+    s: &mut EngineSession,
+    tail: &[&ReadRecord],
+    limit: u64,
+) -> Result<(), (u64, EvalError)> {
+    let mut i = 0;
+    while i < tail.len() {
+        let r = tail[i];
+        if r.index >= limit {
+            break;
+        }
+        let aborted = tail
+            .get(i + 1)
+            .is_some_and(|n| matches!(n.record, WalRecord::Abort));
+        match &r.record {
+            WalRecord::Abort => {}
+            _ if aborted => {
+                i += 2;
+                continue;
+            }
+            WalRecord::AssertBatch(facts) => {
+                s.apply_assert_batch(facts).map_err(|e| (r.index, e))?;
+            }
+            WalRecord::RetractBatch(facts) => {
+                s.apply_retract_batch(facts).map_err(|e| (r.index, e))?;
+            }
+            WalRecord::Run => s.replay_run().map_err(|e| (r.index, e))?,
+        }
+        i += 1;
+    }
+    Ok(())
 }

@@ -150,6 +150,44 @@ impl ExtendedDomain {
         &self.order[since.min(self.order.len())..]
     }
 
+    /// Adopt `order` as the member order, without changing the member set.
+    /// `order` must be exactly a permutation of the current members (same
+    /// length, every element a member, no duplicates); returns `false` and
+    /// leaves the domain untouched otherwise.
+    ///
+    /// This exists for snapshot restore: membership is always *recomputed*
+    /// by closing over the restored interpretation — no on-disk format can
+    /// install a member the facts do not justify — but the closure visits
+    /// members in relation-iteration order, while a live session inserted
+    /// them chronologically (asserts and commits interleaved). Member order
+    /// is observable: clauses with free variables enumerate the domain in
+    /// insertion order, so derived tuples land in an order that depends on
+    /// it. Restoring the recorded order — once verified to be a mere
+    /// permutation of the recomputed set — makes a recovered session
+    /// bit-for-bit identical to the uncrashed one going forward.
+    pub fn reorder(&mut self, store: &SeqStore, order: &[SeqId]) -> bool {
+        if order.len() != self.order.len() {
+            return false;
+        }
+        let mut seen = FxHashSet::default();
+        for &id in order {
+            if !self.members.contains(&id) || !seen.insert(id) {
+                return false;
+            }
+        }
+        self.order.clear();
+        self.order.extend_from_slice(order);
+        for bucket in &mut self.by_len {
+            bucket.clear();
+        }
+        // Same member set, so every length bucket already exists and
+        // `max_len` is unchanged.
+        for &id in order {
+            self.by_len[store.len_of(id)].push(id);
+        }
+        true
+    }
+
     /// A restore point for [`ExtendedDomain::truncate`].
     pub fn mark(&self) -> DomainMark {
         DomainMark {
@@ -327,6 +365,41 @@ mod tests {
         let len = d.len();
         d.truncate(&st, here);
         assert_eq!(d.len(), len);
+    }
+
+    #[test]
+    fn reorder_accepts_permutations_and_rejects_everything_else() {
+        let mut a = Alphabet::new();
+        let mut st = SeqStore::new();
+        let mut d = ExtendedDomain::new();
+        insert_str(&mut a, &mut st, &mut d, "ab");
+        insert_str(&mut a, &mut st, &mut d, "cd");
+        let mut order: Vec<SeqId> = d.iter().collect();
+        order.reverse();
+        assert!(d.reorder(&st, &order));
+        let now: Vec<SeqId> = d.iter().collect();
+        assert_eq!(now, order, "iteration follows the adopted order");
+        let len2: Vec<SeqId> = order
+            .iter()
+            .copied()
+            .filter(|&id| st.len_of(id) == 2)
+            .collect();
+        assert_eq!(
+            d.members_of_len(2),
+            &len2[..],
+            "length buckets follow the adopted order"
+        );
+        // Wrong length, duplicate, and non-member orders are all rejected
+        // without disturbing the domain.
+        assert!(!d.reorder(&st, &order[1..]));
+        let mut dup = order.clone();
+        dup[0] = dup[1];
+        assert!(!d.reorder(&st, &dup));
+        let mut alien = order.clone();
+        alien[0] = st.intern(&a.seq_of_str("zzz"));
+        assert!(!d.reorder(&st, &alien));
+        let after: Vec<SeqId> = d.iter().collect();
+        assert_eq!(after, order, "rejected orders leave the domain unchanged");
     }
 
     #[test]

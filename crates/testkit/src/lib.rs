@@ -33,9 +33,14 @@ use proptest::prop_oneof;
 use proptest::strategy::Strategy;
 use proptest::test_runner::TestRng;
 use seqlog_core::eval::interp::FactStore;
-use seqlog_core::{Database, Engine, EvalConfig, EvalError, EvalStats};
+use seqlog_core::wal::{read_wal, ReadRecord, WalReadOptions, WalRecord, WAL_FILE, WAL_HEADER_LEN};
+use seqlog_core::{
+    Database, DurabilityOptions, Engine, EngineSession, EvalConfig, EvalError, EvalStats,
+};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
 
 /// One generated differential case: a safe program plus base-fact batches.
 ///
@@ -453,6 +458,9 @@ pub enum Outcome {
     Failed(String),
 }
 
+/// Relation extents keyed by predicate name, rendered back to strings.
+pub type Extents = BTreeMap<String, Vec<Vec<String>>>;
+
 impl Outcome {
     fn from_error(e: &EvalError) -> Self {
         match e {
@@ -463,7 +471,7 @@ impl Outcome {
 
     /// Extents with each relation's tuples sorted — equal across routes
     /// that agree set-wise but not on insertion order (batch vs session).
-    pub fn extents_sorted(&self) -> Option<BTreeMap<String, Vec<Vec<String>>>> {
+    pub fn extents_sorted(&self) -> Option<Extents> {
         match self {
             Outcome::Model { extents, .. } => {
                 let mut out = extents.clone();
@@ -480,11 +488,27 @@ impl Outcome {
     /// session route keeps a (now empty) relation for a predicate whose
     /// last fact was retracted; the fresh-batch oracle never saw that
     /// predicate at all. Set-level equality must ignore the difference.
-    pub fn extents_sorted_nonempty(&self) -> Option<BTreeMap<String, Vec<Vec<String>>>> {
+    pub fn extents_sorted_nonempty(&self) -> Option<Extents> {
         self.extents_sorted().map(|mut out| {
             out.retain(|_, v| !v.is_empty());
             out
         })
+    }
+
+    /// The bit-for-bit view for recovery comparison: extents in
+    /// per-relation **insertion order** plus the exact stats, with empty
+    /// relations dropped (a budget-refused assert may intern a predicate it
+    /// never populates; the replayed route skips the aborted record and
+    /// never sees the name — an unobservable difference).
+    pub fn bitwise_view(&self) -> Option<(Extents, EvalStats)> {
+        match self {
+            Outcome::Model { extents, stats } => {
+                let mut out = extents.clone();
+                out.retain(|_, v| !v.is_empty());
+                Some((out, *stats))
+            }
+            Outcome::Failed(_) => None,
+        }
     }
 
     /// The failure label, if the route failed.
@@ -620,6 +644,360 @@ pub fn surviving_batch_outcome(case: &InterleavedCase, config: &EvalConfig) -> O
     let mut db = Database::new();
     for (pred, word) in case.surviving_facts() {
         e.add_fact(&mut db, &pred, &[&word]);
+    }
+    match e.evaluate_with(&program, &db, config) {
+        Ok(m) => Outcome::Model {
+            stats: m.stats,
+            extents: render_store(&e, &m.facts),
+        },
+        Err(err) => Outcome::from_error(&err),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-injection harness for durable sessions
+// ---------------------------------------------------------------------------
+
+/// A self-cleaning temporary directory (std-only `tempfile` stand-in).
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create a fresh directory under the OS temp dir, unique per process
+    /// and call.
+    pub fn new(tag: &str) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("seqlog-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&path);
+        fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+/// A snapshot file observed during a [`durable_run`]: its name, its full
+/// byte image, and the log length when it first appeared. Keeping the bytes
+/// (not just the path) lets [`crash_at`] materialize the files a crash at
+/// any earlier offset would have found, even ones the live run later pruned.
+pub struct SnapshotMark {
+    /// File name (`snap-….bin`).
+    pub name: String,
+    /// Complete file contents when first observed.
+    pub bytes: Vec<u8>,
+    /// `wal_len()` at the moment the file was first observed.
+    pub wal_len: u64,
+}
+
+/// The trace of one durable execution of an [`InterleavedCase`]: the live
+/// directory, the log length after every session call (the record-boundary
+/// kill points), every snapshot ever written, and the final outcome.
+pub struct DurableRun {
+    /// The live durability directory (kept alive by this struct).
+    pub dir: TempDir,
+    /// `wal_len()` after each assert/retract/run call, in order.
+    pub boundaries: Vec<u64>,
+    /// All snapshots observed, in first-appearance order.
+    pub snapshots: Vec<SnapshotMark>,
+    /// Final log length.
+    pub final_len: u64,
+    /// The live route's outcome (for comparison against recovery at the
+    /// final offset).
+    pub outcome: Outcome,
+}
+
+fn observe_snapshots(dir: &Path, wal_len: u64, seen: &mut Vec<SnapshotMark>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.starts_with("snap-") || !name.ends_with(".bin") {
+            continue;
+        }
+        if seen.iter().any(|m| m.name == name) {
+            continue;
+        }
+        let Ok(bytes) = fs::read(entry.path()) else {
+            continue;
+        };
+        seen.push(SnapshotMark {
+            name,
+            bytes,
+            wal_len,
+        });
+    }
+}
+
+/// Execute `case` in a durable session, recording record boundaries and
+/// snapshot appearances after every call. Budget-refused asserts/retracts do
+/// **not** end the run (they leave an `Abort` pair in the log — coverage for
+/// the compensation path); a poisoning failure does, and the poisoned log
+/// tail then becomes a recovery input like any other.
+pub fn durable_run(
+    case: &InterleavedCase,
+    config: &EvalConfig,
+    opts: &DurabilityOptions,
+) -> DurableRun {
+    let dir = TempDir::new("run");
+    let mut e = Engine::new();
+    let program = e
+        .parse_program(&case.program)
+        .expect("generated programs parse");
+    let mut session = e
+        .into_session(&program, *config)
+        .expect("generated programs compile");
+    session
+        .make_durable(dir.path(), opts.clone())
+        .expect("attach durability to a fresh dir");
+    let mut boundaries = Vec::new();
+    let mut snapshots = Vec::new();
+    let mark = |s: &EngineSession, b: &mut Vec<u64>, snaps: &mut Vec<SnapshotMark>| {
+        let len = s.wal_len().expect("session is durable");
+        b.push(len);
+        observe_snapshots(dir.path(), len, snaps);
+    };
+    mark(&session, &mut boundaries, &mut snapshots);
+    let mut outcome = None;
+    'steps: for step in &case.steps {
+        for op in step {
+            let result = match op {
+                Op::Assert { pred, word } => session.assert_fact(pred, &[word]).map(|_| ()),
+                Op::Retract { pred, word } => session.retract_fact(pred, &[word]).map(|_| ()),
+            };
+            mark(&session, &mut boundaries, &mut snapshots);
+            if let Err(err) = result {
+                if session.is_poisoned() {
+                    outcome = Some(Outcome::from_error(&err));
+                    break 'steps;
+                }
+            }
+        }
+        if let Err(err) = session.run() {
+            mark(&session, &mut boundaries, &mut snapshots);
+            outcome = Some(Outcome::from_error(&err));
+            break 'steps;
+        }
+        mark(&session, &mut boundaries, &mut snapshots);
+    }
+    let final_len = session.wal_len().expect("session is durable");
+    let outcome = outcome.unwrap_or_else(|| session_outcome(&session));
+    DurableRun {
+        dir,
+        boundaries,
+        snapshots,
+        final_len,
+        outcome,
+    }
+}
+
+/// Materialize the durability directory a crash at log offset `offset`
+/// would leave behind: the log truncated to `offset` and exactly the
+/// snapshots that existed by then (snapshots are written atomically, so a
+/// crash never leaves a partial one).
+pub fn crash_at(run: &DurableRun, offset: u64) -> TempDir {
+    let crashed = TempDir::new("crash");
+    let bytes = fs::read(run.dir.path().join(WAL_FILE)).expect("read live wal");
+    let cut = offset.min(bytes.len() as u64) as usize;
+    fs::write(crashed.path().join(WAL_FILE), &bytes[..cut]).expect("write crashed wal");
+    for mark in &run.snapshots {
+        if mark.wal_len <= offset {
+            fs::write(crashed.path().join(&mark.name), &mark.bytes).expect("write snapshot");
+        }
+    }
+    crashed
+}
+
+/// The deterministic kill points for a run: every record boundary, plus the
+/// midpoint of every inter-boundary gap (mid-record torn tails), all at or
+/// past the log header (an offset inside the header models a crash during
+/// [`EngineSession::make_durable`] itself and is tested separately).
+pub fn kill_offsets(run: &DurableRun) -> Vec<u64> {
+    let mut offsets = Vec::new();
+    for (i, &b) in run.boundaries.iter().enumerate() {
+        offsets.push(b);
+        if let Some(&next) = run.boundaries.get(i + 1) {
+            if next > b + 1 {
+                offsets.push(b + (next - b) / 2);
+            }
+        }
+    }
+    offsets.push(run.final_len);
+    offsets.retain(|&o| o >= WAL_HEADER_LEN);
+    offsets.sort_unstable();
+    offsets.dedup();
+    offsets
+}
+
+/// Recover a session from a (possibly crashed) durability directory.
+pub fn recover_session(
+    program_src: &str,
+    dir: &Path,
+    config: &EvalConfig,
+    opts: &DurabilityOptions,
+) -> Result<EngineSession, EvalError> {
+    let mut e = Engine::new();
+    let program = e
+        .parse_program(program_src)
+        .expect("generated programs parse");
+    EngineSession::open_durable(e, &program, *config, dir, opts.clone())
+}
+
+/// The session's observable state as an [`Outcome`] — insertion-order
+/// extents per predicate, plus cumulative stats.
+pub fn session_outcome(session: &EngineSession) -> Outcome {
+    let extents = session
+        .predicates()
+        .map(|pred| (pred.to_string(), session.query(pred)))
+        .collect();
+    Outcome::Model {
+        extents,
+        stats: session.stats(),
+    }
+}
+
+/// The *effective* records of a log: aborted pairs removed, `Abort`
+/// markers dropped.
+fn effective_records(records: &[ReadRecord]) -> Vec<&ReadRecord> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < records.len() {
+        let r = &records[i];
+        let aborted = records
+            .get(i + 1)
+            .is_some_and(|n| matches!(n.record, WalRecord::Abort));
+        match &r.record {
+            WalRecord::Abort => {}
+            _ if aborted => {
+                i += 2;
+                continue;
+            }
+            _ => out.push(r),
+        }
+        i += 1;
+    }
+    out
+}
+
+fn logged_word(names: &[Vec<String>]) -> Vec<String> {
+    names.iter().map(|arg| arg.concat()).collect()
+}
+
+/// Replay a directory's log through a **fresh, in-memory** session — the
+/// bit-for-bit oracle for recovery: the recovered session must equal this
+/// one in extents (insertion order, empty relations ignored: aborted
+/// asserts may leave an interned-but-empty predicate behind) and stats.
+pub fn wal_replay_outcome(program_src: &str, dir: &Path, config: &EvalConfig) -> Outcome {
+    let contents = read_wal(&dir.join(WAL_FILE), &WalReadOptions::default())
+        .expect("recovered directories hold a readable log");
+    assert_eq!(
+        contents.base_index, 0,
+        "the fresh-replay oracle needs the full history (uncompacted log)"
+    );
+    let mut e = Engine::new();
+    let program = e
+        .parse_program(program_src)
+        .expect("generated programs parse");
+    let mut session = e
+        .into_session(&program, *config)
+        .expect("generated programs compile");
+    for r in effective_records(&contents.records) {
+        let result = match &r.record {
+            WalRecord::AssertBatch(facts) => {
+                let mut err = None;
+                for f in facts {
+                    let word = logged_word(&f.args);
+                    let args: Vec<&str> = word.iter().map(String::as_str).collect();
+                    if let Err(e) = session.assert_fact(&f.pred, &args) {
+                        err = Some(e);
+                        break;
+                    }
+                }
+                match err {
+                    None => Ok(()),
+                    Some(e) => Err(e),
+                }
+            }
+            WalRecord::RetractBatch(facts) => {
+                let mut err = None;
+                for f in facts {
+                    let word = logged_word(&f.args);
+                    let args: Vec<&str> = word.iter().map(String::as_str).collect();
+                    if let Err(e) = session.retract_fact(&f.pred, &args) {
+                        err = Some(e);
+                        break;
+                    }
+                }
+                match err {
+                    None => Ok(()),
+                    Some(e) => Err(e),
+                }
+            }
+            WalRecord::Run => session.run().map(|_| ()),
+            WalRecord::Abort => unreachable!("effective_records drops aborts"),
+        };
+        if let Err(err) = result {
+            return Outcome::from_error(&err);
+        }
+    }
+    session_outcome(&session)
+}
+
+/// The surviving base facts recorded in a directory's log (set semantics
+/// over the effective assert/retract records), in first-assert order — the
+/// input for the fresh-batch-evaluation oracle.
+pub fn wal_surviving_facts(dir: &Path) -> Vec<(String, Vec<String>)> {
+    let contents = read_wal(&dir.join(WAL_FILE), &WalReadOptions::default())
+        .expect("recovered directories hold a readable log");
+    let mut order: Vec<(String, Vec<String>)> = Vec::new();
+    let mut live: std::collections::BTreeSet<(String, Vec<String>)> = Default::default();
+    for r in effective_records(&contents.records) {
+        match &r.record {
+            WalRecord::AssertBatch(facts) => {
+                for f in facts {
+                    let key = (f.pred.clone(), logged_word(&f.args));
+                    if live.insert(key.clone()) && !order.contains(&key) {
+                        order.push(key);
+                    }
+                }
+            }
+            WalRecord::RetractBatch(facts) => {
+                for f in facts {
+                    live.remove(&(f.pred.clone(), logged_word(&f.args)));
+                }
+            }
+            _ => {}
+        }
+    }
+    order.retain(|k| live.contains(k));
+    order
+}
+
+/// Batch-evaluate the log's surviving base facts from scratch: the
+/// Definition 4 oracle for a recovered-then-settled session (the least
+/// fixpoint is a function of the database, however it was reached —
+/// crashes and recoveries included).
+pub fn wal_surviving_batch_outcome(program_src: &str, dir: &Path, config: &EvalConfig) -> Outcome {
+    let mut e = Engine::new();
+    let program = e
+        .parse_program(program_src)
+        .expect("generated programs parse");
+    let mut db = Database::new();
+    for (pred, args) in wal_surviving_facts(dir) {
+        let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+        e.add_fact(&mut db, &pred, &refs);
     }
     match e.evaluate_with(&program, &db, config) {
         Ok(m) => Outcome::Model {

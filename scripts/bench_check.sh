@@ -7,12 +7,15 @@
 # (small session delta on a ≥5k-fact settled base vs batch re-evaluation),
 # and the retract_update bench (one-fact retraction on a ≥8k-fact settled
 # base, maintained by Delete-and-Rederive, vs batch re-evaluation of the
-# surviving database).
-# Usage: scripts/bench_check.sh [N]  (default N=4).
+# surviving database), and the durability bench (wal_overhead: the same
+# assert burst unlogged vs WAL-logged vs fsync-per-record; recovery_time:
+# open_durable replaying a 513-record log tail vs loading a checkpointed
+# snapshot).
+# Usage: scripts/bench_check.sh [N]  (default N=5).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-N="${1:-4}"
+N="${1:-5}"
 OUT="BENCH_${N}.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
@@ -21,7 +24,7 @@ trap 'rm -f "$RAW"' EXIT
 BENCH_JSON="$RAW" cargo bench -q -p seqlog-bench \
     --bench ex15_recursion --bench thm3_ptime --bench fig2_square \
     --bench parallel_scaling --bench incremental_update \
-    --bench retract_update \
+    --bench retract_update --bench durability \
     -- --measurement-time 1
 
 {

@@ -2,7 +2,10 @@
 # The full pre-merge check: formatting, tier-1 (release build + every test
 # suite), the differential fuzz suites — including the retraction oracle
 # (assert/retract interleavings vs fresh batch evaluation of the surviving
-# base facts) — and a zero-warning clippy pass over every target. The fuzz
+# base facts) and the crash-injection recovery suite (durable sessions
+# killed at fuzzed WAL offsets, recovered, and compared bit-for-bit
+# against a fresh replay) — and a zero-warning clippy pass over every
+# target. The fuzz
 # generators are seeded from test names (see crates/shims/proptest), so a
 # failure here reproduces locally by running the same test — no seed to
 # copy around.
@@ -21,6 +24,14 @@ echo "==> cargo test -q (includes tests/fuzz_differential.rs with its pinned see
 echo "    batch/incremental properties AND the retraction oracle — retract ≡ fresh"
 echo "    batch evaluation of the surviving base facts, 600 generated cases)"
 cargo test -q
+
+echo "==> cargo test -q --test fuzz_recovery (crash-injection recovery suite:"
+echo "    durable sessions killed at fuzzed WAL byte offsets and record"
+echo "    boundaries, recovered across threads 1/2/4/8, and compared"
+echo "    bit-for-bit against a fresh replay of the surviving log; plus"
+echo "    bit-flip corruption sweeps and the harness's own mutants —"
+echo "    skip-truncation, skip-checksum, stale-watermarks — being caught)"
+cargo test -q --test fuzz_recovery
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
