@@ -1,0 +1,369 @@
+//! The IR-level lint engine: stable machine-readable diagnostics.
+//!
+//! Each lint has a stable code (`SL001`..`SL006`) and severity. Codes are
+//! part of the public interface — `scripts/ci_check.sh` and the
+//! `examples/analyze.rs` CLI match on them — and must not be renumbered.
+//!
+//! | Code  | Severity | Meaning |
+//! |-------|----------|---------|
+//! | SL001 | error    | constructive edge on a dependency cycle (not strongly safe, Theorem 8) |
+//! | SL002 | warning  | head sequence variable absent from the body (range restriction) |
+//! | SL003 | warning  | dead clause: some body predicate is provably empty |
+//! | SL004 | warning  | body predicate that heads no clause and is not a database predicate |
+//! | SL005 | warning  | duplicate or subsumed clause |
+//! | SL006 | warning  | predicate used with inconsistent arities |
+
+use super::graph::{Condensation, PredGraph};
+use crate::compile::{CBody, CompiledProgram};
+use std::fmt;
+
+/// Stable lint identifiers. The numeric codes (`SL001`..) never change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// `SL001`: a constructive edge lies on a dependency cycle, so the
+    /// program is not strongly safe and the fixpoint may diverge.
+    ConstructiveCycle,
+    /// `SL002`: a head *sequence* variable does not occur in the body; it
+    /// ranges over the whole extended active domain (range-restriction
+    /// violation). Free head *index* variables are exempt — they are the
+    /// bounded structural-recursion idiom of Example 1.1.
+    UnboundHeadVariable,
+    /// `SL003`: a clause that can never fire because some body predicate
+    /// is provably empty under the declared database predicates.
+    DeadClause,
+    /// `SL004`: a body predicate that heads no clause and is not a
+    /// database predicate — it can never hold a fact.
+    UndefinedBodyPredicate,
+    /// `SL005`: a clause that exactly duplicates, or is subsumed by,
+    /// an earlier clause with an identical head.
+    DuplicateClause,
+    /// `SL006`: a predicate used with more than one arity.
+    InconsistentArity,
+}
+
+impl LintCode {
+    /// The stable `SLnnn` code string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::ConstructiveCycle => "SL001",
+            Self::UnboundHeadVariable => "SL002",
+            Self::DeadClause => "SL003",
+            Self::UndefinedBodyPredicate => "SL004",
+            Self::DuplicateClause => "SL005",
+            Self::InconsistentArity => "SL006",
+        }
+    }
+
+    /// The fixed severity of this lint.
+    pub fn severity(self) -> Severity {
+        match self {
+            Self::ConstructiveCycle => Severity::Error,
+            _ => Severity::Warning,
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Diagnostic severity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The program will evaluate, but the flagged construct is redundant
+    /// or suspicious.
+    Warning,
+    /// The program violates a condition the paper requires for
+    /// termination; evaluation may diverge or exhaust budgets.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Warning => "warning",
+            Self::Error => "error",
+        })
+    }
+}
+
+/// One structured diagnostic emitted by the lint engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The lint that fired.
+    pub code: LintCode,
+    /// Severity (always `code.severity()`).
+    pub severity: Severity,
+    /// 0-based index of the offending clause, when the lint is clause-local.
+    pub clause: Option<usize>,
+    /// The predicate the lint is about, when there is a single one.
+    pub pred: Option<String>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    fn new(code: LintCode, clause: Option<usize>, pred: Option<String>, message: String) -> Self {
+        Self {
+            code,
+            severity: code.severity(),
+            clause,
+            pred,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code, self.severity)?;
+        if let Some(c) = self.clause {
+            write!(f, " (clause {c})")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Predicates that can possibly hold a fact: the least fixpoint seeded by
+/// the database predicates and closed under "a head is possibly non-empty
+/// when every body atom's predicate is possibly non-empty" (empty bodies
+/// fire unconditionally). Sound: a predicate outside this set is empty in
+/// every model over the given database predicates.
+pub(crate) fn possibly_nonempty(program: &CompiledProgram, edb: &[bool]) -> Vec<bool> {
+    let mut ne = edb.to_vec();
+    ne.resize(program.preds.len(), false);
+    loop {
+        let mut changed = false;
+        for clause in &program.clauses {
+            let h = clause.head.pred.index();
+            if ne[h] {
+                continue;
+            }
+            let fires = clause.body.iter().all(|lit| match lit {
+                CBody::Atom(a) => ne[a.pred.index()],
+                CBody::Eq(..) | CBody::Neq(..) => true,
+            });
+            if fires {
+                ne[h] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            return ne;
+        }
+    }
+}
+
+/// Run all six lint passes. `edb[p]` marks predicate `p` as a database
+/// (assertable) predicate; `heads[p]` marks predicates heading a clause.
+pub(crate) fn run_lints(
+    program: &CompiledProgram,
+    graph: &PredGraph,
+    cond: &Condensation,
+    edb: &[bool],
+    heads: &[bool],
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let name = |p: u32| program.preds.name(crate::compile::PredId(p)).to_string();
+
+    // SL001: constructive edges inside a strongly connected component.
+    for e in graph.constructive_cycle_edges(cond) {
+        out.push(Diagnostic::new(
+            LintCode::ConstructiveCycle,
+            None,
+            Some(name(e.from)),
+            format!(
+                "constructive dependency `{}` -> `{}` lies on a cycle; \
+                 the program is not strongly safe (Theorem 8) and evaluation may diverge",
+                name(e.from),
+                name(e.to)
+            ),
+        ));
+    }
+
+    // SL002: head *sequence* variables with no body occurrence at all.
+    // Free head *index* variables are exempt: `suffix(X[N:end]) :- r(X).`
+    // (Example 1.1) is the paper's structural-recursion idiom, and a free
+    // index variable is enumerated over the subject sequence's bounded
+    // position range — unlike a free sequence variable, which ranges over
+    // the entire (growing) extended active domain.
+    for (ci, clause) in program.clauses.iter().enumerate() {
+        let mut body_seq = vec![false; clause.n_seq];
+        let mut seq_buf = Vec::new();
+        for lit in &clause.body {
+            seq_buf.clear();
+            match lit {
+                CBody::Atom(a) => {
+                    for t in &a.args {
+                        t.seq_vars(&mut seq_buf);
+                    }
+                }
+                CBody::Eq(l, r) | CBody::Neq(l, r) => {
+                    l.seq_vars(&mut seq_buf);
+                    r.seq_vars(&mut seq_buf);
+                }
+            }
+            for &v in &seq_buf {
+                body_seq[v as usize] = true;
+            }
+        }
+        seq_buf.clear();
+        for t in &clause.head.args {
+            t.seq_vars(&mut seq_buf);
+        }
+        seq_buf.sort_unstable();
+        seq_buf.dedup();
+        for &v in &seq_buf {
+            if !body_seq[v as usize] {
+                out.push(Diagnostic::new(
+                    LintCode::UnboundHeadVariable,
+                    Some(ci),
+                    None,
+                    format!(
+                        "head variable `{}` does not occur in the body; \
+                         it ranges over the entire extended active domain",
+                        clause.seq_names[v as usize]
+                    ),
+                ));
+            }
+        }
+    }
+
+    // SL003 / SL004: emptiness-based reachability.
+    let ne = possibly_nonempty(program, edb);
+    for (ci, clause) in program.clauses.iter().enumerate() {
+        let mut flagged: Vec<u32> = Vec::new();
+        for lit in &clause.body {
+            if let CBody::Atom(a) = lit {
+                let p = a.pred.0;
+                if flagged.contains(&p) {
+                    continue;
+                }
+                let undefined = !heads[p as usize] && !edb[p as usize];
+                if undefined {
+                    out.push(Diagnostic::new(
+                        LintCode::UndefinedBodyPredicate,
+                        Some(ci),
+                        Some(name(p)),
+                        format!(
+                            "body predicate `{}` heads no clause and is not a database \
+                             predicate; it can never hold a fact",
+                            name(p)
+                        ),
+                    ));
+                    flagged.push(p);
+                } else if !ne[p as usize] {
+                    out.push(Diagnostic::new(
+                        LintCode::DeadClause,
+                        Some(ci),
+                        Some(name(p)),
+                        format!(
+                            "clause can never fire: body predicate `{}` is provably empty \
+                             under the declared database predicates",
+                            name(p)
+                        ),
+                    ));
+                    flagged.push(p);
+                }
+            }
+        }
+    }
+
+    // SL005: exact duplicates and identical-head subsumption. Compiled
+    // slot numbering is canonical (body-first occurrence order), so
+    // structural equality of compiled literals is alpha-equivalence; the
+    // subsumption check is conservative in the same way.
+    let mut redundant = vec![false; program.clauses.len()];
+    for j in 1..program.clauses.len() {
+        if redundant[j] {
+            continue;
+        }
+        for i in 0..j {
+            if redundant[i] {
+                continue;
+            }
+            let (a, b) = (&program.clauses[i], &program.clauses[j]);
+            if a.head != b.head {
+                continue;
+            }
+            if a.body == b.body {
+                redundant[j] = true;
+                out.push(Diagnostic::new(
+                    LintCode::DuplicateClause,
+                    Some(j),
+                    None,
+                    format!("clause is an exact duplicate of clause {i}"),
+                ));
+                break;
+            }
+            if subset(&a.body, &b.body) {
+                redundant[j] = true;
+                out.push(Diagnostic::new(
+                    LintCode::DuplicateClause,
+                    Some(j),
+                    None,
+                    format!(
+                        "clause is subsumed by clause {i}: same head, \
+                         body a superset of clause {i}'s body"
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+
+    // SL006: predicates used with more than one arity.
+    let mut arities: Vec<Vec<usize>> = vec![Vec::new(); program.preds.len()];
+    let mut note = |p: u32, n: usize| {
+        let seen = &mut arities[p as usize];
+        if !seen.contains(&n) {
+            seen.push(n);
+        }
+    };
+    for clause in &program.clauses {
+        note(clause.head.pred.0, clause.head.args.len());
+        for lit in &clause.body {
+            if let CBody::Atom(a) = lit {
+                note(a.pred.0, a.args.len());
+            }
+        }
+    }
+    for (p, mut seen) in arities.into_iter().enumerate() {
+        if seen.len() > 1 {
+            seen.sort_unstable();
+            let list = seen
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push(Diagnostic::new(
+                LintCode::InconsistentArity,
+                None,
+                Some(name(p as u32)),
+                format!(
+                    "predicate `{}` is used with inconsistent arities: {list}",
+                    name(p as u32)
+                ),
+            ));
+        }
+    }
+
+    out
+}
+
+/// Multiset inclusion of compiled body literals (`small` within `big`).
+fn subset(small: &[CBody], big: &[CBody]) -> bool {
+    let mut used = vec![false; big.len()];
+    small.iter().all(|lit| {
+        big.iter().enumerate().any(|(k, cand)| {
+            if !used[k] && cand == lit {
+                used[k] = true;
+                true
+            } else {
+                false
+            }
+        })
+    })
+}

@@ -66,14 +66,22 @@ pub enum SeqTerm {
     Var(String),
     /// `base[lo : hi]` — contiguous-subsequence extraction.
     Indexed {
+        /// The subject sequence (variable or constant).
         base: IndexedBase,
+        /// Start position.
         lo: IndexTerm,
+        /// End position.
         hi: IndexTerm,
     },
     /// `s1 ++ s2` — concatenation (constructive; heads only).
     Concat(Box<SeqTerm>, Box<SeqTerm>),
     /// `@name(s1, …, sm)` — a generalized-transducer call (heads only).
-    Transducer { name: String, args: Vec<SeqTerm> },
+    Transducer {
+        /// The registered transducer's name.
+        name: String,
+        /// Input terms.
+        args: Vec<SeqTerm>,
+    },
 }
 
 impl SeqTerm {
@@ -298,7 +306,7 @@ impl DisplayProgram<'_> {
                 match base {
                     IndexedBase::Var(v) => write!(f, "{v}")?,
                     IndexedBase::Const(id) => {
-                        write!(f, "\"{}\"", self.alphabet.render(self.store.get(*id)))?
+                        write!(f, "\"{}\"", self.alphabet.render(self.store.get(*id)))?;
                     }
                 }
                 write!(f, "[")?;

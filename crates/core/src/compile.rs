@@ -296,6 +296,10 @@ pub struct CompiledProgram {
     pub clauses: Vec<CompiledClause>,
     /// Predicate-name interner; every `PredId` in `clauses` indexes it.
     pub preds: PredTable,
+    /// The SCC-stratified evaluation schedule (see [`crate::analysis`]);
+    /// the evaluator's default scheduling mode walks it in topological
+    /// order instead of rescanning every clause each round.
+    pub schedule: crate::analysis::Schedule,
 }
 
 impl CompiledProgram {
@@ -390,7 +394,12 @@ pub fn compile(program: &Program) -> Result<CompiledProgram, CompileError> {
         .enumerate()
         .map(|(i, c)| compile_clause(i, c, &mut preds))
         .collect::<Result<Vec<_>, _>>()?;
-    Ok(CompiledProgram { clauses, preds })
+    let schedule = crate::analysis::Schedule::build(&clauses, preds.len());
+    Ok(CompiledProgram {
+        clauses,
+        preds,
+        schedule,
+    })
 }
 
 struct VarTable {

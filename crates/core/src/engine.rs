@@ -21,6 +21,7 @@
 //! ]);
 //! ```
 
+use crate::analysis::ProgramReport;
 use crate::ast::Program;
 use crate::database::Database;
 use crate::eval::{evaluate, EvalConfig, EvalError, Model};
@@ -131,6 +132,37 @@ impl Engine {
     /// cycles, strong safety, guardedness, program order.
     pub fn analyze(&self, program: &Program) -> SafetyReport {
         analyze(program, &self.registry)
+    }
+
+    /// Static safety analysis with a database: database-only predicates
+    /// join the dependency graph and the strata as source nodes.
+    pub fn analyze_with_db(&self, program: &Program, db: &Database) -> SafetyReport {
+        crate::safety::analyze_with_db(program, &self.registry, db)
+    }
+
+    /// Compile-time program analysis (see [`crate::analysis`]): SCC
+    /// condensation, the stratified evaluation schedule, per-clause facts,
+    /// and `SL001`..`SL006` lint diagnostics. Database predicates are
+    /// inferred as the predicates heading no clause; pass an explicit set
+    /// through [`ProgramReport::analyze_with_edb`] (or use
+    /// [`crate::session::EngineSession::report`], which knows what has
+    /// actually been asserted) for the closed-world reading.
+    ///
+    /// ```
+    /// use seqlog_core::engine::Engine;
+    /// use seqlog_core::analysis::LintCode;
+    ///
+    /// let mut engine = Engine::new();
+    /// let program = engine
+    ///     .parse_program("p(X) :- q(X).\np(X) :- q(X).")
+    ///     .unwrap();
+    /// let report = engine.report(&program).unwrap();
+    /// let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+    /// assert_eq!(codes, [LintCode::DuplicateClause]);
+    /// ```
+    pub fn report(&self, program: &Program) -> Result<ProgramReport, EvalError> {
+        let compiled = crate::compile::compile(program).map_err(EvalError::Compile)?;
+        Ok(ProgramReport::analyze(&compiled))
     }
 
     /// The tuples of `pred` in `model`, rendered to strings.

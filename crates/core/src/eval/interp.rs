@@ -162,12 +162,11 @@ impl Relation {
             self.index = TupleIndex::with_capacity(8);
         }
         let hash = hash_tuple(&tuple);
-        let slot = match self.index.probe(hash, |pos| {
+        let Err(slot) = self.index.probe(hash, |pos| {
             let p = pos as usize;
             self.hashes[p] == hash && self.tuples[p][..] == tuple[..]
-        }) {
-            Ok(_) => return false,
-            Err(slot) => slot,
+        }) else {
+            return false;
         };
         let pos = self.tuples.len() as u32;
         if self.col_index.len() < tuple.len() {
@@ -329,8 +328,7 @@ impl Relation {
             .col_index
             .get(col)
             .and_then(|m| m.get(&v))
-            .map(Vec::as_slice)
-            .unwrap_or(&[]);
+            .map_or(&[][..], Vec::as_slice);
         // Positions are appended in increasing order; binary-search both
         // window edges.
         let start = list.partition_point(|&p| (p as usize) < from);
@@ -489,6 +487,14 @@ impl FactStore {
     /// ranges). A plain `Vec<usize>` copy — no map rebuild, no key clones.
     pub fn sizes(&self) -> Vec<usize> {
         self.rels.iter().map(Relation::len).collect()
+    }
+
+    /// Number of tuples currently in one predicate's relation (`0` when
+    /// the store has no relation for it). The stratified scheduler plans
+    /// per-stratum deltas with this instead of allocating a full
+    /// [`FactStore::sizes`] snapshot for strata that turn out settled.
+    pub fn len_of(&self, pred: PredId) -> usize {
+        self.rels.get(pred.index()).map_or(0, Relation::len)
     }
 
     /// Every sequence id occurring in any fact (with repetitions).

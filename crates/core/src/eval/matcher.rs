@@ -303,7 +303,7 @@ fn solve_idx(
                 }
             }
             (IdxVal::Unbound, IdxVal::Unbound) => {
-                enumerate_then_solve(t, target, end_val, st, env, k)
+                enumerate_then_solve(t, target, end_val, st, env, k);
             }
         },
         CIdx::Sub(x, y) => match (eval_idx(x, &st.b, end_val), eval_idx(y, &st.b, end_val)) {
@@ -319,7 +319,7 @@ fn solve_idx(
                 }
             }
             (IdxVal::Unbound, IdxVal::Unbound) => {
-                enumerate_then_solve(t, target, end_val, st, env, k)
+                enumerate_then_solve(t, target, end_val, st, env, k);
             }
         },
     }
@@ -510,7 +510,7 @@ fn unify_indexed(
                 let n1 = start0 as i64 + 1;
                 let n2 = start0 as i64 + vlen;
                 solve_idx(lo, n1, end_val, st, env, &mut |st, env| {
-                    solve_idx(hi, n2, end_val, st, env, k)
+                    solve_idx(hi, n2, end_val, st, env, k);
                 });
             }
         }
@@ -525,7 +525,7 @@ fn unify_tuple(args: &[CSeq], tuple: &[SeqId], st: &mut Search, env: &MatchEnv<'
         Some((arg, rest_args)) => {
             let (&val, rest_vals) = tuple.split_first().expect("arity matches");
             unify(arg, val, st, env, &mut |st, env| {
-                unify_tuple(rest_args, rest_vals, st, env, k)
+                unify_tuple(rest_args, rest_vals, st, env, k);
             });
         }
     }
@@ -654,7 +654,7 @@ fn search(
             }
             let rest = remaining & !(1 << li);
             unify(other, val, st, env, &mut |st, env| {
-                search(clause, env, delta, rest, st, on_match)
+                search(clause, env, delta, rest, st, on_match);
             });
             return;
         }
@@ -738,7 +738,7 @@ fn search(
                 return; // arity mismatch never unifies
             }
             unify_tuple(&atom.args, tuple, st, env, &mut |st, env| {
-                search(clause, env, delta, rest, st, on_match)
+                search(clause, env, delta, rest, st, on_match);
             });
         };
         match candidates {
@@ -774,7 +774,7 @@ fn search(
                 };
                 let rest = remaining & !(1 << li);
                 unify(other, val, st, env, &mut |st, env| {
-                    search(clause, env, delta, rest, st, on_match)
+                    search(clause, env, delta, rest, st, on_match);
                 });
                 return;
             }

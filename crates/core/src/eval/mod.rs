@@ -114,11 +114,33 @@ pub enum Strategy {
     SemiNaive,
 }
 
+/// How semi-naive rounds are scheduled over the program's clauses.
+///
+/// Both modes compute the same least fixpoint (differentially fuzzed) and
+/// are each bit-for-bit deterministic across thread counts; they differ in
+/// which clauses a round scans, so [`EvalStats::rounds`] and
+/// [`EvalStats::derivations`] are comparable only within one mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Scheduling {
+    /// Walk the compiled program's SCC condensation
+    /// ([`crate::analysis::Schedule`]) in topological order, running
+    /// semi-naive rounds only over the current stratum's clauses and
+    /// skipping strata whose inputs have not changed (default).
+    #[default]
+    Stratified,
+    /// Scan every clause in every round (the pre-stratification loop) —
+    /// kept as the differential oracle for the stratified scheduler.
+    Global,
+}
+
 /// Evaluation budgets and strategy selection.
 #[derive(Clone, Copy, Debug)]
 pub struct EvalConfig {
     /// Strategy to use.
     pub strategy: Strategy,
+    /// Round scheduling for [`Strategy::SemiNaive`] (ignored under
+    /// [`Strategy::Naive`], which is inherently global).
+    pub scheduling: Scheduling,
     /// Maximum T-operator rounds.
     pub max_rounds: usize,
     /// Maximum total facts.
@@ -139,6 +161,7 @@ impl Default for EvalConfig {
     fn default() -> Self {
         Self {
             strategy: Strategy::SemiNaive,
+            scheduling: Scheduling::Stratified,
             max_rounds: 10_000,
             max_facts: 1_000_000,
             max_domain: 1_000_000,
@@ -720,7 +743,28 @@ impl Fixpoint {
     /// re-derives it and still converges to `lfp(T_{P,db})`.
     /// [`crate::session::EngineSession`] nevertheless poisons on error;
     /// retrying is a `Fixpoint`-level affordance.
+    ///
+    /// Under the default [`Scheduling::Stratified`] the round loop walks
+    /// the program's SCC condensation in topological order (see
+    /// [`Fixpoint::run_stratified`]); [`Scheduling::Global`] — and
+    /// [`Strategy::Naive`], which is inherently global — scan every clause
+    /// in every round. Both converge to the same `lfp(T_{P,db})`.
     pub fn run(
+        &mut self,
+        program: &CompiledProgram,
+        store: &mut SeqStore,
+        registry: &TransducerRegistry,
+        config: &EvalConfig,
+    ) -> Result<(), EvalError> {
+        if config.strategy == Strategy::SemiNaive && config.scheduling == Scheduling::Stratified {
+            self.run_stratified(program, store, registry, config)
+        } else {
+            self.run_global(program, store, registry, config)
+        }
+    }
+
+    /// The unstratified round loop: every round scans every clause.
+    fn run_global(
         &mut self,
         program: &CompiledProgram,
         store: &mut SeqStore,
@@ -750,11 +794,6 @@ impl Fixpoint {
             let sizes_now = self.facts.sizes();
             let domain_now = self.domain.len();
             let full_round = self.virgin || config.strategy == Strategy::Naive;
-
-            // Snapshot for free-variable enumeration: substitutions in this
-            // round range over the domain of the interpretation entering it.
-            members.clear();
-            members.extend(self.domain.iter());
 
             // Plan the round's match tasks.
             tasks.clear();
@@ -803,6 +842,19 @@ impl Fixpoint {
                 }
             }
 
+            // Snapshot for free-variable enumeration: substitutions in this
+            // round range over the domain of the interpretation entering it.
+            // Only domain-sensitive clauses enumerate members (every other
+            // clause binds all slots from matched facts), so the snapshot is
+            // taken only when the plan contains one.
+            members.clear();
+            if tasks
+                .iter()
+                .any(|t| program.clauses[t.clause].domain_sensitive)
+            {
+                members.extend(self.domain.iter());
+            }
+
             // Phase 1: read-only matching, sharded across workers.
             let bufs = match_round(
                 program,
@@ -842,6 +894,196 @@ impl Fixpoint {
                 break;
             }
         }
+
+        finalize_stats(&mut self.stats, &self.facts, &self.domain);
+        Ok(())
+    }
+
+    /// The SCC-stratified round loop — the [`Scheduling::Stratified`]
+    /// default for [`Strategy::SemiNaive`].
+    ///
+    /// Strata ([`crate::analysis::Schedule`]) are visited in topological
+    /// order; within a stratum, semi-naive rounds run over only that
+    /// stratum's clauses until it quiesces. A predicate is only ever
+    /// inserted into by its own (head) stratum's clauses, so when a
+    /// stratum runs, every input from an earlier stratum is already
+    /// settled — except that commits in later strata can still grow the
+    /// **extended active domain**, which re-arms earlier strata's
+    /// domain-sensitive clauses. An outer pass loop therefore repeats the
+    /// topological sweep until a full pass derives nothing.
+    ///
+    /// A stratum whose input deltas are empty and whose domain watermark
+    /// is current plans zero tasks and is skipped without paying a round.
+    /// This is the *downstream cone* property: a session assert into
+    /// predicate `p` re-runs only `p`'s stratum and the strata downstream
+    /// of it, at a per-skipped-stratum cost of one planning scan.
+    ///
+    /// Determinism is inherited from the two-phase rounds: stratum order,
+    /// each round's task list, and the task-order commit depend only on
+    /// the program and the interpretation — never the thread count — so
+    /// results are bit-for-bit identical for every `threads` setting.
+    ///
+    /// The global watermarks (`sizes_done` / `domain_done` / `virgin`)
+    /// advance only when the run *succeeds*: per-stratum watermarks
+    /// diverge from them only for the duration of the call, and at
+    /// quiescence every stratum has processed every input, so they
+    /// collapse to the final sizes. A mid-run error leaves the entry
+    /// watermarks in place and a later run re-derives the interrupted
+    /// rounds (idempotent — the fact store dedupes), exactly like the
+    /// global loop; durable-session snapshot formats are unaffected.
+    fn run_stratified(
+        &mut self,
+        program: &CompiledProgram,
+        store: &mut SeqStore,
+        registry: &TransducerRegistry,
+        config: &EvalConfig,
+    ) -> Result<(), EvalError> {
+        let threads = match config.threads {
+            0 => default_threads(),
+            n => n,
+        };
+        check_budgets(&self.facts, &self.domain, config, &mut self.stats)?;
+
+        let rounds_at_entry = self.stats.rounds;
+        if config.max_rounds == 0 {
+            finalize_stats(&mut self.stats, &self.facts, &self.domain);
+            return Err(EvalError::Budget {
+                kind: BudgetKind::Rounds,
+                stats: self.stats,
+            });
+        }
+
+        let schedule = &program.schedule;
+        let ns = schedule.strata.len();
+        // Per-stratum watermarks; `None` means "this stratum has not run
+        // in this call yet — measure its delta from the global watermarks".
+        let mut done: Vec<Option<Vec<usize>>> = vec![None; ns];
+        let mut sdomain: Vec<usize> = vec![self.domain_done; ns];
+        let mut svirgin: Vec<bool> = vec![self.virgin; ns];
+        let mut members: Vec<SeqId> = Vec::new();
+        let mut tasks: Vec<MatchTask> = Vec::new();
+
+        loop {
+            let mut pass_added = false;
+            for (si, stratum) in schedule.strata.iter().enumerate() {
+                if stratum.clauses.is_empty() {
+                    continue; // source stratum: database-only predicates
+                }
+                loop {
+                    let domain_now = self.domain.len();
+                    let domain_grew = domain_now > sdomain[si];
+                    let full = svirgin[si];
+
+                    // Plan this stratum round; planning mirrors the global
+                    // loop, restricted to the stratum's clauses.
+                    tasks.clear();
+                    for &ci in &stratum.clauses {
+                        let ci = ci as usize;
+                        let clause = &program.clauses[ci];
+                        if full || (clause.domain_sensitive && domain_grew) {
+                            tasks.push(MatchTask {
+                                clause: ci,
+                                delta: None,
+                            });
+                            continue;
+                        }
+                        if clause.body.is_empty() {
+                            continue;
+                        }
+                        for (li, lit) in clause.body.iter().enumerate() {
+                            let CBody::Atom(atom) = lit else {
+                                continue;
+                            };
+                            let pi = atom.pred.index();
+                            let before = match &done[si] {
+                                Some(v) => v.get(pi).copied().unwrap_or(0),
+                                None => self.sizes_done.get(pi).copied().unwrap_or(0),
+                            };
+                            let now = self.facts.len_of(atom.pred);
+                            let mut from = before;
+                            while from < now {
+                                let to = (from + DELTA_CHUNK).min(now);
+                                tasks.push(MatchTask {
+                                    clause: ci,
+                                    delta: Some((li, from, to)),
+                                });
+                                from = to;
+                            }
+                        }
+                    }
+                    if tasks.is_empty() {
+                        // Inputs settled: skip the stratum without a round.
+                        break;
+                    }
+                    if self.stats.rounds - rounds_at_entry >= config.max_rounds {
+                        finalize_stats(&mut self.stats, &self.facts, &self.domain);
+                        return Err(EvalError::Budget {
+                            kind: BudgetKind::Rounds,
+                            stats: self.stats,
+                        });
+                    }
+                    self.stats.rounds += 1;
+
+                    let sizes_now = self.facts.sizes();
+                    members.clear();
+                    if tasks
+                        .iter()
+                        .any(|t| program.clauses[t.clause].domain_sensitive)
+                    {
+                        members.extend(self.domain.iter());
+                    }
+                    let sizes_before: &[usize] = match &done[si] {
+                        Some(v) => v,
+                        None => &self.sizes_done,
+                    };
+                    let bufs = match_round(
+                        program,
+                        &tasks,
+                        store,
+                        &self.facts,
+                        &self.domain,
+                        &members,
+                        sizes_before,
+                        threads,
+                    );
+                    let added = commit_round(
+                        program,
+                        &tasks,
+                        &bufs,
+                        store,
+                        &mut self.facts,
+                        &mut self.domain,
+                        registry,
+                        config,
+                        &mut self.stats,
+                    )?;
+                    done[si] = Some(sizes_now);
+                    sdomain[si] = domain_now;
+                    svirgin[si] = false;
+                    if added > 0 {
+                        pass_added = true;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            if !pass_added {
+                break;
+            }
+        }
+
+        // Contract: every `run` call executes at least one round — a fully
+        // settled state pays the same single quiescence round the global
+        // loop does.
+        if self.stats.rounds == rounds_at_entry {
+            self.stats.rounds += 1;
+        }
+        // Quiescence: every stratum has processed every input delta and
+        // the final domain, so the per-stratum watermarks collapse into
+        // the global ones.
+        self.sizes_done = self.facts.sizes();
+        self.domain_done = self.domain.len();
+        self.virgin = false;
 
         finalize_stats(&mut self.stats, &self.facts, &self.domain);
         Ok(())
@@ -1063,7 +1305,7 @@ impl Fixpoint {
             }
             let removed_below = set.iter().filter(|&&p| (p as usize) < new_done[pi]).count();
             new_done[pi] -= removed_below;
-            for &pos in set.iter() {
+            for &pos in set {
                 self.facts.remove_at(PredId(pi as u32), pos);
             }
         }
@@ -1189,11 +1431,7 @@ fn rebuild_surviving_domain(
 /// per evaluation of a small program.
 fn default_threads() -> usize {
     static N: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *N.get_or_init(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    })
+    *N.get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
 }
 
 /// Minimum estimated candidate-tuple count in a round before the match

@@ -136,9 +136,8 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
 
     loop {
         let (tline, tcol) = (line, col);
-        let c = match chars.peek().copied() {
-            Some(c) => c,
-            None => break,
+        let Some(c) = chars.peek().copied() else {
+            break;
         };
         match c {
             ' ' | '\t' | '\r' | '\n' => {
@@ -277,7 +276,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                         break;
                     }
                 }
-                let tok = if s.chars().next().is_some_and(|c| c.is_uppercase()) {
+                let tok = if s.chars().next().is_some_and(char::is_uppercase) {
                     Tok::Var(s)
                 } else {
                     Tok::Ident(s)

@@ -133,7 +133,7 @@ mod tests {
 
         // Drop all suffix facts: db alone is not a model.
         let mut facts = FactStore::new();
-        let r_tuples: Vec<Vec<_>> = m.tuples("r").into_iter().map(|t| t.to_vec()).collect();
+        let r_tuples: Vec<Vec<_>> = m.tuples("r").into_iter().map(<[_]>::to_vec).collect();
         for t in r_tuples {
             facts.insert_named("r", t.into());
         }

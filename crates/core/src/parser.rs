@@ -102,11 +102,7 @@ impl Parser<'_> {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
-        let (line, col) = self
-            .toks
-            .get(self.pos)
-            .map(|s| (s.line, s.col))
-            .unwrap_or((0, 0));
+        let (line, col) = self.toks.get(self.pos).map_or((0, 0), |s| (s.line, s.col));
         Err(ParseError {
             msg: msg.into(),
             line,
@@ -226,12 +222,9 @@ impl Parser<'_> {
                 self.maybe_indexed(IndexedBase::Var(v), plain)
             }
             Some(Tok::At) => {
-                let name = match self.next().map(|s| s.tok) {
-                    Some(Tok::Ident(s)) => s,
-                    _ => {
-                        self.pos = self.pos.saturating_sub(1);
-                        return self.err("expected transducer name after `@`");
-                    }
+                let Some(Tok::Ident(name)) = self.next().map(|s| s.tok) else {
+                    self.pos = self.pos.saturating_sub(1);
+                    return self.err("expected transducer name after `@`");
                 };
                 self.expect(&Tok::LParen)?;
                 let mut args = vec![self.term()?];

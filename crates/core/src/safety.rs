@@ -1,4 +1,4 @@
-//! Safety analysis (Sections 5 and 8).
+//! Safety analysis (Sections 5 and 8) — AST-level facade.
 //!
 //! * **Predicate dependency graph** (Definition 9): nodes are predicate
 //!   names; an edge `p → q` exists when some clause has head predicate `p`
@@ -15,8 +15,17 @@
 //!   constructive device.
 //! * **Program order** (Section 7.1): the maximum order of any transducer
 //!   mentioned; a transducer-free program has order 0.
+//!
+//! This module keeps the string-keyed API but owns no graph algorithms:
+//! the graph, its SCC condensation, and the stratum levels all come from
+//! [`crate::analysis::graph`] — the same implementation that drives the
+//! evaluator's stratified schedule and the lint engine. Database-only
+//! predicates (legal since retractable sessions) participate as source
+//! nodes via [`DependencyGraph::build_with_db`] / [`analyze_with_db`].
 
+use crate::analysis::graph::{Condensation, GraphBuilder, PredGraph};
 use crate::ast::{Clause, Program};
+use crate::database::Database;
 use crate::registry::TransducerRegistry;
 use seqlog_sequence::FxHashMap;
 
@@ -34,125 +43,101 @@ pub struct DepEdge {
 /// The predicate dependency graph of a program.
 #[derive(Clone, Debug, Default)]
 pub struct DependencyGraph {
-    /// Predicate names (graph nodes) in first-occurrence order.
+    /// Predicate names (graph nodes) in first-occurrence order, followed by
+    /// any database-only predicates.
     pub nodes: Vec<String>,
     /// Deduplicated edges; parallel constructive/non-constructive edges are
     /// merged with `constructive = true` winning.
     pub edges: Vec<DepEdge>,
+    /// The dense-id graph backing `nodes`/`edges` (node `i` is `nodes[i]`).
+    graph: PredGraph,
 }
 
 impl DependencyGraph {
-    /// Build the graph (Definition 9).
+    /// Build the graph (Definition 9) from the program's clauses alone.
     pub fn build(program: &Program) -> Self {
+        Self::build_with_preds(program, std::iter::empty())
+    }
+
+    /// Build the graph with a database's predicates included: predicates
+    /// that only occur as stored facts — never in a clause — become
+    /// isolated *source* nodes (stratum 0) instead of being omitted.
+    pub fn build_with_db(program: &Program, db: &Database) -> Self {
+        Self::build_with_preds(program, db.iter().map(|(p, _)| p))
+    }
+
+    /// Build with extra (database-only) predicate names appended as nodes.
+    fn build_with_preds<'a>(program: &Program, extra: impl Iterator<Item = &'a str>) -> Self {
         let mut nodes = program.predicates();
-        let mut index: FxHashMap<String, usize> = FxHashMap::default();
-        for (i, n) in nodes.iter().enumerate() {
-            index.insert(n.clone(), i);
-        }
-        let mut edge_map: FxHashMap<(usize, usize), bool> = FxHashMap::default();
-        for clause in &program.clauses {
-            let from = index[&clause.head.pred];
-            let constructive = clause.is_constructive();
-            for q in clause.body_preds() {
-                let to = index[q];
-                let e = edge_map.entry((from, to)).or_insert(false);
-                *e |= constructive;
+        for p in extra {
+            if !nodes.iter().any(|n| n == p) {
+                nodes.push(p.to_string());
             }
         }
-        let mut edges: Vec<DepEdge> = edge_map
-            .into_iter()
-            .map(|((f, t), c)| DepEdge {
-                from: nodes[f].clone(),
-                to: nodes[t].clone(),
-                constructive: c,
+        let index: FxHashMap<&str, u32> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i as u32))
+            .collect();
+        let mut b = GraphBuilder::new(nodes.len());
+        for clause in &program.clauses {
+            let from = index[clause.head.pred.as_str()];
+            let constructive = clause.is_constructive();
+            for q in clause.body_preds() {
+                b.edge(from, index[q], constructive);
+            }
+        }
+        let graph = b.finish();
+        let mut edges: Vec<DepEdge> = graph
+            .edges()
+            .iter()
+            .map(|e| DepEdge {
+                from: nodes[e.from as usize].clone(),
+                to: nodes[e.to as usize].clone(),
+                constructive: e.constructive,
             })
             .collect();
         edges.sort_by(|a, b| (&a.from, &a.to).cmp(&(&b.from, &b.to)));
         nodes.shrink_to_fit();
-        Self { nodes, edges }
+        Self {
+            nodes,
+            edges,
+            graph,
+        }
     }
 
-    /// Strongly connected components (iterative Tarjan), returned as a map
-    /// from predicate to component id; component ids are in reverse
-    /// topological order (callees first).
+    /// The SCC condensation of the backing dense-id graph.
+    fn condense(&self) -> Condensation {
+        self.graph.condense()
+    }
+
+    /// Strongly connected components (iterative Tarjan, shared with
+    /// [`crate::analysis`]), returned as a map from predicate to component
+    /// id; component ids are in reverse topological order (callees first).
     pub fn sccs(&self) -> FxHashMap<String, usize> {
-        let n = self.nodes.len();
-        let index_of: FxHashMap<&str, usize> = self
-            .nodes
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s.as_str(), i))
-            .collect();
-        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for e in &self.edges {
-            adj[index_of[e.from.as_str()]].push(index_of[e.to.as_str()]);
-        }
-
-        // Iterative Tarjan.
-        let mut ids = vec![usize::MAX; n];
-        let mut low = vec![0usize; n];
-        let mut disc = vec![usize::MAX; n];
-        let mut on_stack = vec![false; n];
-        let mut stack: Vec<usize> = Vec::new();
-        let mut counter = 0usize;
-        let mut comp = 0usize;
-
-        for root in 0..n {
-            if disc[root] != usize::MAX {
-                continue;
-            }
-            // (node, next child index)
-            let mut call: Vec<(usize, usize)> = vec![(root, 0)];
-            while let Some(&mut (v, ref mut ci)) = call.last_mut() {
-                if *ci == 0 {
-                    disc[v] = counter;
-                    low[v] = counter;
-                    counter += 1;
-                    stack.push(v);
-                    on_stack[v] = true;
-                }
-                if *ci < adj[v].len() {
-                    let w = adj[v][*ci];
-                    *ci += 1;
-                    if disc[w] == usize::MAX {
-                        call.push((w, 0));
-                    } else if on_stack[w] {
-                        low[v] = low[v].min(disc[w]);
-                    }
-                } else {
-                    if low[v] == disc[v] {
-                        while let Some(w) = stack.pop() {
-                            on_stack[w] = false;
-                            ids[w] = comp;
-                            if w == v {
-                                break;
-                            }
-                        }
-                        comp += 1;
-                    }
-                    call.pop();
-                    if let Some(&mut (parent, _)) = call.last_mut() {
-                        low[parent] = low[parent].min(low[v]);
-                    }
-                }
-            }
-        }
-
+        let cond = self.condense();
         self.nodes
             .iter()
             .enumerate()
-            .map(|(i, s)| (s.clone(), ids[i]))
+            .map(|(i, s)| (s.clone(), cond.comp[i] as usize))
             .collect()
     }
 
     /// The constructive edges lying inside an SCC — each witnesses a
     /// constructive cycle (Definition 10).
     pub fn constructive_cycle_edges(&self) -> Vec<DepEdge> {
-        let scc = self.sccs();
-        self.edges
+        self.violations(&self.condense())
+    }
+
+    fn violations(&self, cond: &Condensation) -> Vec<DepEdge> {
+        self.graph
+            .constructive_cycle_edges(cond)
             .iter()
-            .filter(|e| e.constructive && scc[&e.from] == scc[&e.to])
-            .cloned()
+            .map(|e| DepEdge {
+                from: self.nodes[e.from as usize].clone(),
+                to: self.nodes[e.to as usize].clone(),
+                constructive: true,
+            })
             .collect()
     }
 }
@@ -181,8 +166,30 @@ pub struct SafetyReport {
 
 /// Analyze a program against a registry (for transducer orders).
 pub fn analyze(program: &Program, registry: &TransducerRegistry) -> SafetyReport {
-    let graph = DependencyGraph::build(program);
-    let violations = graph.constructive_cycle_edges();
+    analyze_graph(DependencyGraph::build(program), program, registry)
+}
+
+/// Analyze a program together with a database: database-only predicates
+/// appear in the graph and the strata as sources (level 0).
+pub fn analyze_with_db(
+    program: &Program,
+    registry: &TransducerRegistry,
+    db: &Database,
+) -> SafetyReport {
+    analyze_graph(
+        DependencyGraph::build_with_db(program, db),
+        program,
+        registry,
+    )
+}
+
+fn analyze_graph(
+    graph: DependencyGraph,
+    program: &Program,
+    registry: &TransducerRegistry,
+) -> SafetyReport {
+    let cond = graph.condense();
+    let violations = graph.violations(&cond);
     let strongly_safe = violations.is_empty();
 
     let guarded = program.clauses.iter().all(is_guarded);
@@ -198,28 +205,13 @@ pub fn analyze(program: &Program, registry: &TransducerRegistry) -> SafetyReport
         machine_order.max(1)
     };
 
-    // Strata: SCC condensation levels, where the level of a component is
-    // 1 + max level over successors (callees below).
-    let scc = graph.sccs();
-    let mut strata: FxHashMap<String, usize> = FxHashMap::default();
-    // Component -> members and successor components.
-    let ncomp = scc.values().copied().max().map_or(0, |m| m + 1);
-    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); ncomp];
-    for e in &graph.edges {
-        let (a, b) = (scc[&e.from], scc[&e.to]);
-        if a != b {
-            succs[a].push(b);
-        }
-    }
-    // Tarjan ids are in reverse topological order: callees have smaller ids,
-    // so computing levels in increasing id order sees successors first.
-    let mut level = vec![0usize; ncomp];
-    for c in 0..ncomp {
-        level[c] = succs[c].iter().map(|&s| level[s] + 1).max().unwrap_or(0);
-    }
-    for (pred, comp) in &scc {
-        strata.insert(pred.clone(), level[*comp]);
-    }
+    // Strata: the condensation's topological levels, keyed back by name.
+    let strata = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.clone(), cond.level_of(i as u32) as usize))
+        .collect();
 
     SafetyReport {
         graph,
@@ -387,6 +379,32 @@ mod tests {
         let r = report("suffix(X[N:end]) :- r(X).");
         assert!(r.non_constructive);
         assert_eq!(r.order, 0);
+        assert!(r.strongly_safe);
+    }
+
+    #[test]
+    fn database_only_predicates_are_graph_sources() {
+        let mut a = Alphabet::new();
+        let mut st = SeqStore::new();
+        let p = parse_program("p(X) :- q(X).", &mut a, &mut st).unwrap();
+        let syms: Vec<_> = "abc".chars().map(|c| a.intern_char(c)).collect();
+        let id = st.intern(&syms);
+        let mut db = Database::new();
+        db.add("q", vec![id]);
+        db.add("extra", vec![id]);
+
+        // `build` omits the database-only predicate; `build_with_db`
+        // includes it as an isolated source node.
+        let plain = DependencyGraph::build(&p);
+        assert!(!plain.nodes.iter().any(|n| n == "extra"));
+        let g = DependencyGraph::build_with_db(&p, &db);
+        assert!(g.nodes.iter().any(|n| n == "extra"));
+        assert!(g.sccs().contains_key("extra"));
+
+        let r = analyze_with_db(&p, &TransducerRegistry::new(), &db);
+        assert_eq!(r.strata["extra"], 0);
+        assert_eq!(r.strata["q"], 0);
+        assert_eq!(r.strata["p"], 1);
         assert!(r.strongly_safe);
     }
 }

@@ -840,7 +840,7 @@ impl EngineSession {
         pid: PredId,
         tuple: Box<[SeqId]>,
     ) -> Result<AssertOutcome, EvalError> {
-        for &id in tuple.iter() {
+        for &id in &tuple {
             self.check_seq_budget(id)?;
         }
         if self.fx.facts().contains_id(pid, &tuple) {
@@ -1242,6 +1242,30 @@ impl EngineSession {
     /// The compiled program this session serves.
     pub fn program(&self) -> &CompiledProgram {
         &self.program
+    }
+
+    /// Compile-time analysis of this session's program against what has
+    /// actually been asserted (see [`crate::analysis`]): the database
+    /// predicates are the program's non-head predicates plus every
+    /// predicate currently holding base facts, so a recursively defined
+    /// predicate stops being provably empty (`SL003`) as soon as a base
+    /// fact for it lands. The report's
+    /// [`Schedule`](crate::analysis::Schedule) is the one the session's
+    /// runs follow: an assert into predicate `p` re-runs only `p`'s
+    /// stratum and its downstream cone — every other stratum's planning
+    /// finds an empty delta and skips without paying a round.
+    pub fn report(&self) -> crate::analysis::ProgramReport {
+        let n = self.program.preds.len();
+        let mut is_head = vec![false; n];
+        for c in &self.program.clauses {
+            is_head[c.head.pred.index()] = true;
+        }
+        let base = self.fx.base_relations();
+        let edb: Vec<PredId> = (0..n)
+            .filter(|&p| !is_head[p] || base.get(p).is_some_and(|r| !r.is_empty()))
+            .map(|p| PredId(p as u32))
+            .collect();
+        crate::analysis::ProgramReport::analyze_with_edb(&self.program, &edb)
     }
 
     /// The evaluation configuration (mutable: budgets and thread count may

@@ -104,10 +104,10 @@ impl RecoveryError {
 
     pub(crate) fn corrupt(file: &Path, detail: impl Into<String>) -> Self {
         Self::Corrupt {
-            file: file
-                .file_name()
-                .map(|n| n.to_string_lossy().into_owned())
-                .unwrap_or_else(|| file.display().to_string()),
+            file: file.file_name().map_or_else(
+                || file.display().to_string(),
+                |n| n.to_string_lossy().into_owned(),
+            ),
             detail: detail.into(),
         }
     }
@@ -141,7 +141,7 @@ const CRC_TABLE: [u32; 256] = crc_table();
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut c = 0xFFFF_FFFFu32;
     for &b in bytes {
-        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
     }
     !c
 }
@@ -522,8 +522,7 @@ impl WalWriter {
         let end = contents
             .records
             .last()
-            .map(|r| r.end_offset)
-            .unwrap_or(WAL_HEADER_LEN);
+            .map_or(WAL_HEADER_LEN, |r| r.end_offset);
         let mut file = OpenOptions::new()
             .write(true)
             .open(path)

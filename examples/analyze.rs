@@ -1,0 +1,141 @@
+//! Lint CLI over Sequence Datalog program files: parses each file, runs
+//! the compile-time analysis subsystem (`seqlog_core::analysis`), and
+//! prints the stratified schedule plus `SL001`..`SL006` diagnostics.
+//!
+//! Run with: `cargo run --example analyze -- [--check] FILE...`
+//!
+//! Program files may carry two comment directives (`%` starts a line
+//! comment in the concrete syntax, so evaluation ignores them):
+//!
+//! * `% edb: p, q` — analyze under the closed-world reading: exactly
+//!   these predicates are database predicates
+//!   ([`ProgramReport::analyze_with_edb`]); without the directive the
+//!   open-world default applies (every non-head predicate is a database
+//!   predicate).
+//! * `% expect: SL003 SL005` — the diagnostic codes this file is
+//!   *supposed* to produce (a lint fixture). Under `--check`, a file
+//!   fails when its emitted code set differs from its expected set — so
+//!   CI fails both on a new warning in a clean program and on a fixture
+//!   that stops reproducing its lint.
+//!
+//! Exit status: 0 when every file matches its expectation (clean files
+//! expect no diagnostics), 1 otherwise. `scripts/ci_check.sh` runs this
+//! over every program in `examples/programs/`.
+
+use sequence_datalog::core::analysis::ProgramReport;
+use sequence_datalog::core::compile::compile;
+use sequence_datalog::core::Engine;
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+/// Comment directives of one program file.
+#[derive(Default)]
+struct Directives {
+    /// `% edb:` — closed-world database predicates, when present.
+    edb: Option<Vec<String>>,
+    /// `% expect:` — expected diagnostic codes (empty set when absent).
+    expect: BTreeSet<String>,
+}
+
+fn parse_directives(src: &str) -> Directives {
+    let mut d = Directives::default();
+    for line in src.lines() {
+        let Some(rest) = line.trim().strip_prefix('%') else {
+            continue;
+        };
+        let rest = rest.trim();
+        if let Some(list) = rest.strip_prefix("edb:") {
+            d.edb = Some(
+                list.split(',')
+                    .map(|p| p.trim().to_string())
+                    .filter(|p| !p.is_empty())
+                    .collect(),
+            );
+        } else if let Some(list) = rest.strip_prefix("expect:") {
+            d.expect.extend(list.split_whitespace().map(str::to_string));
+        }
+    }
+    d
+}
+
+/// Analyze one file; returns `true` when its diagnostics match the
+/// `% expect:` set (empty for clean programs).
+fn analyze_file(path: &str) -> bool {
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{path}: cannot read: {e}");
+            return false;
+        }
+    };
+    let directives = parse_directives(&src);
+    let mut engine = Engine::new();
+    let program = match engine.parse_program(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{path}: parse error: {e}");
+            return false;
+        }
+    };
+    let compiled = match compile(&program) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{path}: compile error: {e}");
+            return false;
+        }
+    };
+    let report = match &directives.edb {
+        Some(names) => {
+            let edb: Vec<_> = names
+                .iter()
+                .filter_map(|n| compiled.preds.lookup(n))
+                .collect();
+            ProgramReport::analyze_with_edb(&compiled, &edb)
+        }
+        None => ProgramReport::analyze(&compiled),
+    };
+
+    println!("── {path} ──");
+    print!("{}", report.render());
+
+    let emitted: BTreeSet<String> = report
+        .diagnostics
+        .iter()
+        .map(|d| d.code.as_str().to_string())
+        .collect();
+    if emitted == directives.expect {
+        return true;
+    }
+    for unexpected in emitted.difference(&directives.expect) {
+        eprintln!("{path}: unexpected diagnostic {unexpected}");
+    }
+    for missing in directives.expect.difference(&emitted) {
+        eprintln!("{path}: expected diagnostic {missing} did not fire");
+    }
+    false
+}
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut files: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check = true,
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: analyze [--check] FILE...");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for path in &files {
+        ok &= analyze_file(path);
+        println!();
+    }
+    if check && !ok {
+        eprintln!("analyze --check: diagnostics differ from expectations");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

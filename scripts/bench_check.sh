@@ -10,12 +10,15 @@
 # surviving database), and the durability bench (wal_overhead: the same
 # assert burst unlogged vs WAL-logged vs fsync-per-record; recovery_time:
 # open_durable replaying a 513-record log tail vs loading a checkpointed
-# snapshot).
-# Usage: scripts/bench_check.sh [N]  (default N=5).
+# snapshot), and the stratified_eval bench (SCC-stratified scheduling vs
+# the global semi-naive loop on a 24-stratum constructive chain plus a
+# ground domain-sensitive clause — the workload where the global loop
+# re-enumerates the domain once per round).
+# Usage: scripts/bench_check.sh [N]  (default N=6).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-N="${1:-5}"
+N="${1:-6}"
 OUT="BENCH_${N}.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
@@ -25,6 +28,7 @@ BENCH_JSON="$RAW" cargo bench -q -p seqlog-bench \
     --bench ex15_recursion --bench thm3_ptime --bench fig2_square \
     --bench parallel_scaling --bench incremental_update \
     --bench retract_update --bench durability \
+    --bench stratified_eval \
     -- --measurement-time 1
 
 {

@@ -4,7 +4,8 @@
 # (assert/retract interleavings vs fresh batch evaluation of the surviving
 # base facts) and the crash-injection recovery suite (durable sessions
 # killed at fuzzed WAL offsets, recovered, and compared bit-for-bit
-# against a fresh replay) — and a zero-warning clippy pass over every
+# against a fresh replay) — the SL001..SL006 lint analyzer over the
+# program corpus, and a zero-warning clippy pass over every
 # target. The fuzz
 # generators are seeded from test names (see crates/shims/proptest), so a
 # failure here reproduces locally by running the same test — no seed to
@@ -32,6 +33,12 @@ echo "    bit-for-bit against a fresh replay of the surviving log; plus"
 echo "    bit-flip corruption sweeps and the harness's own mutants —"
 echo "    skip-truncation, skip-checksum, stale-watermarks — being caught)"
 cargo test -q --test fuzz_recovery
+
+echo "==> lint analyzer over the program corpus (examples/programs/*.sdl):"
+echo "    SL001..SL006 diagnostics must match each file's % expect: directive"
+echo "    exactly — clean programs fail on any new warning, lint fixtures"
+echo "    fail if their diagnostic stops reproducing"
+cargo run --release -q --example analyze -- --check examples/programs/*.sdl
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
