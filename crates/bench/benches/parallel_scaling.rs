@@ -1,16 +1,19 @@
-//! Match-phase thread scaling: the same workloads swept over
+//! Round thread scaling: the same workloads swept over
 //! `EvalConfig::threads ∈ {1, 2, 4, 8}`.
 //!
-//! Two shapes: the `pairs` self-join (wide per-round deltas — the case the
-//! two-phase evaluator shards), and the Theorem 3 `abcn` pattern workload
-//! (small rounds that stay below the parallel dispatch threshold — the
-//! sweep documents that thread count is free there). Results are
-//! bit-for-bit identical across thread counts by construction; each
-//! iteration asserts the fact count to pin that down.
+//! Three shapes: the `pairs` self-join (wide per-round deltas — the case
+//! the three-phase evaluator pushes through the sharded commit), the
+//! Theorem 3 `abcn` pattern workload (small rounds that stay below the
+//! parallel dispatch threshold — the sweep documents that thread count is
+//! free there), and `delta1M` (a settled session resumed with a batch
+//! whose semi-naive delta commits ~one million facts in a single round —
+//! the sharded-commit headline case). Results are bit-for-bit identical
+//! across thread counts by construction; each iteration asserts the fact
+//! count to pin that down.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use seqlog_bench::{
-    abc_database, distinct_suffix_words, rng, setup, setup_rel, ABCN_SRC, PAIRS_SRC,
+    abc_database, distinct_suffix_words, rng, settle_session, setup, setup_rel, ABCN_SRC, PAIRS_SRC,
 };
 use seqlog_core::eval::EvalConfig;
 
@@ -42,6 +45,53 @@ fn bench(c: &mut Criterion) {
                         m.stats.facts
                     },
                     criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+
+    // Million-fact delta: settle one 41-symbol seed (41 `grow` suffixes,
+    // 1 681 `pairs`), then assert the other 25 seeds in one batch. The
+    // resumed fixpoint's delta rounds commit ~1.14M facts — wide enough
+    // that every `pairs` dedupe runs through the sharded commit.
+    let words = distinct_suffix_words(26, 41);
+    let mut expected_facts: Option<usize> = None;
+    for threads in THREADS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("delta1M_t{threads}")),
+            &words,
+            |b, words| {
+                let cfg = EvalConfig {
+                    threads,
+                    max_facts: 4_000_000,
+                    max_domain: 4_000_000,
+                    ..EvalConfig::default()
+                };
+                b.iter_batched(
+                    || {
+                        let mut s = settle_session(PAIRS_SRC, "grow", &words[..1], cfg);
+                        for w in &words[1..] {
+                            s.assert_fact("grow", &[w]).unwrap();
+                        }
+                        s
+                    },
+                    |mut s| {
+                        s.run().unwrap();
+                        let facts = s.stats().facts;
+                        // 26 seeds × 41 suffixes + the shared empty word.
+                        let grow = 26 * 41 + 1;
+                        assert_eq!(
+                            facts,
+                            grow * grow + grow,
+                            "delta must settle to ~1.1M pairs"
+                        );
+                        match expected_facts {
+                            None => expected_facts = Some(facts),
+                            Some(f) => assert_eq!(f, facts, "threads={threads}"),
+                        }
+                        facts
+                    },
+                    criterion::BatchSize::LargeInput,
                 )
             },
         );

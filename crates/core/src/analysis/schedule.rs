@@ -41,6 +41,13 @@ pub struct Stratum {
     /// True when some clause of the stratum reads a predicate of the same
     /// component — the stratum feeds itself and needs an inner fixpoint.
     pub recursive: bool,
+    /// True when some clause of the stratum is *constructive* (its head can
+    /// create sequences not present in the body bindings: concatenations,
+    /// transducer calls — the distinction Theorem 3 builds on). The
+    /// evaluator uses this as a commit hint: a non-constructive stratum's
+    /// rounds evaluate heads entirely against the epoch-frozen store, so
+    /// the merge phase can skip the intern-merge scan outright.
+    pub constructive: bool,
 }
 
 /// The stratified evaluation schedule of a compiled program.
@@ -82,6 +89,7 @@ impl Schedule {
             let s = &mut strata[comp];
             s.clauses.push(ci as u32);
             s.domain_sensitive |= clause.domain_sensitive;
+            s.constructive |= clause.constructive;
             for lit in &clause.body {
                 if let CBody::Atom(a) = lit {
                     s.recursive |= cond.comp[a.pred.index()] as usize == comp;
@@ -138,6 +146,14 @@ mod tests {
         assert!(st.recursive);
         assert_eq!(st.clauses, vec![0, 1, 2]);
         assert_eq!(st.preds.len(), 2);
+    }
+
+    #[test]
+    fn constructiveness_is_lifted_to_the_stratum() {
+        let (cp, s) = schedule("a(X) :- r(X).\ngrow(X ++ X) :- a(X).");
+        let id = |n: &str| cp.preds.lookup(n).unwrap();
+        assert!(!s.strata[s.stratum_of(id("a"))].constructive);
+        assert!(s.strata[s.stratum_of(id("grow"))].constructive);
     }
 
     #[test]

@@ -411,3 +411,64 @@ fn fixpoint_retry_after_budget_error_recovers_the_least_fixpoint() {
     b.sort();
     assert_eq!(a, b);
 }
+
+#[test]
+fn wide_round_landing_exactly_on_the_facts_budget_succeeds_at_every_thread_count() {
+    // 8 base words derive 64 pairs: 72 facts total. A budget of exactly 72
+    // must succeed — the incremental check fires only when the total
+    // *exceeds* the budget — and a budget of 71 must fail having admitted
+    // exactly one fact past it (stats.facts == 72), identically on the
+    // inline path, the threaded path, and the forced sharded-commit path.
+    let mut e = Engine::new();
+    let p = e.parse_program("pair(X, Y) :- s(X), s(Y).").unwrap();
+    let mut db = Database::new();
+    for i in 0..8 {
+        e.add_fact(&mut db, "s", &[&format!("w{i}")]);
+    }
+    let configs = |max_facts: usize| {
+        [1usize, 2, 4, 8].into_iter().flat_map(move |threads| {
+            [false, true].into_iter().map(move |force| EvalConfig {
+                threads,
+                max_facts,
+                danger_force_parallel: force,
+                ..EvalConfig::default()
+            })
+        })
+    };
+
+    let reference = e
+        .evaluate_with(
+            &p,
+            &db,
+            &EvalConfig {
+                max_facts: 72,
+                ..EvalConfig::default()
+            },
+        )
+        .expect("landing exactly on the budget is not an overshoot");
+    assert_eq!(reference.stats.facts, 72);
+    for cfg in configs(72) {
+        let m = e
+            .evaluate_with(&p, &db, &cfg)
+            .unwrap_or_else(|err| panic!("exact-budget round failed under {cfg:?}: {err}"));
+        assert_eq!(m.stats, reference.stats, "stats diverged under {cfg:?}");
+        assert_eq!(
+            m.tuples("pair"),
+            reference.tuples("pair"),
+            "insertion order diverged under {cfg:?}"
+        );
+    }
+
+    for cfg in configs(71) {
+        match e.evaluate_with(&p, &db, &cfg) {
+            Err(EvalError::Budget {
+                kind: BudgetKind::Facts,
+                stats,
+            }) => assert_eq!(
+                stats.facts, 72,
+                "refuse-before-apply bound violated under {cfg:?}"
+            ),
+            other => panic!("expected Facts budget error under {cfg:?}, got {other:?}"),
+        }
+    }
+}

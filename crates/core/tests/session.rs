@@ -688,3 +688,111 @@ fn batch_asserts_on_poisoned_sessions_apply_nothing() {
         Err(EvalError::Poisoned { .. })
     ));
 }
+
+/// Every dispatch configuration the sharded-commit matrix cares about:
+/// thread counts 1/2/4/8 crossed with the forced-parallel hook (which
+/// pushes even sub-threshold rounds through the sharded path).
+fn dispatch_matrix() -> Vec<EvalConfig> {
+    let mut out = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        for force in [false, true] {
+            out.push(EvalConfig {
+                threads,
+                danger_force_parallel: force,
+                ..EvalConfig::default()
+            });
+        }
+    }
+    out
+}
+
+#[test]
+fn threshold_straddling_runs_are_bit_for_bit_across_dispatch_paths() {
+    // Two runs of a quadratic join, sized so the first (virgin) run's
+    // full-round estimate sits far below PAR_THRESHOLD while the second
+    // run's delta round estimates far above it: within one session some
+    // rounds dispatch inline and others through the sharded commit. Both
+    // paths must produce identical insertion order and EvalStats, so the
+    // whole matrix is compared bit-for-bit against the sequential session.
+    let src = "pair(X, Y) :- w(X), w(Y).";
+    let run = |config: EvalConfig| {
+        let mut s = session(src, config);
+        for i in 0..60 {
+            s.assert_fact("w", &[&format!("a{i}")]).unwrap();
+        }
+        s.run().unwrap();
+        for i in 0..60 {
+            s.assert_fact("w", &[&format!("b{i}")]).unwrap();
+        }
+        s.run().unwrap();
+        (s.query("pair"), s.query("w"), s.stats())
+    };
+
+    let reference = run(EvalConfig::default());
+    assert_eq!(reference.0.len(), 120 * 120);
+    for config in dispatch_matrix() {
+        let got = run(config);
+        assert_eq!(
+            got, reference,
+            "insertion order or stats diverged under {config:?}"
+        );
+    }
+}
+
+#[test]
+fn parallel_asserts_into_a_compacted_relation_are_bit_for_bit() {
+    // Adversarial shard-probe scenario: settle a quadratic join, retract
+    // scattered base words (tombstoning mid-relation dedupe slots), force
+    // a compaction, then drive a wide forced-parallel round straight into
+    // the rebuilt shards. The result must equal a fresh batch over the
+    // survivors and stay bit-for-bit identical across the dispatch matrix.
+    let src = "pair(X, Y) :- w(X), w(Y).";
+    let retracted = ["a3", "a17", "a29"];
+    let run = |config: EvalConfig| {
+        let mut s = session(src, config);
+        for i in 0..40 {
+            s.assert_fact("w", &[&format!("a{i}")]).unwrap();
+        }
+        s.run().unwrap();
+        // Each effective retraction runs Delete-and-Rederive, which removes
+        // tombstoned mid-relation slots and compacts the rebuilt shards.
+        for w in retracted {
+            assert!(s.retract_fact("w", &[w]).unwrap());
+        }
+        for i in 0..60 {
+            s.assert_fact("w", &[&format!("b{i}")]).unwrap();
+        }
+        s.run().unwrap();
+        s
+    };
+
+    let survivors: Vec<(&str, String)> = (0..40)
+        .map(|i| format!("a{i}"))
+        .filter(|w| !retracted.contains(&w.as_str()))
+        .chain((0..60).map(|i| format!("b{i}")))
+        .map(|w| ("w", w))
+        .collect();
+    let survivor_refs: Vec<(&str, &str)> =
+        survivors.iter().map(|(p, w)| (*p, w.as_str())).collect();
+
+    let reference = run(EvalConfig::default());
+    assert_eq!(
+        session_extents(&reference, &["pair", "w"]),
+        batch_extents(src, &survivor_refs, &["pair", "w"]),
+        "compacted session ≢ fresh batch over the survivors"
+    );
+
+    let reference = (
+        reference.query("pair"),
+        reference.query("w"),
+        reference.stats(),
+    );
+    for config in dispatch_matrix() {
+        let s = run(config);
+        let got = (s.query("pair"), s.query("w"), s.stats());
+        assert_eq!(
+            got, reference,
+            "compacted-relation round diverged under {config:?}"
+        );
+    }
+}

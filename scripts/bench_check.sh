@@ -3,7 +3,9 @@
 # budget per benchmark and aggregates per-benchmark medians into
 # BENCH_<N>.json at the repo root, so successive PRs can track the perf
 # trajectory. Includes the parallel_scaling bench (the same workloads swept
-# over EvalConfig::threads ∈ {1,2,4,8}), the incremental_update bench
+# over EvalConfig::threads ∈ {1,2,4,8}, including the delta1M case: a
+# settled session resumed with a ~1.1M-fact semi-naive delta committed
+# through the sharded commit), the incremental_update bench
 # (small session delta on a ≥5k-fact settled base vs batch re-evaluation),
 # and the retract_update bench (one-fact retraction on a ≥8k-fact settled
 # base, maintained by Delete-and-Rederive, vs batch re-evaluation of the
@@ -14,11 +16,11 @@
 # the global semi-naive loop on a 24-stratum constructive chain plus a
 # ground domain-sensitive clause — the workload where the global loop
 # re-enumerates the domain once per round).
-# Usage: scripts/bench_check.sh [N]  (default N=6).
+# Usage: scripts/bench_check.sh [N]  (default N=7).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-N="${1:-6}"
+N="${1:-7}"
 OUT="BENCH_${N}.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT

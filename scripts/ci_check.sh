@@ -4,7 +4,10 @@
 # (assert/retract interleavings vs fresh batch evaluation of the surviving
 # base facts) and the crash-injection recovery suite (durable sessions
 # killed at fuzzed WAL offsets, recovered, and compared bit-for-bit
-# against a fresh replay) — the SL001..SL006 lint analyzer over the
+# against a fresh replay), the explicit sharded-commit threads matrix
+# (every generated case forced through the sharded dedupe + task-order
+# merge at threads 1/2/4/8 plus the commit-phase mutation tests) — the
+# SL001..SL006 lint analyzer over the
 # program corpus, and a zero-warning clippy pass over every
 # target. The fuzz
 # generators are seeded from test names (see crates/shims/proptest), so a
@@ -33,6 +36,15 @@ echo "    bit-for-bit against a fresh replay of the surviving log; plus"
 echo "    bit-flip corruption sweeps and the harness's own mutants —"
 echo "    skip-truncation, skip-checksum, stale-watermarks — being caught)"
 cargo test -q --test fuzz_recovery
+
+echo "==> sharded-commit threads matrix (explicit): every generated case"
+echo "    forced through the parallel sharded commit at threads 1/2/4/8 and"
+echo "    compared bit-for-bit against the sequential reference — assert-only"
+echo "    batches, retraction interleavings, and crash-recovery replays —"
+echo "    plus the commit-phase mutation tests (reversed shard-merge order,"
+echo "    skipped epoch freeze) being caught"
+cargo test -q --test fuzz_differential -- sharded_commit mutant_
+cargo test -q --test fuzz_recovery sharded_commit
 
 echo "==> lint analyzer over the program corpus (examples/programs/*.sdl):"
 echo "    SL001..SL006 diagnostics must match each file's % expect: directive"

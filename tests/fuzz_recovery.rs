@@ -148,6 +148,54 @@ proptest! {
         }
     }
 
+    /// The sharded-commit matrix under crash injection: generated cases
+    /// are small, so the sweeps above reach the multi-worker machinery
+    /// only through its dispatch decision. Here both the durable run that
+    /// *writes* the log and every recovery that *replays* it are forced
+    /// through the parallel dispatch path (multi-worker match + sharded
+    /// commit) at threads 1/2/4/8 — WAL bytes and recovered state must
+    /// stay bit-for-bit identical to the sequential reference at every
+    /// kill point.
+    #[test]
+    fn sharded_commit_recovery_is_bit_for_bit(case in interleaved_cases_with_gd()) {
+        let opts = fuzz_opts();
+        let sharded = |threads: usize| EvalConfig {
+            threads,
+            danger_force_parallel: true,
+            ..EvalConfig::default()
+        };
+        let reference_run = durable_run(&case, &EvalConfig::with_threads(1), &opts);
+        // The log a forced-sharded multi-worker session writes is the
+        // byte-identical log the sequential session writes.
+        let sharded_run = durable_run(&case, &sharded(8), &opts);
+        prop_assert_eq!(
+            fs::read(sharded_run.dir.path().join(WAL_FILE)).expect("read sharded wal"),
+            fs::read(reference_run.dir.path().join(WAL_FILE)).expect("read reference wal"),
+            "sharded-commit session wrote different WAL bytes\n{}", case
+        );
+        let offsets = kill_offsets(&reference_run);
+        for offset in sample_offsets(&offsets, 3) {
+            let crashed = crash_at(&reference_run, offset);
+            let fresh = wal_replay_outcome(
+                &case.program, crashed.path(), &EvalConfig::with_threads(1),
+            );
+            for t in THREADS {
+                let recovered = recover_session(
+                    &case.program, crashed.path(), &sharded(t), &opts,
+                ).unwrap_or_else(|e| panic!(
+                    "sharded recovery at threads={t} offset {offset} must succeed: {e}\n{case}"
+                ));
+                prop_assert_eq!(
+                    session_outcome(&recovered).bitwise_view(),
+                    fresh.bitwise_view(),
+                    "sharded recovery at threads={} (offset {}) is not bit-for-bit \
+                     identical to the sequential replay\n{}",
+                    t, offset, case
+                );
+            }
+        }
+    }
+
     /// Tightened budgets put `Abort` compensation pairs and poisoned run
     /// tails into the log; every kill point — including between a refused
     /// batch and its compensation — must still recover consistently.
