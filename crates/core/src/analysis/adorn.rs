@@ -1,0 +1,329 @@
+//! Binding-pattern (adornment) analysis for demand-driven evaluation.
+//!
+//! Given a query goal `p` with some argument positions bound to concrete
+//! values, this pass propagates *bound/free* annotations from the goal
+//! through clause bodies: each clause of an adorned predicate is walked in
+//! a **sideways information passing** (SIP) order — a static greedy
+//! mirror of the runtime join planner's most-selective-first ordering —
+//! and every body atom is adorned with the binding pattern it is reached
+//! with. The result drives the magic-set transformation
+//! ([`crate::analysis::magic`]).
+//!
+//! Binding annotations here are a *static under-approximation used for
+//! routing demand*, not a soundness condition: the magic rules emitted
+//! from a SIP prefix are ordinary clauses evaluated under the full
+//! fixpoint semantics, so an imprecise adornment costs selectivity, never
+//! answers.
+
+use crate::compile::{CAtom, CBody, CSeq, CompiledClause, CompiledProgram, PredId};
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+
+/// One argument position's binding status in an [`Adornment`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Binding {
+    /// The position carries a concrete value at query time.
+    Bound,
+    /// The position is unrestricted.
+    Free,
+}
+
+/// A per-argument binding pattern, conventionally written as a string of
+/// `b`/`f` letters (`"bf"` = first argument bound, second free).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Adornment(pub Vec<Binding>);
+
+impl Adornment {
+    /// The all-free adornment of the given arity.
+    pub fn all_free(arity: usize) -> Self {
+        Adornment(vec![Binding::Free; arity])
+    }
+
+    /// Build from a bound-mask (`true` = bound).
+    pub fn from_mask(mask: &[bool]) -> Self {
+        Adornment(
+            mask.iter()
+                .map(|&b| if b { Binding::Bound } else { Binding::Free })
+                .collect(),
+        )
+    }
+
+    /// Parse a `b`/`f` letter string (commas and spaces ignored), e.g.
+    /// `"bf"` or `"b,f"`. Returns `None` on any other character.
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut out = Vec::new();
+        for c in s.chars() {
+            match c {
+                'b' => out.push(Binding::Bound),
+                'f' => out.push(Binding::Free),
+                ',' | ' ' => {}
+                _ => return None,
+            }
+        }
+        Some(Adornment(out))
+    }
+
+    /// Number of argument positions.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Indices of the bound positions, in order.
+    pub fn bound_positions(&self) -> impl Iterator<Item = usize> + '_ {
+        self.0
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| **b == Binding::Bound)
+            .map(|(i, _)| i)
+    }
+
+    /// Number of bound positions.
+    pub fn bound_count(&self) -> usize {
+        self.0.iter().filter(|b| **b == Binding::Bound).count()
+    }
+}
+
+impl fmt::Display for Adornment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            f.write_str(match b {
+                Binding::Bound => "b",
+                Binding::Free => "f",
+            })?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-argument query binding for the bound-argument query API
+/// ([`crate::session::EngineSession::query_bound`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bind<'a> {
+    /// This argument must equal the given sequence value.
+    Bound(&'a str),
+    /// This argument is unrestricted.
+    Free,
+}
+
+impl Bind<'_> {
+    /// The adornment of a query pattern.
+    pub fn adornment(pattern: &[Bind<'_>]) -> Adornment {
+        Adornment(
+            pattern
+                .iter()
+                .map(|b| match b {
+                    Bind::Bound(_) => Binding::Bound,
+                    Bind::Free => Binding::Free,
+                })
+                .collect(),
+        )
+    }
+}
+
+/// One clause of an adorned predicate, with its SIP order and the
+/// adornment each body atom is reached with.
+#[derive(Clone, Debug)]
+pub struct AdornedClause {
+    /// Index into [`CompiledProgram::clauses`].
+    pub clause: u32,
+    /// The head predicate's adornment this variant was produced for.
+    pub adornment: Adornment,
+    /// Body literal indices in sideways-information-passing order.
+    pub sip: Vec<u32>,
+    /// Adornment of each body literal *by original body index*; `None`
+    /// for (in)equality literals.
+    pub body_adornments: Vec<Option<Adornment>>,
+}
+
+/// The result of the adornment pass: every `(predicate, adornment)` pair
+/// demand can reach from the goal, and one [`AdornedClause`] per clause
+/// of each reached pair.
+#[derive(Clone, Debug)]
+pub struct AdornedProgram {
+    /// The query goal predicate.
+    pub goal: PredId,
+    /// The goal's adornment (from the query pattern).
+    pub pattern: Adornment,
+    /// Reached `(pred, adornment)` pairs in discovery order; the goal
+    /// pair is first when the goal itself is transformable.
+    pub reached: Vec<(PredId, Adornment)>,
+    /// Adorned clause variants, grouped by reached pair in `reached`
+    /// order, source clause order within a pair.
+    pub clauses: Vec<AdornedClause>,
+}
+
+/// True when every variable of `term` is bound in the given environments.
+fn term_bound(term: &CSeq, seq_b: &[bool], idx_b: &[bool]) -> bool {
+    let mut sv = Vec::new();
+    let mut iv = Vec::new();
+    term.seq_vars(&mut sv);
+    term.idx_vars(&mut iv);
+    sv.iter().all(|&v| seq_b[v as usize]) && iv.iter().all(|&v| idx_b[v as usize])
+}
+
+/// Mark every variable of `term` bound.
+fn bind_term(term: &CSeq, seq_b: &mut [bool], idx_b: &mut [bool]) {
+    let mut sv = Vec::new();
+    let mut iv = Vec::new();
+    term.seq_vars(&mut sv);
+    term.idx_vars(&mut iv);
+    for v in sv {
+        seq_b[v as usize] = true;
+    }
+    for v in iv {
+        idx_b[v as usize] = true;
+    }
+}
+
+/// Compute the static greedy SIP order for one clause under a head
+/// adornment, recording each body atom's adornment at pick time.
+///
+/// Priorities mirror the runtime matcher's dynamic phases: ground
+/// (in)equalities first, then one-sided equalities (which bind their free
+/// side), then atoms most-bound-arguments-first (source order breaking
+/// ties), then residual (in)equalities.
+fn sip_order(clause: &CompiledClause, adornment: &Adornment) -> (Vec<u32>, Vec<Option<Adornment>>) {
+    let mut seq_b = vec![false; clause.n_seq];
+    let mut idx_b = vec![false; clause.n_idx];
+    // Bound head positions seed bindings, but only through plain
+    // variable head arguments: a composite head term at a bound position
+    // constrains the tuple without determining its variables.
+    for pos in adornment.bound_positions() {
+        if let Some(CSeq::Var(v)) = clause.head.args.get(pos) {
+            seq_b[*v as usize] = true;
+        }
+    }
+    let mut remaining: Vec<usize> = (0..clause.body.len()).collect();
+    let mut sip = Vec::with_capacity(clause.body.len());
+    let mut body_adornments: Vec<Option<Adornment>> = vec![None; clause.body.len()];
+    while !remaining.is_empty() {
+        let mut best: Option<(u32, usize, usize)> = None; // (priority, unbound, index)
+        for &li in &remaining {
+            let rank = match &clause.body[li] {
+                CBody::Eq(l, r) => {
+                    let lb = term_bound(l, &seq_b, &idx_b);
+                    let rb = term_bound(r, &seq_b, &idx_b);
+                    if lb && rb {
+                        (0, 0, li)
+                    } else if lb || rb {
+                        (1, 0, li)
+                    } else {
+                        (3, 0, li)
+                    }
+                }
+                CBody::Neq(l, r) => {
+                    if term_bound(l, &seq_b, &idx_b) && term_bound(r, &seq_b, &idx_b) {
+                        (0, 0, li)
+                    } else {
+                        (3, 0, li)
+                    }
+                }
+                CBody::Atom(a) => {
+                    let unbound = a
+                        .args
+                        .iter()
+                        .filter(|t| !term_bound(t, &seq_b, &idx_b))
+                        .count();
+                    (2, unbound, li)
+                }
+            };
+            if best.is_none() || rank < best.unwrap() {
+                best = Some(rank);
+            }
+        }
+        let (_, _, li) = best.unwrap();
+        if let CBody::Atom(a) = &clause.body[li] {
+            body_adornments[li] = Some(Adornment(
+                a.args
+                    .iter()
+                    .map(|t| {
+                        if term_bound(t, &seq_b, &idx_b) {
+                            Binding::Bound
+                        } else {
+                            Binding::Free
+                        }
+                    })
+                    .collect(),
+            ));
+        }
+        match &clause.body[li] {
+            CBody::Atom(a) => {
+                for t in &a.args {
+                    bind_term(t, &mut seq_b, &mut idx_b);
+                }
+            }
+            CBody::Eq(l, r) | CBody::Neq(l, r) => {
+                bind_term(l, &mut seq_b, &mut idx_b);
+                bind_term(r, &mut seq_b, &mut idx_b);
+            }
+        }
+        sip.push(li as u32);
+        remaining.retain(|&x| x != li);
+    }
+    (sip, body_adornments)
+}
+
+/// Run the adornment pass from `goal` queried with `pattern`.
+///
+/// `transformable[p]` gates which predicates participate: demand only
+/// propagates *into* and *through* predicates marked transformable (the
+/// magic-set caller clears the flag for predicates that fall back to
+/// full evaluation and for predicates heading no clause). A
+/// non-transformable goal yields an empty adorned program.
+pub fn adorn(
+    program: &CompiledProgram,
+    goal: PredId,
+    pattern: &Adornment,
+    transformable: &[bool],
+) -> AdornedProgram {
+    let mut reached: Vec<(PredId, Adornment)> = Vec::new();
+    let mut seen: HashSet<(PredId, Adornment)> = HashSet::new();
+    let mut clauses = Vec::new();
+    let mut queue: VecDeque<(PredId, Adornment)> = VecDeque::new();
+    if transformable[goal.index()] {
+        queue.push_back((goal, pattern.clone()));
+        seen.insert((goal, pattern.clone()));
+    }
+    while let Some((pred, adornment)) = queue.pop_front() {
+        reached.push((pred, adornment.clone()));
+        for (ci, clause) in program.clauses.iter().enumerate() {
+            if clause.head.pred != pred || clause.head.args.len() != adornment.arity() {
+                continue;
+            }
+            let (sip, body_adornments) = sip_order(clause, &adornment);
+            for (li, ba) in body_adornments.iter().enumerate() {
+                let (Some(ba), CBody::Atom(a)) = (ba, &clause.body[li]) else {
+                    continue;
+                };
+                if !transformable[a.pred.index()] {
+                    continue;
+                }
+                let key = (a.pred, ba.clone());
+                if seen.insert(key.clone()) {
+                    queue.push_back(key);
+                }
+            }
+            clauses.push(AdornedClause {
+                clause: ci as u32,
+                adornment: adornment.clone(),
+                sip,
+                body_adornments,
+            });
+        }
+    }
+    AdornedProgram {
+        goal,
+        pattern: pattern.clone(),
+        reached,
+        clauses,
+    }
+}
+
+/// The magic predicate's guard arguments for an atom under an adornment:
+/// clones of the bound-position argument terms.
+pub(crate) fn bound_args(atom: &CAtom, adornment: &Adornment) -> Vec<CSeq> {
+    adornment
+        .bound_positions()
+        .map(|i| atom.args[i].clone())
+        .collect()
+}

@@ -16,12 +16,16 @@
 //! [`ProgramReport::analyze_with_edb`] (explicit closed-world set, used by
 //! sessions which know what has actually been asserted).
 
+pub mod adorn;
 pub mod graph;
 pub mod lint;
+pub mod magic;
 pub mod schedule;
 
+pub use adorn::{AdornedClause, AdornedProgram, Adornment, Bind, Binding};
 pub use graph::{Condensation, DepEdge, GraphBuilder, PredGraph};
 pub use lint::{Diagnostic, LintCode, Severity};
+pub use magic::{magic_transform, render_clause, MagicProgram};
 pub use schedule::{Schedule, Stratum};
 
 use crate::compile::{CBody, CompiledProgram, PredId};

@@ -21,16 +21,121 @@
 //! ]);
 //! ```
 
-use crate::analysis::ProgramReport;
+use crate::analysis::magic::{magic_transform, MagicOptions};
+use crate::analysis::{Bind, ProgramReport};
 use crate::ast::Program;
 use crate::database::Database;
-use crate::eval::{evaluate, EvalConfig, EvalError, Model};
+use crate::eval::interp::Relation;
+use crate::eval::{evaluate, EvalConfig, EvalError, Fixpoint, Model};
 use crate::parser::{parse_program, ParseError};
 use crate::registry::TransducerRegistry;
 use crate::safety::{analyze, SafetyReport};
 use crate::session::EngineSession;
 use seqlog_sequence::{Alphabet, SeqId, SeqStore};
 use seqlog_transducer::Transducer;
+
+/// Render one interned sequence through an alphabet + store pair — the
+/// single rendering primitive every query-result path goes through.
+pub(crate) fn render_seq(alphabet: &Alphabet, store: &SeqStore, id: SeqId) -> String {
+    alphabet.render(store.get(id))
+}
+
+/// Render a relation's tuples in insertion order. The shared helper
+/// behind [`Engine::rendered_tuples`] and
+/// [`crate::session::EngineSession::query`] — one formatting path, so
+/// batch and session (and demand) renderings are byte-identical.
+pub(crate) fn render_tuples_with(
+    rel: Option<&Relation>,
+    alphabet: &Alphabet,
+    store: &SeqStore,
+) -> Vec<Vec<String>> {
+    match rel {
+        None => Vec::new(),
+        Some(rel) => rel
+            .iter()
+            .map(|t| {
+                t.iter()
+                    .map(|&id| render_seq(alphabet, store, id))
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+/// Rendered, sorted, deduplicated single-column answers. The shared
+/// helper behind [`Engine::answers`] and
+/// [`crate::session::EngineSession::answers`].
+pub(crate) fn render_answers_with(
+    rel: Option<&Relation>,
+    alphabet: &Alphabet,
+    store: &SeqStore,
+) -> Vec<String> {
+    let mut out: Vec<String> = match rel {
+        None => Vec::new(),
+        Some(rel) => rel
+            .iter()
+            .filter(|t| t.len() == 1)
+            .map(|t| render_seq(alphabet, store, t[0]))
+            .collect(),
+    };
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Filter a relation by a bound-argument pattern and render the matches,
+/// sorted and deduplicated — the answer shape of the `query_bound` API
+/// on both the engine and session routes. `bound` lists `(position,
+/// required id)` pairs; tuples of a different arity than `arity` never
+/// match.
+pub(crate) fn filter_bound_answers(
+    rel: Option<&Relation>,
+    arity: usize,
+    bound: &[(usize, SeqId)],
+    alphabet: &Alphabet,
+    store: &SeqStore,
+) -> Vec<Vec<String>> {
+    let mut out: Vec<Vec<String>> = match rel {
+        None => Vec::new(),
+        Some(rel) => rel
+            .iter()
+            .filter(|t| t.len() == arity && bound.iter().all(|&(i, id)| t[i] == id))
+            .map(|t| {
+                t.iter()
+                    .map(|&id| render_seq(alphabet, store, id))
+                    .collect()
+            })
+            .collect(),
+    };
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Intern a `query_bound` pattern's bound values and window-close them in
+/// the store, returning `(position, id)` pairs. Interning (rather than a
+/// failable lookup) matters for completeness: a constructive program can
+/// *derive* the queried value even when nothing interned it yet, and the
+/// derivation must land on the same id. The interners are append-only, so
+/// this is unobservable through the query API; window closure mirrors the
+/// treatment of program body constants (a guard-bound variable may serve
+/// as an indexed base).
+pub(crate) fn intern_pattern(
+    pattern: &[Bind<'_>],
+    alphabet: &mut Alphabet,
+    store: &mut SeqStore,
+) -> Vec<(usize, SeqId)> {
+    let mut out = Vec::new();
+    for (i, b) in pattern.iter().enumerate() {
+        if let Bind::Bound(s) = b {
+            let syms = alphabet.seq_of_str(s);
+            let id = store.intern_vec(syms);
+            store.close_windows(id);
+            out.push((i, id));
+        }
+    }
+    out
+}
 
 /// An evaluation context: interners plus registered transducers.
 #[derive(Default)]
@@ -167,28 +272,102 @@ impl Engine {
 
     /// The tuples of `pred` in `model`, rendered to strings.
     pub fn rendered_tuples(&self, model: &Model, pred: &str) -> Vec<Vec<String>> {
-        match model.facts.relation_named(pred) {
-            None => Vec::new(),
-            Some(rel) => rel
-                .iter()
-                .map(|t| t.iter().map(|&id| self.render(id)).collect())
-                .collect(),
-        }
+        render_tuples_with(
+            model.facts.relation_named(pred),
+            &self.alphabet,
+            &self.store,
+        )
     }
 
     /// Rendered, sorted, deduplicated single-column answers for `pred`
     /// (convenience for the common `output(Y)` query shape, Definition 5).
     pub fn answers(&self, model: &Model, pred: &str) -> Vec<String> {
-        let mut out: Vec<String> = match model.facts.relation_named(pred) {
-            None => Vec::new(),
-            Some(rel) => rel
+        render_answers_with(
+            model.facts.relation_named(pred),
+            &self.alphabet,
+            &self.store,
+        )
+    }
+
+    /// Demand-driven (goal-directed) point query with the default
+    /// configuration — see [`Engine::query_bound_with`].
+    pub fn query_bound(
+        &mut self,
+        program: &Program,
+        db: &Database,
+        pred: &str,
+        pattern: &[Bind<'_>],
+    ) -> Result<Vec<Vec<String>>, EvalError> {
+        self.query_bound_with(program, db, pred, pattern, &EvalConfig::default())
+    }
+
+    /// Demand-driven (goal-directed) point query: evaluate only what the
+    /// goal `pred(pattern)` needs via the magic-set transformation
+    /// ([`crate::analysis::magic`]) and return the matching tuples of
+    /// `pred` — rendered, sorted, and deduplicated (byte-identical to
+    /// filtering and sorting [`Engine::rendered_tuples`] of a full
+    /// [`Engine::evaluate_with`] run).
+    ///
+    /// One-shot: the transformation is rerun per call. Sessions cache the
+    /// transformed program per adornment —
+    /// [`crate::session::EngineSession::query_bound`] is the repeated
+    /// point-query API.
+    pub fn query_bound_with(
+        &mut self,
+        program: &Program,
+        db: &Database,
+        pred: &str,
+        pattern: &[Bind<'_>],
+        config: &EvalConfig,
+    ) -> Result<Vec<Vec<String>>, EvalError> {
+        let compiled = crate::compile::compile(program).map_err(EvalError::Compile)?;
+        let bound = intern_pattern(pattern, &mut self.alphabet, &mut self.store);
+        let goal = compiled.preds.lookup(pred);
+        let derivable = goal.is_some_and(|g| compiled.clauses.iter().any(|c| c.head.pred == g));
+        if !derivable {
+            // Asserted-only (or unknown) predicate: its extent is exactly
+            // the database's facts — no evaluation needed.
+            let mut out: Vec<Vec<String>> = db
                 .iter()
-                .filter(|t| t.len() == 1)
-                .map(|t| self.render(t[0]))
-                .collect(),
-        };
-        out.sort();
-        out.dedup();
-        out
+                .filter(|(p, t)| {
+                    *p == pred
+                        && t.len() == pattern.len()
+                        && bound.iter().all(|&(i, id)| t[i] == id)
+                })
+                .map(|(_, t)| {
+                    t.iter()
+                        .map(|&id| render_seq(&self.alphabet, &self.store, id))
+                        .collect()
+                })
+                .collect();
+            out.sort();
+            out.dedup();
+            return Ok(out);
+        }
+        let goal = goal.expect("derivable implies interned");
+        let magic = magic_transform(
+            &compiled,
+            goal,
+            &Bind::adornment(pattern),
+            &MagicOptions::default(),
+        );
+        for id in magic.program.constants() {
+            self.store.close_windows(id);
+        }
+        let mut fx = Fixpoint::new(&magic.program);
+        for (p, tuple) in db.iter() {
+            let pid = fx.pred_id(p);
+            fx.assert_fact(&mut self.store, pid, tuple.into());
+        }
+        let seed: Box<[SeqId]> = bound.iter().map(|&(_, id)| id).collect();
+        fx.seed_demand(magic.seed, seed);
+        fx.run(&magic.program, &mut self.store, &self.registry, config)?;
+        Ok(filter_bound_answers(
+            Some(fx.facts().relation(goal)),
+            pattern.len(),
+            &bound,
+            &self.alphabet,
+            &self.store,
+        ))
     }
 }

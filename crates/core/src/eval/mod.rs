@@ -119,7 +119,9 @@
 pub mod interp;
 pub mod matcher;
 
-use crate::compile::{compile, CBase, CBody, CIdx, CSeq, CompileError, CompiledProgram, PredId};
+use crate::compile::{
+    compile, CBase, CBody, CIdx, CSeq, CompileError, CompiledProgram, PredId, PredTable,
+};
 use crate::database::Database;
 use crate::registry::TransducerRegistry;
 use crate::Program;
@@ -824,6 +826,47 @@ impl Fixpoint {
     /// untouched) when it is not.
     pub fn adopt_domain_order(&mut self, store: &SeqStore, order: &[SeqId]) -> bool {
         self.domain.reorder(store, order)
+    }
+
+    /// A scratch `Fixpoint` for demand-driven (magic-set) evaluation,
+    /// seeded from this state's facts and extended active domain
+    /// ([`crate::analysis::magic`]). The current interpretation — settled
+    /// derivations *and* pending asserts alike — becomes the scratch seed:
+    /// relations are realigned to the transformed program's predicate
+    /// table (a prefix-compatible extension, so original ids stay valid),
+    /// the domain is cloned as-is (it is already closed over every seeded
+    /// fact, so recomputing it à la [`Fixpoint::restore`] would be pure
+    /// waste on the point-query path), and the round watermarks reset so
+    /// the scratch's first run is a full virgin round. Nothing of this
+    /// state is borrowed or mutated; the scratch is independent.
+    ///
+    /// The scratch records no base relations: demand evaluation never
+    /// retracts, and the seeded facts' domain closure is already done.
+    pub fn demand_scratch(&self, preds: &PredTable) -> Fixpoint {
+        Fixpoint {
+            facts: self.facts.realigned_to(preds),
+            domain: self.domain.clone(),
+            stats: EvalStats::default(),
+            sizes_done: Vec::new(),
+            domain_done: 0,
+            virgin: true,
+            base: Vec::new(),
+        }
+    }
+
+    /// Insert a demand seed fact (the magic predicate's query binding)
+    /// **without** closing the extended active domain over its arguments —
+    /// deliberately unlike [`Fixpoint::assert_fact`]. The magic seed is an
+    /// auxiliary fact, not part of the database: closing the domain over a
+    /// query value would let domain-sensitive clauses (in the magic
+    /// transformation's full-fallback mode) enumerate a sequence the real
+    /// interpretation never contained, deriving facts the batch fixpoint
+    /// does not — wrong answers by over-approximation. The caller
+    /// window-closes the seed's sequences in the *store* instead
+    /// ([`SeqStore::close_windows`]), exactly like program body constants,
+    /// so indexed terms over guard-bound variables still resolve.
+    pub fn seed_demand(&mut self, pred: PredId, tuple: Box<[SeqId]>) {
+        self.facts.insert(pred, tuple);
     }
 
     /// Test-only mutant for the recovery harness: pretend every loaded

@@ -62,7 +62,7 @@ pub mod snapshot;
 pub mod translate;
 pub mod wal;
 
-pub use analysis::{Diagnostic, LintCode, ProgramReport, Severity};
+pub use analysis::{Adornment, Bind, Diagnostic, LintCode, MagicProgram, ProgramReport, Severity};
 pub use ast::{Atom, BodyLit, Clause, IndexTerm, IndexedBase, Program, SeqTerm};
 pub use database::Database;
 pub use engine::Engine;
@@ -74,7 +74,7 @@ pub use wal::RecoveryError;
 
 /// Commonly used items, re-exported for `use seqlog_core::prelude::*`.
 pub mod prelude {
-    pub use crate::analysis::{Diagnostic, LintCode, ProgramReport, Severity};
+    pub use crate::analysis::{Adornment, Bind, Diagnostic, LintCode, ProgramReport, Severity};
     pub use crate::ast::Program;
     pub use crate::database::Database;
     pub use crate::engine::Engine;

@@ -157,10 +157,14 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use crate::analysis::magic::{magic_transform, MagicOptions, MagicProgram};
+use crate::analysis::Bind;
 use crate::ast::Program;
 use crate::compile::{compile, CompiledProgram, PredId};
 use crate::database::Database;
-use crate::engine::Engine;
+use crate::engine::{
+    filter_bound_answers, intern_pattern, render_answers_with, render_tuples_with, Engine,
+};
 use crate::eval::interp::Relation;
 use crate::eval::{AssertOutcome, BudgetKind, EvalConfig, EvalError, EvalStats, Fixpoint, Model};
 use crate::registry::TransducerRegistry;
@@ -169,6 +173,7 @@ use crate::wal::{
     read_wal, LoggedFact, ReadRecord, RecoveryError, WalReadOptions, WalRecord, WalWriter, WAL_FILE,
 };
 use seqlog_sequence::{Alphabet, DomainMark, SeqId, SeqStore, Sym};
+use std::collections::HashMap;
 
 /// Tuning for a durable session (see the [module docs](self)).
 #[derive(Clone, Debug)]
@@ -252,6 +257,27 @@ pub struct EngineSession {
     fx: Fixpoint,
     poisoned: Option<EvalError>,
     durability: Option<Durability>,
+    /// Magic-transformed programs cached per `(goal, bound-mask)` — the
+    /// program never changes over a session's life, so entries never
+    /// invalidate; repeated point queries recompile nothing.
+    demand_cache: HashMap<(PredId, Vec<bool>), MagicProgram>,
+}
+
+/// The result of an instrumented demand query
+/// ([`EngineSession::query_bound_instrumented`]): the answers plus the
+/// scratch evaluation's statistics, for the fuzz harness's selectivity
+/// bounds.
+#[doc(hidden)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DemandAnswer {
+    /// Rendered, sorted, deduplicated matching tuples.
+    pub answers: Vec<Vec<String>>,
+    /// Finalized statistics of the scratch evaluation (all-zero when the
+    /// query short-circuited without evaluating).
+    pub stats: EvalStats,
+    /// False when the query short-circuited (unknown value or
+    /// asserted-only predicate) without running the scratch fixpoint.
+    pub evaluated: bool,
 }
 
 impl Clone for EngineSession {
@@ -265,6 +291,7 @@ impl Clone for EngineSession {
             fx: self.fx.clone(),
             poisoned: self.poisoned.clone(),
             durability: None,
+            demand_cache: self.demand_cache.clone(),
         }
     }
 }
@@ -295,6 +322,7 @@ impl EngineSession {
             fx,
             poisoned: None,
             durability: None,
+            demand_cache: HashMap::new(),
         })
     }
 
@@ -711,6 +739,7 @@ impl EngineSession {
             fx,
             poisoned: None,
             durability: None,
+            demand_cache: HashMap::new(),
         })
     }
 
@@ -1181,29 +1210,125 @@ impl EngineSession {
     /// Rendered tuples of `pred` in insertion order (empty when absent).
     /// Reflects the state as of the last `run` plus any raw asserts since.
     pub fn query(&self, pred: &str) -> Vec<Vec<String>> {
-        match self.fx.facts().relation_named(pred) {
-            None => Vec::new(),
-            Some(rel) => rel
-                .iter()
-                .map(|t| t.iter().map(|&id| self.render(id)).collect())
-                .collect(),
-        }
+        render_tuples_with(
+            self.fx.facts().relation_named(pred),
+            &self.alphabet,
+            &self.store,
+        )
     }
 
     /// Rendered, sorted, deduplicated single-column answers for `pred`
     /// (the `output(Y)` convention of Definition 5).
     pub fn answers(&self, pred: &str) -> Vec<String> {
-        let mut out: Vec<String> = match self.fx.facts().relation_named(pred) {
-            None => Vec::new(),
-            Some(rel) => rel
-                .iter()
-                .filter(|t| t.len() == 1)
-                .map(|t| self.render(t[0]))
-                .collect(),
+        render_answers_with(
+            self.fx.facts().relation_named(pred),
+            &self.alphabet,
+            &self.store,
+        )
+    }
+
+    /// Demand-driven (goal-directed) point query: return the tuples of
+    /// `pred` matching `pattern` — rendered, sorted, deduplicated — by
+    /// evaluating only what the goal needs, via the magic-set
+    /// transformation ([`crate::analysis::magic`]).
+    ///
+    /// Evaluation happens in a **scratch fixpoint** seeded from this
+    /// session's current facts (settled derivations plus any raw asserts
+    /// since the last [`run`](EngineSession::run)): the session's own
+    /// interpretation, watermarks, WAL, and durability state are never
+    /// touched, and an evaluation error here returns without poisoning
+    /// the session. The answers equal filtering a full
+    /// [`run`](EngineSession::run)-then-[`query`](EngineSession::query)
+    /// by the pattern — byte-identically, on any thread count — while a
+    /// selective goal evaluates a small cone (the fallback gate in
+    /// [`crate::analysis::magic`] degrades gracefully to the batch
+    /// fixpoint when domain-sensitive strata make demand restriction
+    /// unsound).
+    ///
+    /// `&mut self` because bound values and derived sequences intern into
+    /// the session's append-only store; like
+    /// [`check_model`](EngineSession::check_model), this never changes
+    /// the session's interpretation. Magic-transformed programs are
+    /// cached per `(goal, bound-mask)`, so repeated point queries
+    /// recompile nothing.
+    pub fn query_bound(
+        &mut self,
+        pred: &str,
+        pattern: &[Bind<'_>],
+    ) -> Result<Vec<Vec<String>>, EvalError> {
+        self.query_bound_instrumented(pred, pattern, &MagicOptions::default())
+            .map(|r| r.answers)
+    }
+
+    /// [`query_bound`](EngineSession::query_bound) with explicit
+    /// [`MagicOptions`] and scratch-evaluation statistics — the demand
+    /// fuzz harness's hook for mutation testing (non-default options
+    /// bypass the adornment cache).
+    #[doc(hidden)]
+    pub fn query_bound_instrumented(
+        &mut self,
+        pred: &str,
+        pattern: &[Bind<'_>],
+        opts: &MagicOptions,
+    ) -> Result<DemandAnswer, EvalError> {
+        self.guard_poison()?;
+        let bound = intern_pattern(pattern, &mut self.alphabet, &mut self.store);
+        let goal = self.program.preds.lookup(pred);
+        let derivable = goal.is_some_and(|g| self.program.clauses.iter().any(|c| c.head.pred == g));
+        if !derivable {
+            // Asserted-only (or unknown) predicate: no clause can derive
+            // into it, so its extent is its current relation as-is.
+            return Ok(DemandAnswer {
+                answers: filter_bound_answers(
+                    self.fx.facts().relation_named(pred),
+                    pattern.len(),
+                    &bound,
+                    &self.alphabet,
+                    &self.store,
+                ),
+                stats: EvalStats::default(),
+                evaluated: false,
+            });
+        }
+        let goal = goal.expect("derivable implies interned");
+        let adornment = Bind::adornment(pattern);
+        let mask: Vec<bool> = pattern
+            .iter()
+            .map(|b| matches!(b, Bind::Bound(_)))
+            .collect();
+        let program = &self.program;
+        let fresh;
+        let magic: &MagicProgram = if *opts == MagicOptions::default() {
+            self.demand_cache
+                .entry((goal, mask))
+                .or_insert_with(|| magic_transform(program, goal, &adornment, opts))
+        } else {
+            fresh = magic_transform(program, goal, &adornment, opts);
+            &fresh
         };
-        out.sort();
-        out.dedup();
-        out
+        for id in magic.program.constants() {
+            self.store.close_windows(id);
+        }
+        let mut scratch = self.fx.demand_scratch(&magic.program.preds);
+        let seed: Box<[SeqId]> = bound.iter().map(|&(_, id)| id).collect();
+        scratch.seed_demand(magic.seed, seed);
+        scratch.run(
+            &magic.program,
+            &mut self.store,
+            &self.registry,
+            &self.config,
+        )?;
+        Ok(DemandAnswer {
+            answers: filter_bound_answers(
+                Some(scratch.facts().relation(goal)),
+                pattern.len(),
+                &bound,
+                &self.alphabet,
+                &self.store,
+            ),
+            stats: scratch.stats(),
+            evaluated: true,
+        })
     }
 
     /// The raw relation of `pred`, if present.

@@ -32,7 +32,10 @@ use proptest::collection;
 use proptest::prop_oneof;
 use proptest::strategy::Strategy;
 use proptest::test_runner::TestRng;
+pub use seqlog_core::analysis::magic::MagicOptions;
+pub use seqlog_core::analysis::Bind;
 use seqlog_core::eval::interp::FactStore;
+pub use seqlog_core::session::DemandAnswer;
 use seqlog_core::wal::{read_wal, ReadRecord, WalReadOptions, WalRecord, WAL_FILE, WAL_HEADER_LEN};
 use seqlog_core::{
     Database, DurabilityOptions, Engine, EngineSession, EvalConfig, EvalError, EvalStats,
@@ -1006,6 +1009,110 @@ pub fn wal_surviving_batch_outcome(program_src: &str, dir: &Path, config: &EvalC
         },
         Err(err) => Outcome::from_error(&err),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Demand-driven (bound-argument) query harness
+// ---------------------------------------------------------------------------
+
+/// A demand probe pattern: `Some(word)` binds the position, `None` leaves
+/// it free. String-level so probes can be generated from rendered extents.
+pub type BoundPattern = Vec<Option<String>>;
+
+fn as_binds(pattern: &[Option<String>]) -> Vec<Bind<'_>> {
+    pattern
+        .iter()
+        .map(|p| match p {
+            Some(w) => Bind::Bound(w),
+            None => Bind::Free,
+        })
+        .collect()
+}
+
+/// The demand oracle: the batch extent of `pred`, filtered down to the
+/// tuples matching every bound position, sorted and deduplicated —
+/// exactly what [`EngineSession::query_bound`] promises to return.
+pub fn filtered_extent(
+    extents: &Extents,
+    pred: &str,
+    pattern: &[Option<String>],
+) -> Vec<Vec<String>> {
+    let mut out: Vec<Vec<String>> = extents
+        .get(pred)
+        .map(|rows| {
+            rows.iter()
+                .filter(|t| {
+                    t.len() == pattern.len()
+                        && pattern
+                            .iter()
+                            .zip(t.iter())
+                            .all(|(b, v)| b.as_ref().is_none_or(|b| b == v))
+                })
+                .cloned()
+                .collect()
+        })
+        .unwrap_or_default();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Every (pred, pattern) probe a case's batch model offers at arity ≤ 3:
+/// for each populated predicate, all 2^arity bound/free masks with bound
+/// values drawn from one of its tuples (so every adornment is exercised
+/// with at least one hit), plus an all-bound miss probe over a word the
+/// generator's alphabet can never derive.
+pub fn demand_probes(extents: &Extents) -> Vec<(String, BoundPattern)> {
+    let mut probes = Vec::new();
+    for (pred, rows) in extents {
+        let Some(sample) = rows.last() else { continue };
+        let arity = sample.len();
+        if arity == 0 || arity > 3 {
+            continue;
+        }
+        for mask in 0..(1usize << arity) {
+            let pattern: BoundPattern = (0..arity)
+                .map(|i| (mask >> i & 1 == 1).then(|| sample[i].clone()))
+                .collect();
+            probes.push((pred.clone(), pattern));
+        }
+        probes.push((pred.clone(), vec![Some("zq".to_string()); arity]));
+    }
+    probes
+}
+
+/// `query_bound` along the session route: assert every batch (optionally
+/// settling the session first — the unsettled variant makes the scratch
+/// evaluation derive everything itself), then issue the instrumented
+/// query. Failures are rendered like [`Outcome::Failed`] labels.
+pub fn demand_outcome(
+    case: &FuzzCase,
+    config: &EvalConfig,
+    pred: &str,
+    pattern: &[Option<String>],
+    settle: bool,
+    opts: &MagicOptions,
+) -> Result<DemandAnswer, String> {
+    let mut e = Engine::new();
+    let program = e
+        .parse_program(&case.program)
+        .expect("generated programs parse");
+    let mut session = e
+        .into_session(&program, *config)
+        .expect("generated programs compile");
+    for (p, word) in case.union_facts() {
+        session
+            .assert_fact(p, &[word.as_str()])
+            .map_err(|err| Outcome::from_error(&err).failure().unwrap().to_string())?;
+    }
+    if settle {
+        session
+            .run()
+            .map_err(|err| Outcome::from_error(&err).failure().unwrap().to_string())?;
+    }
+    session
+        .query_bound_instrumented(pred, &as_binds(pattern), opts)
+        .map_err(|err| Outcome::from_error(&err).failure().unwrap().to_string())
 }
 
 #[cfg(test)]

@@ -17,16 +17,43 @@
 //!   fails when its emitted code set differs from its expected set — so
 //!   CI fails both on a new warning in a clean program and on a fixture
 //!   that stops reproducing its lint.
+//! * `% adorn: pred(b,f)` — also print the demand (magic-set)
+//!   transformation for this goal and binding pattern (`b` = bound,
+//!   `f` = free). The same transformation can be requested from the
+//!   command line with `--adorn 'pred(b,f)'` for every file.
+//! * `% expect-fallback: dbl` — the predicates the transformation is
+//!   *supposed* to exempt from demand guarding (constructive or
+//!   domain-sensitive strata). Under `--check`, a file with an
+//!   `% adorn:` directive fails when the actual fallback set differs —
+//!   including the clean case, where the directive is absent and the
+//!   fallback set must be empty.
 //!
 //! Exit status: 0 when every file matches its expectation (clean files
 //! expect no diagnostics), 1 otherwise. `scripts/ci_check.sh` runs this
 //! over every program in `examples/programs/`.
 
-use sequence_datalog::core::analysis::ProgramReport;
+use sequence_datalog::core::analysis::magic::{magic_transform, MagicOptions};
+use sequence_datalog::core::analysis::{Adornment, ProgramReport};
 use sequence_datalog::core::compile::compile;
 use sequence_datalog::core::Engine;
 use std::collections::BTreeSet;
 use std::process::ExitCode;
+
+/// A parsed `pred(b,f,...)` goal/binding-pattern specification.
+struct AdornSpec {
+    pred: String,
+    pattern: Adornment,
+}
+
+fn parse_adorn_spec(spec: &str) -> Option<AdornSpec> {
+    let (name, rest) = spec.split_once('(')?;
+    let inner = rest.trim().strip_suffix(')')?;
+    let letters: String = inner.chars().filter(|c| !" ,".contains(*c)).collect();
+    Some(AdornSpec {
+        pred: name.trim().to_string(),
+        pattern: Adornment::parse(&letters)?,
+    })
+}
 
 /// Comment directives of one program file.
 #[derive(Default)]
@@ -35,9 +62,14 @@ struct Directives {
     edb: Option<Vec<String>>,
     /// `% expect:` — expected diagnostic codes (empty set when absent).
     expect: BTreeSet<String>,
+    /// `% adorn:` — demand transformations to print for this file.
+    adorn: Vec<AdornSpec>,
+    /// `% expect-fallback:` — predicates the transformation must exempt
+    /// from guarding (empty set when absent).
+    expect_fallback: BTreeSet<String>,
 }
 
-fn parse_directives(src: &str) -> Directives {
+fn parse_directives(src: &str) -> Option<Directives> {
     let mut d = Directives::default();
     for line in src.lines() {
         let Some(rest) = line.trim().strip_prefix('%') else {
@@ -53,14 +85,24 @@ fn parse_directives(src: &str) -> Directives {
             );
         } else if let Some(list) = rest.strip_prefix("expect:") {
             d.expect.extend(list.split_whitespace().map(str::to_string));
+        } else if let Some(spec) = rest.strip_prefix("adorn:") {
+            d.adorn.push(parse_adorn_spec(spec.trim())?);
+        } else if let Some(list) = rest.strip_prefix("expect-fallback:") {
+            d.expect_fallback.extend(
+                list.split(',')
+                    .map(|p| p.trim().to_string())
+                    .filter(|p| !p.is_empty()),
+            );
         }
     }
-    d
+    Some(d)
 }
 
 /// Analyze one file; returns `true` when its diagnostics match the
-/// `% expect:` set (empty for clean programs).
-fn analyze_file(path: &str) -> bool {
+/// `% expect:` set (empty for clean programs) and, when a demand
+/// transformation was requested, its fallback set matches
+/// `% expect-fallback:`.
+fn analyze_file(path: &str, cli_adorn: &[AdornSpec]) -> bool {
     let src = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
@@ -68,7 +110,10 @@ fn analyze_file(path: &str) -> bool {
             return false;
         }
     };
-    let directives = parse_directives(&src);
+    let Some(directives) = parse_directives(&src) else {
+        eprintln!("{path}: malformed % adorn: directive");
+        return false;
+    };
     let mut engine = Engine::new();
     let program = match engine.parse_program(&src) {
         Ok(p) => p,
@@ -98,39 +143,81 @@ fn analyze_file(path: &str) -> bool {
     println!("── {path} ──");
     print!("{}", report.render());
 
+    let mut ok = true;
     let emitted: BTreeSet<String> = report
         .diagnostics
         .iter()
         .map(|d| d.code.as_str().to_string())
         .collect();
-    if emitted == directives.expect {
-        return true;
+    if emitted != directives.expect {
+        for unexpected in emitted.difference(&directives.expect) {
+            eprintln!("{path}: unexpected diagnostic {unexpected}");
+        }
+        for missing in directives.expect.difference(&emitted) {
+            eprintln!("{path}: expected diagnostic {missing} did not fire");
+        }
+        ok = false;
     }
-    for unexpected in emitted.difference(&directives.expect) {
-        eprintln!("{path}: unexpected diagnostic {unexpected}");
+
+    // Demand transformations: file directives first, then CLI requests.
+    let mut fallback: BTreeSet<String> = BTreeSet::new();
+    let mut adorned_any = false;
+    for spec in directives.adorn.iter().chain(cli_adorn) {
+        let Some(goal) = compiled.preds.lookup(&spec.pred) else {
+            eprintln!("{path}: --adorn: unknown predicate {}", spec.pred);
+            ok = false;
+            continue;
+        };
+        adorned_any = true;
+        let magic = magic_transform(&compiled, goal, &spec.pattern, &MagicOptions::default());
+        println!("── demand: {}({}) ──", spec.pred, spec.pattern);
+        if magic.full_fallback {
+            println!("(domain-sensitive goal cone: full-evaluation fallback)");
+        }
+        print!("{}", magic.render(&|id| engine.render(id)));
+        let names = magic.fallback_names();
+        if !names.is_empty() {
+            println!("fallback (unguarded): {}", names.join(", "));
+        }
+        fallback.extend(names.iter().map(|n| n.to_string()));
     }
-    for missing in directives.expect.difference(&emitted) {
-        eprintln!("{path}: expected diagnostic {missing} did not fire");
+    if adorned_any && fallback != directives.expect_fallback {
+        for unexpected in fallback.difference(&directives.expect_fallback) {
+            eprintln!("{path}: unexpected fallback predicate {unexpected}");
+        }
+        for missing in directives.expect_fallback.difference(&fallback) {
+            eprintln!("{path}: expected fallback predicate {missing} is guarded");
+        }
+        ok = false;
     }
-    false
+    ok
 }
 
 fn main() -> ExitCode {
     let mut check = false;
     let mut files: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut cli_adorn: Vec<AdornSpec> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--check" => check = true,
+            "--adorn" => {
+                let Some(spec) = args.next().as_deref().and_then(parse_adorn_spec) else {
+                    eprintln!("--adorn expects a 'pred(b,f,...)' argument");
+                    return ExitCode::FAILURE;
+                };
+                cli_adorn.push(spec);
+            }
             _ => files.push(arg),
         }
     }
     if files.is_empty() {
-        eprintln!("usage: analyze [--check] FILE...");
+        eprintln!("usage: analyze [--check] [--adorn 'pred(b,f,...)'] FILE...");
         return ExitCode::FAILURE;
     }
     let mut ok = true;
     for path in &files {
-        ok &= analyze_file(path);
+        ok &= analyze_file(path, &cli_adorn);
         println!();
     }
     if check && !ok {

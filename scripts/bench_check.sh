@@ -15,12 +15,16 @@
 # snapshot), and the stratified_eval bench (SCC-stratified scheduling vs
 # the global semi-naive loop on a 24-stratum constructive chain plus a
 # ground domain-sensitive clause — the workload where the global loop
-# re-enumerates the domain once per round).
-# Usage: scripts/bench_check.sh [N]  (default N=7).
+# re-enumerates the domain once per round), and the point_query bench
+# (demand-driven bound-argument query via the magic-set transformation —
+# one chain's cone out of a ~100k-edge recursive closure — vs full
+# fixpoint evaluation plus filtering, with a ≥10x separation asserted
+# before timing).
+# Usage: scripts/bench_check.sh [N]  (default N=8).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-N="${1:-7}"
+N="${1:-8}"
 OUT="BENCH_${N}.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
@@ -30,7 +34,7 @@ BENCH_JSON="$RAW" cargo bench -q -p seqlog-bench \
     --bench ex15_recursion --bench thm3_ptime --bench fig2_square \
     --bench parallel_scaling --bench incremental_update \
     --bench retract_update --bench durability \
-    --bench stratified_eval \
+    --bench stratified_eval --bench point_query \
     -- --measurement-time 1
 
 {

@@ -6,7 +6,10 @@
 # killed at fuzzed WAL offsets, recovered, and compared bit-for-bit
 # against a fresh replay), the explicit sharded-commit threads matrix
 # (every generated case forced through the sharded dedupe + task-order
-# merge at threads 1/2/4/8 plus the commit-phase mutation tests) — the
+# merge at threads 1/2/4/8 plus the commit-phase mutation tests), the
+# demand-driven query oracle (query_bound ≡ filter of the batch fixpoint
+# across every adornment of arity ≤ 3, with the transformation's own
+# mutants — dropped magic guard, bypassed fallback — being caught) — the
 # SL001..SL006 lint analyzer over the
 # program corpus, and a zero-warning clippy pass over every
 # target. The fuzz
@@ -45,6 +48,14 @@ echo "    plus the commit-phase mutation tests (reversed shard-merge order,"
 echo "    skipped epoch freeze) being caught"
 cargo test -q --test fuzz_differential -- sharded_commit mutant_
 cargo test -q --test fuzz_recovery sharded_commit
+
+echo "==> cargo test -q --test fuzz_demand (demand-driven query oracle:"
+echo "    query_bound ≡ sorted filter of the batch fixpoint for every"
+echo "    populated predicate and every bound/free adornment of arity ≤ 3,"
+echo "    on settled and unsettled sessions, bit-for-bit across threads"
+echo "    1/2/4/8; plus the transformation mutants — dropped magic guard,"
+echo "    bypassed domain-sensitive fallback — being caught)"
+cargo test -q --test fuzz_demand
 
 echo "==> lint analyzer over the program corpus (examples/programs/*.sdl):"
 echo "    SL001..SL006 diagnostics must match each file's % expect: directive"
