@@ -1,6 +1,6 @@
 //! The IR-level lint engine: stable machine-readable diagnostics.
 //!
-//! Each lint has a stable code (`SL001`..`SL006`) and severity. Codes are
+//! Each lint has a stable code (`SL001`..`SL009`) and severity. Codes are
 //! part of the public interface — `scripts/ci_check.sh` and the
 //! `examples/analyze.rs` CLI match on them — and must not be renumbered.
 //!
@@ -12,6 +12,13 @@
 //! | SL004 | warning  | body predicate that heads no clause and is not a database predicate |
 //! | SL005 | warning  | duplicate or subsumed clause |
 //! | SL006 | warning  | predicate used with inconsistent arities |
+//! | SL007 | error    | head term calls a non-functional transducer (two outputs for one input) |
+//! | SL008 | warning  | a called machine has dead (unreachable or non-co-reachable) states |
+//! | SL009 | info     | fusable transducer chain: fused machine size, applied or declined |
+//!
+//! `SL007`–`SL009` are emitted by the machine-level fusion pass
+//! ([`super::fuse`]), which needs a [`crate::registry::TransducerRegistry`]
+//! alongside the compiled program.
 
 use super::graph::{Condensation, PredGraph};
 use crate::compile::{CBody, CompiledProgram};
@@ -39,6 +46,17 @@ pub enum LintCode {
     DuplicateClause,
     /// `SL006`: a predicate used with more than one arity.
     InconsistentArity,
+    /// `SL007`: a head term calls a registered transducer relation that is
+    /// not functional — it can emit two distinct outputs for one input, so
+    /// the call's value is ill-defined.
+    NonFunctionalTransducerCall,
+    /// `SL008`: a machine called from a head term has dead states
+    /// (unreachable from the initial state, or unable to reach acceptance).
+    DeadTransducerStates,
+    /// `SL009`: a head term chains transducer calls that the algebra can
+    /// (or tried to) fuse into one machine; reports the fused size and
+    /// whether fusion was applied or declined with a reason.
+    FusableTransducerChain,
 }
 
 impl LintCode {
@@ -51,13 +69,17 @@ impl LintCode {
             Self::UndefinedBodyPredicate => "SL004",
             Self::DuplicateClause => "SL005",
             Self::InconsistentArity => "SL006",
+            Self::NonFunctionalTransducerCall => "SL007",
+            Self::DeadTransducerStates => "SL008",
+            Self::FusableTransducerChain => "SL009",
         }
     }
 
     /// The fixed severity of this lint.
     pub fn severity(self) -> Severity {
         match self {
-            Self::ConstructiveCycle => Severity::Error,
+            Self::ConstructiveCycle | Self::NonFunctionalTransducerCall => Severity::Error,
+            Self::FusableTransducerChain => Severity::Info,
             _ => Severity::Warning,
         }
     }
@@ -69,9 +91,12 @@ impl fmt::Display for LintCode {
     }
 }
 
-/// Diagnostic severity.
+/// Diagnostic severity. The derived `Ord` ranks `Info < Warning < Error`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Severity {
+    /// Purely informational: reports an analysis result (e.g. a fusion
+    /// decision), not a defect.
+    Info,
     /// The program will evaluate, but the flagged construct is redundant
     /// or suspicious.
     Warning,
@@ -83,6 +108,7 @@ pub enum Severity {
 impl fmt::Display for Severity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
+            Self::Info => "info",
             Self::Warning => "warning",
             Self::Error => "error",
         })
@@ -105,7 +131,12 @@ pub struct Diagnostic {
 }
 
 impl Diagnostic {
-    fn new(code: LintCode, clause: Option<usize>, pred: Option<String>, message: String) -> Self {
+    pub(crate) fn new(
+        code: LintCode,
+        clause: Option<usize>,
+        pred: Option<String>,
+        message: String,
+    ) -> Self {
         Self {
             code,
             severity: code.severity(),

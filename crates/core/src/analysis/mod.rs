@@ -17,12 +17,14 @@
 //! sessions which know what has actually been asserted).
 
 pub mod adorn;
+pub mod fuse;
 pub mod graph;
 pub mod lint;
 pub mod magic;
 pub mod schedule;
 
 pub use adorn::{AdornedClause, AdornedProgram, Adornment, Bind, Binding};
+pub use fuse::{fuse_program, FuseLimits, FusePass, FusionDecision};
 pub use graph::{Condensation, DepEdge, GraphBuilder, PredGraph};
 pub use lint::{Diagnostic, LintCode, Severity};
 pub use magic::{magic_transform, render_clause, MagicProgram};
@@ -68,6 +70,10 @@ pub struct ProgramReport {
     /// True when no constructive edge lies on a cycle (Theorem 8) — i.e.
     /// no `SL001` diagnostic fired.
     pub strongly_safe: bool,
+    /// Transducer-fusion decisions (empty until a machine-level pass is
+    /// attached via [`ProgramReport::attach_fusion`], since fusion needs a
+    /// registry the pure program analysis does not have).
+    pub fusion: Vec<FusionDecision>,
     pred_names: Vec<String>,
 }
 
@@ -139,8 +145,20 @@ impl ProgramReport {
             condensation,
             schedule,
             strongly_safe,
+            fusion: Vec::new(),
             pred_names: program.preds.iter().map(|(_, n)| n.to_string()).collect(),
         }
+    }
+
+    /// Merge a machine-level [`fuse::FusePass`] into the report: its
+    /// `SL007`–`SL009` diagnostics join (and re-sort) the program-level
+    /// ones, and its fusion decisions become [`ProgramReport::fusion`].
+    pub fn attach_fusion(&mut self, pass: &fuse::FusePass) {
+        self.diagnostics.extend(pass.diagnostics.iter().cloned());
+        self.diagnostics.sort_by(|a, b| {
+            (a.code, a.clause, &a.pred, &a.message).cmp(&(b.code, b.clause, &b.pred, &b.message))
+        });
+        self.fusion = pass.decisions.clone();
     }
 
     /// True when some diagnostic has [`Severity::Error`].
@@ -201,6 +219,31 @@ impl ProgramReport {
         }
         for d in &self.diagnostics {
             let _ = writeln!(out, "{d}");
+        }
+        for f in &self.fusion {
+            let site = match f.clause {
+                Some(ci) => format!("clause {ci}"),
+                None => "network".to_string(),
+            };
+            if f.applied {
+                let _ = writeln!(
+                    out,
+                    "fusion ({site}): {} -> `@{}` ({} st / {} tr -> {} st / {} tr)",
+                    f.chain_display(),
+                    f.fused_name,
+                    f.chain_states,
+                    f.chain_transitions,
+                    f.fused_states,
+                    f.fused_transitions,
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "fusion ({site}): {} declined: {}",
+                    f.chain_display(),
+                    f.reason
+                );
+            }
         }
         out
     }

@@ -31,7 +31,7 @@ use crate::parser::{parse_program, ParseError};
 use crate::registry::TransducerRegistry;
 use crate::safety::{analyze, SafetyReport};
 use crate::session::EngineSession;
-use seqlog_sequence::{Alphabet, SeqId, SeqStore};
+use seqlog_sequence::{Alphabet, SeqId, SeqStore, Sym};
 use seqlog_transducer::Transducer;
 
 /// Render one interned sequence through an alphabet + store pair — the
@@ -185,6 +185,23 @@ impl Engine {
         self.registry.register(name, machine);
     }
 
+    /// Register a finite-state transducer *relation* (possibly
+    /// nondeterministic). It is analyzed by the machine-level lints
+    /// (`SL007` fires when a head term calls a non-functional relation)
+    /// and is callable from `@name(…)` terms only when it lowers to a
+    /// deterministic runtime machine.
+    pub fn register_relation(&mut self, name: &str, fst: seqlog_transducer::Fst, end_marker: Sym) {
+        self.registry.register_fst(name, fst, end_marker);
+    }
+
+    /// Register an acyclic transducer network under its own name. Unary
+    /// chains are fused by the transducer algebra at registration time and
+    /// become callable as a single machine (see
+    /// [`crate::registry::TransducerRegistry::register_network`]).
+    pub fn register_network(&mut self, network: seqlog_transducer::Network) {
+        self.registry.register_network(network);
+    }
+
     /// Evaluate with the default configuration.
     pub fn evaluate(&mut self, program: &Program, db: &Database) -> Result<Model, EvalError> {
         self.evaluate_with(program, db, &EvalConfig::default())
@@ -267,7 +284,13 @@ impl Engine {
     /// ```
     pub fn report(&self, program: &Program) -> Result<ProgramReport, EvalError> {
         let compiled = crate::compile::compile(program).map_err(EvalError::Compile)?;
-        Ok(ProgramReport::analyze(&compiled))
+        let mut report = ProgramReport::analyze(&compiled);
+        report.attach_fusion(&crate::analysis::fuse::fuse_program(
+            &compiled,
+            &self.registry,
+            &crate::analysis::FuseLimits::default(),
+        ));
+        Ok(report)
     }
 
     /// The tuples of `pred` in `model`, rendered to strings.

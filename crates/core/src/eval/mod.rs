@@ -206,6 +206,13 @@ pub struct EvalConfig {
     /// must be caught by the differential oracle.
     #[doc(hidden)]
     pub danger_skip_epoch_freeze: bool,
+    /// Test-only: skip the compile-time transducer-fusion pass
+    /// ([`crate::analysis::fuse`]) and evaluate chained transducer calls
+    /// stage by stage. Fusion is a pure rewrite, so the extent must be
+    /// bit-for-bit identical with this flag on or off — the differential
+    /// fuzz suite drives both sides through this switch.
+    #[doc(hidden)]
+    pub danger_disable_fusion: bool,
 }
 
 impl Default for EvalConfig {
@@ -222,6 +229,7 @@ impl Default for EvalConfig {
             danger_force_parallel: false,
             danger_reverse_merge_order: false,
             danger_skip_epoch_freeze: false,
+            danger_disable_fusion: false,
         }
     }
 }
@@ -487,6 +495,30 @@ pub fn evaluate_compiled(
     registry: &TransducerRegistry,
     config: &EvalConfig,
 ) -> Result<Model, EvalError> {
+    // Compile-time transducer fusion: collapse chained 1-input transducer
+    // calls in clause heads into single fused machines (a pure rewrite —
+    // the extent is bit-for-bit identical either way).
+    let fusion_store;
+    let (program, registry) = if config.danger_disable_fusion {
+        (program, registry)
+    } else {
+        let pass = crate::analysis::fuse::fuse_program(
+            program,
+            registry,
+            &crate::analysis::FuseLimits::default(),
+        );
+        match pass.fused {
+            Some((rewritten, machines)) => {
+                let mut reg = registry.clone();
+                for (name, machine) in machines {
+                    reg.register(name, machine);
+                }
+                fusion_store = (rewritten, reg);
+                (&fusion_store.0, &fusion_store.1)
+            }
+            None => (program, registry),
+        }
+    };
     // Window-close program constants so the match phase can resolve any
     // indexed term by read-only lookup (domain members are closed by
     // `insert_closed`; this extends the invariant to constant bases).

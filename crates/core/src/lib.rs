@@ -62,7 +62,10 @@ pub mod snapshot;
 pub mod translate;
 pub mod wal;
 
-pub use analysis::{Adornment, Bind, Diagnostic, LintCode, MagicProgram, ProgramReport, Severity};
+pub use analysis::{
+    Adornment, Bind, Diagnostic, FuseLimits, FusionDecision, LintCode, MagicProgram, ProgramReport,
+    Severity,
+};
 pub use ast::{Atom, BodyLit, Clause, IndexTerm, IndexedBase, Program, SeqTerm};
 pub use database::Database;
 pub use engine::Engine;
@@ -74,7 +77,9 @@ pub use wal::RecoveryError;
 
 /// Commonly used items, re-exported for `use seqlog_core::prelude::*`.
 pub mod prelude {
-    pub use crate::analysis::{Adornment, Bind, Diagnostic, LintCode, ProgramReport, Severity};
+    pub use crate::analysis::{
+        Adornment, Bind, Diagnostic, FuseLimits, FusionDecision, LintCode, ProgramReport, Severity,
+    };
     pub use crate::ast::Program;
     pub use crate::database::Database;
     pub use crate::engine::Engine;
@@ -87,5 +92,5 @@ pub mod prelude {
     pub use crate::translate::translate_program;
     pub use crate::wal::RecoveryError;
     pub use seqlog_sequence::{Alphabet, ExtendedDomain, SeqId, SeqStore, Sym};
-    pub use seqlog_transducer::{Network, Transducer};
+    pub use seqlog_transducer::{DeterminizeCaps, Fst, Network, Transducer};
 }

@@ -3,13 +3,25 @@
 //! interpreted function symbols, one for each generalized sequence
 //! transducer").
 
-use seqlog_sequence::FxHashMap;
-use seqlog_transducer::Transducer;
+use seqlog_sequence::{FxHashMap, Sym};
+use seqlog_transducer::{Fst, Network, Transducer};
 
 /// A name → machine mapping used to interpret transducer terms.
+///
+/// Besides runtime [`Transducer`]s the registry can hold:
+///
+/// * nondeterministic [`Fst`] *relations* ([`TransducerRegistry::register_fst`])
+///   — analyzed by the lint engine (`SL007` fires when a head term calls a
+///   non-functional one) and callable only when deterministically
+///   representable;
+/// * [`Network`]s ([`TransducerRegistry::register_network`]) — unary chains
+///   are fused by the transducer algebra at registration time and the fused
+///   machine is cached under the network's name.
 #[derive(Clone, Default, Debug)]
 pub struct TransducerRegistry {
     map: FxHashMap<String, Transducer>,
+    fsts: FxHashMap<String, Fst>,
+    networks: FxHashMap<String, Network>,
 }
 
 impl TransducerRegistry {
@@ -23,9 +35,59 @@ impl TransducerRegistry {
         self.map.insert(name.into(), machine);
     }
 
+    /// Register a finite-state transducer *relation* under `name`. The
+    /// machine is kept for analysis (functionality, dead states); when it
+    /// is deterministic and representable in the runtime model it is also
+    /// lowered to a callable [`Transducer`] under the same name.
+    pub fn register_fst(&mut self, name: impl Into<String>, fst: Fst, end_marker: Sym) {
+        let name = name.into();
+        if let Ok(t) = fst.to_transducer(&name, end_marker) {
+            self.map.insert(name.clone(), t);
+        }
+        self.fsts.insert(name, fst);
+    }
+
+    /// Register an acyclic network under its name. When the network is a
+    /// unary chain of 1-input order-1 machines, the chain is composed,
+    /// trimmed and minimized by the transducer algebra and the fused
+    /// machine is cached as a callable [`Transducer`] under the network's
+    /// name; other topologies are stored for analysis only.
+    pub fn register_network(&mut self, network: Network) {
+        let name = network.name().to_string();
+        if let Some(machines) = network.chain_machines() {
+            let caps = seqlog_transducer::DeterminizeCaps::default();
+            if let Ok(fused) = crate::analysis::fuse::fuse_chain(&name, &machines, &caps) {
+                self.map.insert(name.clone(), fused);
+            }
+        }
+        self.networks.insert(name, network);
+    }
+
     /// Look up a machine.
     pub fn get(&self, name: &str) -> Option<&Transducer> {
         self.map.get(name)
+    }
+
+    /// Look up a registered [`Fst`] relation.
+    pub fn fst(&self, name: &str) -> Option<&Fst> {
+        self.fsts.get(name)
+    }
+
+    /// Look up a registered [`Network`].
+    pub fn network(&self, name: &str) -> Option<&Network> {
+        self.networks.get(name)
+    }
+
+    /// Registered network names (arbitrary order).
+    pub fn network_names(&self) -> impl Iterator<Item = &str> {
+        self.networks.keys().map(String::as_str)
+    }
+
+    /// Registered [`Fst`] relation names (arbitrary order). Disjoint from
+    /// [`names`](TransducerRegistry::names) only for relations that do not
+    /// lower to a callable machine.
+    pub fn fst_names(&self) -> impl Iterator<Item = &str> {
+        self.fsts.keys().map(String::as_str)
     }
 
     /// Registered names (arbitrary order).

@@ -257,6 +257,13 @@ pub struct EngineSession {
     fx: Fixpoint,
     poisoned: Option<EvalError>,
     durability: Option<Durability>,
+    /// Machine-level diagnostics (`SL007`–`SL009`) computed by the fusion
+    /// pass at [`open`](EngineSession::open) time, against the *pre-rewrite*
+    /// program (the stored program is post-rewrite when fusion applied).
+    fusion_diagnostics: Vec<crate::analysis::Diagnostic>,
+    /// Fusion decisions from the same pass, surfaced via
+    /// [`report`](EngineSession::report).
+    fusion_decisions: Vec<crate::analysis::FusionDecision>,
     /// Magic-transformed programs cached per `(goal, bound-mask)` — the
     /// program never changes over a session's life, so entries never
     /// invalidate; repeated point queries recompile nothing.
@@ -291,6 +298,8 @@ impl Clone for EngineSession {
             fx: self.fx.clone(),
             poisoned: self.poisoned.clone(),
             durability: None,
+            fusion_diagnostics: self.fusion_diagnostics.clone(),
+            fusion_decisions: self.fusion_decisions.clone(),
             demand_cache: self.demand_cache.clone(),
         }
     }
@@ -303,12 +312,29 @@ impl EngineSession {
     /// first asserts (or immediately, to settle a program with ground
     /// clauses and no base facts).
     pub fn open(engine: Engine, program: &Program, config: EvalConfig) -> Result<Self, EvalError> {
-        let compiled = compile(program)?;
+        let mut compiled = compile(program)?;
         let Engine {
             alphabet,
             mut store,
-            registry,
+            mut registry,
         } = engine;
+        // Compile-time transducer fusion (see [`crate::analysis::fuse`]):
+        // analyze against the pre-rewrite program, then store the rewritten
+        // program and register the fused machines. A pure rewrite — the
+        // session's extent is bit-for-bit identical either way.
+        let pass = crate::analysis::fuse::fuse_program(
+            &compiled,
+            &registry,
+            &crate::analysis::FuseLimits::default(),
+        );
+        if !config.danger_disable_fusion {
+            if let Some((rewritten, machines)) = pass.fused {
+                compiled = rewritten;
+                for (name, machine) in machines {
+                    registry.register(name, machine);
+                }
+            }
+        }
         for id in compiled.constants() {
             store.close_windows(id);
         }
@@ -322,6 +348,8 @@ impl EngineSession {
             fx,
             poisoned: None,
             durability: None,
+            fusion_diagnostics: pass.diagnostics,
+            fusion_decisions: pass.decisions,
             demand_cache: HashMap::new(),
         })
     }
@@ -739,6 +767,8 @@ impl EngineSession {
             fx,
             poisoned: None,
             durability: None,
+            fusion_diagnostics: self.fusion_diagnostics.clone(),
+            fusion_decisions: self.fusion_decisions.clone(),
             demand_cache: HashMap::new(),
         })
     }
@@ -1390,7 +1420,13 @@ impl EngineSession {
             .filter(|&p| !is_head[p] || base.get(p).is_some_and(|r| !r.is_empty()))
             .map(|p| PredId(p as u32))
             .collect();
-        crate::analysis::ProgramReport::analyze_with_edb(&self.program, &edb)
+        let mut report = crate::analysis::ProgramReport::analyze_with_edb(&self.program, &edb);
+        report.attach_fusion(&crate::analysis::fuse::FusePass {
+            diagnostics: self.fusion_diagnostics.clone(),
+            decisions: self.fusion_decisions.clone(),
+            fused: None,
+        });
+        report
     }
 
     /// The evaluation configuration (mutable: budgets and thread count may

@@ -40,6 +40,8 @@ use seqlog_core::wal::{read_wal, ReadRecord, WalReadOptions, WalRecord, WAL_FILE
 use seqlog_core::{
     Database, DurabilityOptions, Engine, EngineSession, EvalConfig, EvalError, EvalStats,
 };
+use seqlog_sequence::Sym;
+use seqlog_transducer::library;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
@@ -542,7 +544,19 @@ fn render_store(e: &Engine, facts: &FactStore) -> BTreeMap<String, Vec<Vec<Strin
 
 /// Evaluate the union of all batches in one shot.
 pub fn batch_outcome(case: &FuzzCase, config: &EvalConfig) -> Outcome {
+    batch_outcome_in(Engine::new(), case, config)
+}
+
+/// [`batch_outcome`] with the standard chain machines
+/// ([`register_chain_machines`]) registered, for cases extended by
+/// [`with_chain_clauses`].
+pub fn chained_batch_outcome(case: &FuzzCase, config: &EvalConfig) -> Outcome {
     let mut e = Engine::new();
+    register_chain_machines(&mut e);
+    batch_outcome_in(e, case, config)
+}
+
+fn batch_outcome_in(mut e: Engine, case: &FuzzCase, config: &EvalConfig) -> Outcome {
     let program = e
         .parse_program(&case.program)
         .expect("generated programs parse");
@@ -1113,6 +1127,102 @@ pub fn demand_outcome(
     session
         .query_bound_instrumented(pred, &as_binds(pattern), opts)
         .map_err(|err| Outcome::from_error(&err).failure().unwrap().to_string())
+}
+
+/// Register the standard chain machines `m1`/`m2`/`m3` — functional
+/// 1-state letter mappers over `a`/`b`/`c` — used by the fusion
+/// differential ([`with_chain_clauses`] / [`chained_batch_outcome`]).
+/// `m1` is a rotation, `m2` collapses, `m3` swaps: composed in any order
+/// they do not commute, so a swapped-composition mutant diverges.
+pub fn register_chain_machines(e: &mut Engine) {
+    let s: Vec<Sym> = "abc".chars().map(|c| e.alphabet.intern_char(c)).collect();
+    let m1 = library::mapper(
+        &mut e.alphabet,
+        "m1",
+        &[(s[0], s[1]), (s[1], s[2]), (s[2], s[0])],
+    );
+    let m2 = library::mapper(
+        &mut e.alphabet,
+        "m2",
+        &[(s[0], s[0]), (s[1], s[0]), (s[2], s[1])],
+    );
+    let m3 = library::mapper(
+        &mut e.alphabet,
+        "m3",
+        &[(s[0], s[2]), (s[1], s[1]), (s[2], s[0])],
+    );
+    e.registry.register("m1", m1);
+    e.registry.register("m2", m2);
+    e.registry.register("m3", m3);
+}
+
+/// Extend a generated case with transducer-chain clauses over both base
+/// predicates: a 2-machine and a 3-machine nesting. Evaluating the result
+/// (via [`chained_batch_outcome`]) with fusion on and off is the
+/// differential oracle for the compile-time fusion pass.
+pub fn with_chain_clauses(mut case: FuzzCase) -> FuzzCase {
+    case.program
+        .push_str("fzc0(@m1(@m2(X))) :- r0(X).\nfzc1(@m3(@m2(@m1(X)))) :- r1(X).\n");
+    case
+}
+
+/// Strategy producing random small [`Fst`]s over a symbol universe — the
+/// input machines of the transducer-algebra property suite
+/// (`crates/transducer/tests/algebra.rs`). Machines may be
+/// nondeterministic, carry unreachable or stuck states, and emit 0–2
+/// symbols per arc; at least one state is final, so the relation is
+/// non-trivial for some input.
+pub struct FstStrategy {
+    universe: Vec<Sym>,
+    max_states: usize,
+    max_arcs_per_state: usize,
+    max_out_len: usize,
+}
+
+/// The default [`FstStrategy`] over `universe`.
+pub fn fsts(universe: Vec<Sym>) -> FstStrategy {
+    FstStrategy {
+        universe,
+        max_states: 4,
+        max_arcs_per_state: 3,
+        max_out_len: 2,
+    }
+}
+
+impl FstStrategy {
+    fn word(&self, rng: &mut TestRng) -> Vec<Sym> {
+        let len = (rng.next_u64() as usize) % (self.max_out_len + 1);
+        (0..len)
+            .map(|_| self.universe[(rng.next_u64() as usize) % self.universe.len()])
+            .collect()
+    }
+}
+
+impl Strategy for FstStrategy {
+    type Value = seqlog_transducer::Fst;
+
+    fn generate(&self, rng: &mut TestRng) -> seqlog_transducer::Fst {
+        let n = 1 + (rng.next_u64() as usize) % self.max_states;
+        let mut f = seqlog_transducer::Fst::new("rand", n);
+        for q in 0..n as u32 {
+            let n_arcs = (rng.next_u64() as usize) % (self.max_arcs_per_state + 1);
+            for _ in 0..n_arcs {
+                let input = self.universe[(rng.next_u64() as usize) % self.universe.len()];
+                let output = self.word(rng);
+                let next = (rng.next_u64() % n as u64) as u32;
+                f.add_arc(q, input, output, next);
+            }
+            if rng.next_u64().is_multiple_of(3) {
+                let out = self.word(rng);
+                f.set_final(q, out);
+            }
+        }
+        if (0..n as u32).all(|q| f.finals_of(q).is_empty()) {
+            f.set_final(0, Vec::new());
+        }
+        f.normalize();
+        f
+    }
 }
 
 #[cfg(test)]

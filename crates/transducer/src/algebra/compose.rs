@@ -1,0 +1,119 @@
+//! Pairwise composition and trim.
+
+use super::fst::Fst;
+use seqlog_sequence::FxHashMap;
+use std::collections::VecDeque;
+
+impl Fst {
+    /// Relational composition: run `self` on the input, feed its output to
+    /// `other`; the result maps input words directly to `other`'s outputs.
+    ///
+    /// States are reachable pairs `(q_self, q_other)`; for an arc
+    /// `q_self --a/w--> q'_self` the pair machine has one arc per way
+    /// `other` can consume `w` from `q_other`. A pair is final when `self`
+    /// can accept with output `u` and `other` can consume `u` and accept.
+    pub fn compose(&self, other: &Fst) -> Fst {
+        let mut ids: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        let mut out = Fst::new(format!("{}.{}", self.name, other.name), 0);
+        let mut queue = VecDeque::new();
+        let start = (self.initial(), other.initial());
+        ids.insert(start, out.add_state());
+        queue.push_back(start);
+        while let Some((qa, qb)) = queue.pop_front() {
+            let id = ids[&(qa, qb)];
+            for a in self.arcs_from(qa) {
+                for (qb2, v) in other.run_word(qb, &a.output) {
+                    let target = (a.next, qb2);
+                    let tid = *ids.entry(target).or_insert_with(|| {
+                        queue.push_back(target);
+                        out.add_state()
+                    });
+                    out.add_arc(id, a.input, v, tid);
+                }
+            }
+            for u in self.finals_of(qa) {
+                for (qb2, v) in other.run_word(qb, u) {
+                    for f in other.finals_of(qb2) {
+                        let mut w = v.clone();
+                        w.extend_from_slice(f);
+                        out.set_final(id, w);
+                    }
+                }
+            }
+        }
+        out.normalize();
+        out
+    }
+
+    /// Restrict to useful states: reachable from the initial state *and*
+    /// co-reachable (some final state is reachable from them). The initial
+    /// state is always kept so the result is a well-formed machine (it may
+    /// define the empty relation).
+    pub fn trim(&self) -> Fst {
+        let n = self.num_states();
+        let mut reach = vec![false; n];
+        let mut stack = vec![self.initial()];
+        reach[self.initial() as usize] = true;
+        while let Some(q) = stack.pop() {
+            for a in self.arcs_from(q) {
+                if !reach[a.next as usize] {
+                    reach[a.next as usize] = true;
+                    stack.push(a.next);
+                }
+            }
+        }
+        // Reverse edges for co-reachability.
+        let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for q in 0..n as u32 {
+            for a in self.arcs_from(q) {
+                rev[a.next as usize].push(q);
+            }
+        }
+        let mut coreach = vec![false; n];
+        let mut stack: Vec<u32> = (0..n as u32)
+            .filter(|&q| !self.finals_of(q).is_empty())
+            .collect();
+        for &q in &stack {
+            coreach[q as usize] = true;
+        }
+        while let Some(q) = stack.pop() {
+            for &p in &rev[q as usize] {
+                if !coreach[p as usize] {
+                    coreach[p as usize] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        let keep: Vec<bool> = (0..n)
+            .map(|q| (reach[q] && coreach[q]) || q == self.initial() as usize)
+            .collect();
+        let mut remap = vec![u32::MAX; n];
+        let mut out = Fst::new(self.name.clone(), 0);
+        for q in 0..n {
+            if keep[q] {
+                remap[q] = out.add_state();
+            }
+        }
+        let useful = |q: usize| reach[q] && coreach[q];
+        for q in 0..n {
+            if !keep[q] {
+                continue;
+            }
+            // Arcs between useful states only; a kept-but-useless initial
+            // state contributes no arcs or finals.
+            if useful(q) {
+                for a in self.arcs_from(q as u32) {
+                    if useful(a.next as usize) {
+                        out.add_arc(remap[q], a.input, a.output.clone(), remap[a.next as usize]);
+                    }
+                }
+                for f in self.finals_of(q as u32) {
+                    out.set_final(remap[q], f.clone());
+                }
+            }
+        }
+        out.set_initial(remap[self.initial() as usize]);
+        out.normalize();
+        out
+    }
+}

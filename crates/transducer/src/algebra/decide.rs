@@ -1,0 +1,296 @@
+//! Decision procedures: functionality (squaring construction) and
+//! bounded-delay equivalence of functional machines.
+
+use super::fst::Fst;
+use super::AlgebraError;
+use seqlog_sequence::{FxHashMap, Sym};
+use std::collections::VecDeque;
+
+/// An output lag between two runs: the two remainders after stripping the
+/// longest common prefix. For consistent run pairs at most one side is
+/// non-empty; both non-empty means the outputs have diverged.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Lag {
+    left: Vec<Sym>,
+    right: Vec<Sym>,
+}
+
+impl Lag {
+    fn advance(&self, u: &[Sym], v: &[Sym]) -> Lag {
+        let mut left = self.left.clone();
+        left.extend_from_slice(u);
+        let mut right = self.right.clone();
+        right.extend_from_slice(v);
+        let common = left
+            .iter()
+            .zip(right.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        left.drain(..common);
+        right.drain(..common);
+        Lag { left, right }
+    }
+
+    fn diverged(&self) -> bool {
+        !self.left.is_empty() && !self.right.is_empty()
+    }
+}
+
+/// One pair-graph edge: `(output self, output other, target pair)`.
+type PairEdge = (Vec<Sym>, Vec<Sym>, u32);
+
+/// The pair graph of two machines on a shared input: reachable pairs, the
+/// arc-pair relation, and which pairs are both-final.
+struct PairGraph {
+    states: Vec<(u32, u32)>,
+    edges: Vec<Vec<PairEdge>>,
+    final_pairs: Vec<bool>,
+}
+
+fn pair_graph(a: &Fst, b: &Fst) -> PairGraph {
+    let mut ids: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+    let mut states = Vec::new();
+    let mut edges: Vec<Vec<PairEdge>> = Vec::new();
+    let start = (a.initial(), b.initial());
+    ids.insert(start, 0);
+    states.push(start);
+    edges.push(Vec::new());
+    let mut queue = VecDeque::from([start]);
+    while let Some((qa, qb)) = queue.pop_front() {
+        let id = ids[&(qa, qb)] as usize;
+        let mut out = Vec::new();
+        for arc_a in a.arcs_from(qa) {
+            for arc_b in b.arcs_from(qb) {
+                if arc_a.input != arc_b.input {
+                    continue;
+                }
+                let target = (arc_a.next, arc_b.next);
+                let tid = *ids.entry(target).or_insert_with(|| {
+                    let t = states.len() as u32;
+                    states.push(target);
+                    edges.push(Vec::new());
+                    queue.push_back(target);
+                    t
+                });
+                out.push((arc_a.output.clone(), arc_b.output.clone(), tid));
+            }
+        }
+        edges[id] = out;
+    }
+    let final_pairs = states
+        .iter()
+        .map(|&(qa, qb)| !a.finals_of(qa).is_empty() && !b.finals_of(qb).is_empty())
+        .collect();
+    PairGraph {
+        states,
+        edges,
+        final_pairs,
+    }
+}
+
+/// Check output-lag consistency of the joint square of `a` and `b`
+/// (both must be trim). Returns `true` when every co-accessible pair has a
+/// unique, non-diverged lag and lags cancel exactly against final outputs.
+///
+/// With `a == b` this is the squaring functionality test (Béal–Carton);
+/// with `a ≠ b` of equal domain it decides equivalence of functional
+/// machines.
+fn lag_consistent(a: &Fst, b: &Fst) -> bool {
+    let g = pair_graph(a, b);
+    let n = g.states.len();
+    // Co-accessible pairs: can reach a both-final pair.
+    let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, outs) in g.edges.iter().enumerate() {
+        for (_, _, t) in outs {
+            rev[*t as usize].push(i as u32);
+        }
+    }
+    let mut useful = vec![false; n];
+    let mut stack: Vec<u32> = (0..n as u32)
+        .filter(|&i| g.final_pairs[i as usize])
+        .collect();
+    for &i in &stack {
+        useful[i as usize] = true;
+    }
+    while let Some(i) = stack.pop() {
+        for &p in &rev[i as usize] {
+            if !useful[p as usize] {
+                useful[p as usize] = true;
+                stack.push(p);
+            }
+        }
+    }
+    if !useful[0] {
+        // No accepted input reaches both machines jointly: nothing to
+        // compare, trivially consistent.
+        return true;
+    }
+    // BFS assigning each useful pair a unique lag.
+    let mut lag: Vec<Option<Lag>> = vec![None; n];
+    lag[0] = Some(Lag {
+        left: Vec::new(),
+        right: Vec::new(),
+    });
+    let mut queue = VecDeque::from([0u32]);
+    while let Some(i) = queue.pop_front() {
+        let cur = lag[i as usize].clone().expect("enqueued with a lag");
+        for (u, v, t) in &g.edges[i as usize] {
+            if !useful[*t as usize] {
+                continue;
+            }
+            let next = cur.advance(u, v);
+            if next.diverged() {
+                return false;
+            }
+            match &lag[*t as usize] {
+                Some(existing) => {
+                    if *existing != next {
+                        return false;
+                    }
+                }
+                None => {
+                    lag[*t as usize] = Some(next);
+                    queue.push_back(*t);
+                }
+            }
+        }
+    }
+    // Final pairs: the lag must cancel exactly against the final outputs.
+    for (i, &(qa, qb)) in g.states.iter().enumerate() {
+        if !g.final_pairs[i] || !useful[i] {
+            continue;
+        }
+        let Some(l) = &lag[i] else { continue };
+        for fa in a.finals_of(qa) {
+            for fb in b.finals_of(qb) {
+                let mut left = l.left.clone();
+                left.extend_from_slice(fa);
+                let mut right = l.right.clone();
+                right.extend_from_slice(fb);
+                if left != right {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Deterministic view of a machine's input language (outputs ignored):
+/// subset construction over the trim machine, so every DFA state can reach
+/// an accepting DFA state.
+struct DomainDfa {
+    arcs: Vec<Vec<(Sym, u32)>>,
+    accepting: Vec<bool>,
+}
+
+fn domain_dfa(t: &Fst) -> DomainDfa {
+    let mut ids: FxHashMap<Vec<u32>, u32> = FxHashMap::default();
+    let mut arcs: Vec<Vec<(Sym, u32)>> = Vec::new();
+    let mut accepting: Vec<bool> = Vec::new();
+    let start = vec![t.initial()];
+    ids.insert(start.clone(), 0);
+    arcs.push(Vec::new());
+    accepting.push(!t.finals_of(t.initial()).is_empty());
+    let mut queue = VecDeque::from([start]);
+    while let Some(subset) = queue.pop_front() {
+        let id = ids[&subset] as usize;
+        let mut symbols: Vec<Sym> = subset
+            .iter()
+            .flat_map(|&q| t.arcs_from(q).iter().map(|a| a.input))
+            .collect();
+        symbols.sort();
+        symbols.dedup();
+        for sym in symbols {
+            let mut target: Vec<u32> = subset
+                .iter()
+                .flat_map(|&q| {
+                    t.arcs_from(q)
+                        .iter()
+                        .filter(move |a| a.input == sym)
+                        .map(|a| a.next)
+                })
+                .collect();
+            target.sort();
+            target.dedup();
+            let tid = *ids.entry(target.clone()).or_insert_with(|| {
+                let i = arcs.len() as u32;
+                arcs.push(Vec::new());
+                accepting.push(target.iter().any(|&q| !t.finals_of(q).is_empty()));
+                queue.push_back(target.clone());
+                i
+            });
+            arcs[id].push((sym, tid));
+        }
+    }
+    DomainDfa { arcs, accepting }
+}
+
+/// Same input language? Product walk of the two partial DFAs. Both DFAs
+/// come from trim machines, so every state can still reach acceptance —
+/// an arc present on one side only is therefore a genuine domain mismatch.
+fn same_domain(a: &Fst, b: &Fst) -> bool {
+    let da = domain_dfa(a);
+    let db = domain_dfa(b);
+    let mut seen: FxHashMap<(u32, u32), ()> = FxHashMap::default();
+    let mut queue = VecDeque::from([(0u32, 0u32)]);
+    seen.insert((0, 0), ());
+    while let Some((sa, sb)) = queue.pop_front() {
+        if da.accepting[sa as usize] != db.accepting[sb as usize] {
+            return false;
+        }
+        let arcs_a = &da.arcs[sa as usize];
+        let arcs_b = &db.arcs[sb as usize];
+        for &(sym, ta) in arcs_a {
+            match arcs_b.iter().find(|(s, _)| *s == sym) {
+                Some(&(_, tb)) => {
+                    if seen.insert((ta, tb), ()).is_none() {
+                        queue.push_back((ta, tb));
+                    }
+                }
+                None => return false,
+            }
+        }
+        for &(sym, _) in arcs_b {
+            if !arcs_a.iter().any(|(s, _)| *s == sym) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+impl Fst {
+    /// Decide whether this machine defines a partial *function* (at most
+    /// one output per input), via the squaring construction: the trim
+    /// self-product with output-lag tracking. A diverged or non-unique lag
+    /// at a co-accessible pair, or a lag that fails to cancel against the
+    /// final outputs, exhibits an input with two outputs.
+    pub fn is_functional(&self) -> bool {
+        let t = self.trim();
+        lag_consistent(&t, &t)
+    }
+
+    /// Decide whether two *functional* machines define the same sequence
+    /// function: equal input domains and lag-consistent joint square.
+    /// Exact (no bound guessing): the lag of each pair state is unique for
+    /// equivalent machines, so the walk terminates within `n₁·n₂` pairs.
+    ///
+    /// Returns [`AlgebraError::NotFunctional`] when either machine is not
+    /// functional — use [`Fst::is_functional`] first.
+    pub fn equivalent(&self, other: &Fst) -> Result<bool, AlgebraError> {
+        if !self.is_functional() {
+            return Err(AlgebraError::NotFunctional {
+                name: self.name.clone(),
+            });
+        }
+        if !other.is_functional() {
+            return Err(AlgebraError::NotFunctional {
+                name: other.name.clone(),
+            });
+        }
+        let a = self.trim();
+        let b = other.trim();
+        Ok(same_domain(&a, &b) && lag_consistent(&a, &b))
+    }
+}

@@ -1,0 +1,140 @@
+//! Mohri-style subsequential determinization with output-delay buffers.
+
+use super::fst::Fst;
+use super::AlgebraError;
+use seqlog_sequence::{FxHashMap, Sym};
+use std::collections::VecDeque;
+
+/// Blow-up caps for [`Fst::determinize`]. Determinization of a functional
+/// machine can still be exponential in states (and a non-subsequential
+/// machine has unbounded delay buffers), so the construction declines —
+/// with a reason — rather than diverging.
+#[derive(Clone, Copy, Debug)]
+pub struct DeterminizeCaps {
+    /// Maximum number of subset states.
+    pub max_states: usize,
+    /// Maximum length of any output-delay (residual) buffer.
+    pub max_residual: usize,
+}
+
+impl Default for DeterminizeCaps {
+    fn default() -> Self {
+        Self {
+            max_states: 4096,
+            max_residual: 64,
+        }
+    }
+}
+
+/// A subset state: `(state, pending output)` pairs, sorted for hashing.
+type Subset = Vec<(u32, Vec<Sym>)>;
+
+fn lcp_len(a: &[Sym], b: &[Sym]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+}
+
+impl Fst {
+    /// Subsequential determinization (Mohri's subset construction with
+    /// output-delay buffers): the result is deterministic, emits the
+    /// longest common prefix of all pending outputs on each arc, and
+    /// carries the per-run remainder in the subset state.
+    ///
+    /// Declines (with [`AlgebraError::DeterminizeDeclined`]) when the
+    /// subset count or a delay buffer exceeds `caps`, or when the machine
+    /// is provably not subsequential (two distinct final outputs for one
+    /// input). On success the result defines the same relation — which is
+    /// then necessarily a partial function.
+    pub fn determinize(&self, caps: &DeterminizeCaps) -> Result<Fst, AlgebraError> {
+        let src = self.trim();
+        let mut out = Fst::new(format!("det({})", self.name), 0);
+        let mut ids: FxHashMap<Subset, u32> = FxHashMap::default();
+        let mut queue: VecDeque<Subset> = VecDeque::new();
+        let start: Subset = vec![(src.initial(), Vec::new())];
+        ids.insert(start.clone(), out.add_state());
+        queue.push_back(start);
+        while let Some(subset) = queue.pop_front() {
+            let id = ids[&subset];
+            // Final output candidates: residual ⧺ final output, per member.
+            let mut final_outs: Vec<Vec<Sym>> = Vec::new();
+            for (q, res) in &subset {
+                for f in src.finals_of(*q) {
+                    let mut o = res.clone();
+                    o.extend_from_slice(f);
+                    final_outs.push(o);
+                }
+            }
+            final_outs.sort();
+            final_outs.dedup();
+            if final_outs.len() > 1 {
+                return Err(AlgebraError::DeterminizeDeclined {
+                    name: self.name.clone(),
+                    reason: "not subsequential: two distinct outputs for one input".into(),
+                });
+            }
+            if let Some(f) = final_outs.pop() {
+                out.set_final(id, f);
+            }
+            // Input symbols leaving this subset.
+            let mut symbols: Vec<Sym> = subset
+                .iter()
+                .flat_map(|(q, _)| src.arcs_from(*q).iter().map(|a| a.input))
+                .collect();
+            symbols.sort();
+            symbols.dedup();
+            for sym in symbols {
+                let mut targets: Subset = Vec::new();
+                for (q, res) in &subset {
+                    for a in src.arcs_from(*q) {
+                        if a.input == sym {
+                            let mut o = res.clone();
+                            o.extend_from_slice(&a.output);
+                            targets.push((a.next, o));
+                        }
+                    }
+                }
+                // Emit the longest common prefix of all pending outputs.
+                let mut prefix = lcp_len(&targets[0].1, &targets[0].1);
+                for (_, o) in &targets[1..] {
+                    prefix = prefix.min(lcp_len(&targets[0].1, o));
+                }
+                let emitted: Vec<Sym> = targets[0].1[..prefix].to_vec();
+                for (_, o) in &mut targets {
+                    o.drain(..prefix);
+                    if o.len() > caps.max_residual {
+                        return Err(AlgebraError::DeterminizeDeclined {
+                            name: self.name.clone(),
+                            reason: format!(
+                                "output-delay buffer exceeded {} symbols",
+                                caps.max_residual
+                            ),
+                        });
+                    }
+                }
+                targets.sort();
+                targets.dedup();
+                let tid = match ids.get(&targets) {
+                    Some(&t) => t,
+                    None => {
+                        if ids.len() >= caps.max_states {
+                            return Err(AlgebraError::DeterminizeDeclined {
+                                name: self.name.clone(),
+                                reason: format!(
+                                    "subset construction exceeded {} states",
+                                    caps.max_states
+                                ),
+                            });
+                        }
+                        let t = out.add_state();
+                        ids.insert(targets.clone(), t);
+                        queue.push_back(targets.clone());
+                        t
+                    }
+                };
+                out.add_arc(id, sym, emitted, tid);
+            }
+        }
+        out.normalize();
+        debug_assert!(out.is_deterministic());
+        Ok(out)
+    }
+}

@@ -1,0 +1,294 @@
+//! The [`Fst`] representation and conversions to/from runtime machines.
+
+use super::AlgebraError;
+use crate::machine::{HeadMove, OutputAction, StateId, Transducer, Transition};
+use seqlog_sequence::{FxHashMap, Sym};
+
+/// One transition of an [`Fst`]: consume `input`, append `output`, go to
+/// `next`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Arc {
+    /// The consumed input symbol.
+    pub input: Sym,
+    /// The emitted output word (possibly empty).
+    pub output: Vec<Sym>,
+    /// The successor state.
+    pub next: u32,
+}
+
+/// A classical finite-state transducer over letter/word arcs.
+///
+/// Nondeterministic in general; a state is *final* when its final-output
+/// set is non-empty (accepting a run appends one of the final outputs).
+/// The runtime model's 1-input order-1 machines embed via
+/// [`Fst::from_transducer`] as deterministic machines in which every state
+/// is final with the empty final output.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fst {
+    /// Machine name (diagnostics only).
+    pub name: String,
+    initial: u32,
+    arcs: Vec<Vec<Arc>>,
+    finals: Vec<Vec<Vec<Sym>>>,
+}
+
+impl Fst {
+    /// Create a machine with `num_states` states (state 0 is initial) and
+    /// no arcs or final outputs.
+    pub fn new(name: impl Into<String>, num_states: usize) -> Self {
+        Self {
+            name: name.into(),
+            initial: 0,
+            arcs: vec![Vec::new(); num_states],
+            finals: vec![Vec::new(); num_states],
+        }
+    }
+
+    /// Append a fresh state and return its id.
+    pub fn add_state(&mut self) -> u32 {
+        self.arcs.push(Vec::new());
+        self.finals.push(Vec::new());
+        (self.arcs.len() - 1) as u32
+    }
+
+    /// Add a transition (duplicates are removed by [`Fst::normalize`]).
+    pub fn add_arc(&mut self, from: u32, input: Sym, output: Vec<Sym>, next: u32) {
+        self.arcs[from as usize].push(Arc {
+            input,
+            output,
+            next,
+        });
+    }
+
+    /// Mark `state` final with the given final-output word.
+    pub fn set_final(&mut self, state: u32, output: Vec<Sym>) {
+        self.finals[state as usize].push(output);
+    }
+
+    /// Sort and deduplicate arcs and final-output sets. All constructors in
+    /// this module call this, so machine comparison is structural.
+    pub fn normalize(&mut self) {
+        for a in &mut self.arcs {
+            a.sort();
+            a.dedup();
+        }
+        for f in &mut self.finals {
+            f.sort();
+            f.dedup();
+        }
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> u32 {
+        self.initial
+    }
+
+    /// Designate the initial state.
+    pub fn set_initial(&mut self, q: u32) {
+        assert!((q as usize) < self.arcs.len());
+        self.initial = q;
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Number of transitions.
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.iter().map(Vec::len).sum()
+    }
+
+    /// The arcs leaving `state`.
+    pub fn arcs_from(&self, state: u32) -> &[Arc] {
+        &self.arcs[state as usize]
+    }
+
+    /// The final-output set of `state` (empty ⇒ non-final).
+    pub fn finals_of(&self, state: u32) -> &[Vec<Sym>] {
+        &self.finals[state as usize]
+    }
+
+    /// True when no state has two arcs on the same input symbol and no
+    /// state has two distinct final outputs.
+    pub fn is_deterministic(&self) -> bool {
+        self.finals.iter().all(|f| f.len() <= 1)
+            && self.arcs.iter().all(|arcs| {
+                arcs.windows(2).all(|w| w[0].input != w[1].input) && {
+                    // Arcs are only guaranteed adjacent-by-input after
+                    // normalize(); check pairwise for safety on tiny
+                    // fan-outs.
+                    let mut seen: Vec<Sym> = Vec::with_capacity(arcs.len());
+                    arcs.iter().all(|a| {
+                        if seen.contains(&a.input) {
+                            false
+                        } else {
+                            seen.push(a.input);
+                            true
+                        }
+                    })
+                }
+            })
+    }
+
+    /// All outputs of the machine on `input` (sorted, deduplicated).
+    /// Extensional ground truth for the property suite; exponential in the
+    /// worst case, so callers keep inputs bounded.
+    pub fn outputs(&self, input: &[Sym]) -> Vec<Vec<Sym>> {
+        let mut out = Vec::new();
+        let mut stack: Vec<(u32, usize, Vec<Sym>)> = vec![(self.initial, 0, Vec::new())];
+        while let Some((q, pos, acc)) = stack.pop() {
+            if pos == input.len() {
+                for f in self.finals_of(q) {
+                    let mut o = acc.clone();
+                    o.extend_from_slice(f);
+                    out.push(o);
+                }
+            } else {
+                for a in self.arcs_from(q) {
+                    if a.input == input[pos] {
+                        let mut o = acc.clone();
+                        o.extend_from_slice(&a.output);
+                        stack.push((a.next, pos + 1, o));
+                    }
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// All `(state, emitted)` pairs reachable from `from` by consuming
+    /// exactly the word `w` (used by composition).
+    pub(super) fn run_word(&self, from: u32, w: &[Sym]) -> Vec<(u32, Vec<Sym>)> {
+        let mut cur: Vec<(u32, Vec<Sym>)> = vec![(from, Vec::new())];
+        for &sym in w {
+            let mut next = Vec::new();
+            for (q, emitted) in cur {
+                for a in self.arcs_from(q) {
+                    if a.input == sym {
+                        let mut o = emitted.clone();
+                        o.extend_from_slice(&a.output);
+                        next.push((a.next, o));
+                    }
+                }
+            }
+            cur = next;
+            if cur.is_empty() {
+                break;
+            }
+        }
+        cur.sort();
+        cur.dedup();
+        cur
+    }
+
+    /// View a 1-input order-1 runtime machine as an [`Fst`]: one arc per δ
+    /// entry, every state final with the empty final output (a Definition 7
+    /// machine halts successfully exactly when its input is exhausted).
+    pub fn from_transducer(t: &Transducer) -> Result<Self, AlgebraError> {
+        if t.num_inputs != 1 {
+            return Err(AlgebraError::Unsupported {
+                name: t.name.clone(),
+                reason: format!(
+                    "{}-input machine (algebra covers 1-input machines)",
+                    t.num_inputs
+                ),
+            });
+        }
+        if t.order() != 1 {
+            return Err(AlgebraError::Unsupported {
+                name: t.name.clone(),
+                reason: format!(
+                    "order-{} machine (algebra covers order-1 machines)",
+                    t.order()
+                ),
+            });
+        }
+        let mut fst = Fst::new(t.name.clone(), t.num_states());
+        fst.initial = t.initial.0;
+        for (q, read, tr) in t.iter_transitions() {
+            // A unary transition must consume (Def 7.5(i)) and cannot
+            // consume the end marker (Def 7.5(ii)), so `read` is a single
+            // ordinary symbol.
+            debug_assert_eq!(read.len(), 1);
+            debug_assert_ne!(read[0], t.end_marker);
+            let output = match tr.output {
+                OutputAction::Epsilon => Vec::new(),
+                OutputAction::Emit(s) => vec![s],
+                OutputAction::Call(_) => unreachable!("order-1 machine has no subtransducers"),
+            };
+            fst.add_arc(q.0, read[0], output, tr.next.0);
+        }
+        for q in 0..fst.num_states() {
+            fst.set_final(q as u32, Vec::new());
+        }
+        fst.normalize();
+        Ok(fst)
+    }
+
+    /// Lower this machine to a runtime [`Transducer`]. Requires a
+    /// deterministic machine whose arcs emit at most one symbol and whose
+    /// states are all final with the empty final output (Definition 7
+    /// machines accept everywhere and emit ≤ 1 symbol per step).
+    pub fn to_transducer(&self, name: &str, end_marker: Sym) -> Result<Transducer, AlgebraError> {
+        if !self.is_deterministic() {
+            return Err(AlgebraError::Nondeterministic {
+                name: self.name.clone(),
+            });
+        }
+        let mut transitions: FxHashMap<(StateId, Box<[Sym]>), Transition> = FxHashMap::default();
+        for (q, arcs) in self.arcs.iter().enumerate() {
+            for a in arcs {
+                let output = match a.output.len() {
+                    0 => OutputAction::Epsilon,
+                    1 => OutputAction::Emit(a.output[0]),
+                    n => {
+                        return Err(AlgebraError::Unrepresentable {
+                            name: self.name.clone(),
+                            reason: format!("an arc emits a {n}-symbol word"),
+                        })
+                    }
+                };
+                transitions.insert(
+                    (StateId(q as u32), vec![a.input].into()),
+                    Transition {
+                        next: StateId(a.next),
+                        moves: vec![HeadMove::Consume].into(),
+                        output,
+                    },
+                );
+            }
+        }
+        for (q, f) in self.finals.iter().enumerate() {
+            if f.len() != 1 || !f[0].is_empty() {
+                return Err(AlgebraError::Unrepresentable {
+                    name: self.name.clone(),
+                    reason: format!(
+                        "state {q} is {} (runtime machines accept everywhere with ε)",
+                        if f.is_empty() {
+                            "non-final"
+                        } else {
+                            "final with a non-ε output"
+                        }
+                    ),
+                });
+            }
+        }
+        let t = Transducer {
+            name: name.to_string(),
+            num_inputs: 1,
+            state_names: (0..self.num_states()).map(|i| format!("f{i}")).collect(),
+            initial: StateId(self.initial),
+            transitions,
+            subtransducers: Vec::new(),
+            end_marker,
+        };
+        t.validate().map_err(|e| AlgebraError::Unrepresentable {
+            name: self.name.clone(),
+            reason: e.to_string(),
+        })?;
+        Ok(t)
+    }
+}

@@ -1,0 +1,91 @@
+//! Partition-refinement minimization of deterministic machines.
+
+use super::fst::Fst;
+use super::AlgebraError;
+use seqlog_sequence::{FxHashMap, Sym};
+
+/// A state's refinement signature: sorted `(input, output, successor class)`.
+type Signature = Vec<(Sym, Vec<Sym>, u32)>;
+
+impl Fst {
+    /// Minimize a deterministic machine by Hopcroft-style partition
+    /// refinement: start from finality classes (keyed by the final-output
+    /// word), split classes until every pair of states in a class has the
+    /// same `(input, output word, successor class)` signature, then keep
+    /// one state per class. The machine is trimmed first, so the result is
+    /// the unique minimal trim machine for this transition/output labelling.
+    ///
+    /// (Canonical minimality of *subsequential* transducers additionally
+    /// pushes output words towards the initial state; chains produced by
+    /// [`Fst::determinize`] already emit eagerly, so plain refinement is
+    /// exact for the machines this crate fuses.)
+    pub fn minimize(&self) -> Result<Fst, AlgebraError> {
+        if !self.is_deterministic() {
+            return Err(AlgebraError::Nondeterministic {
+                name: self.name.clone(),
+            });
+        }
+        let src = self.trim();
+        let n = src.num_states();
+        if n == 0 {
+            return Ok(src);
+        }
+        // Initial partition: by final-output set.
+        let mut class: Vec<u32> = vec![0; n];
+        let mut num_classes;
+        {
+            let mut keys: FxHashMap<Vec<Vec<Sym>>, u32> = FxHashMap::default();
+            for (q, c) in class.iter_mut().enumerate() {
+                let k = src.finals_of(q as u32).to_vec();
+                let next = keys.len() as u32;
+                *c = *keys.entry(k).or_insert(next);
+            }
+            num_classes = keys.len();
+        }
+        // Refine to fixpoint on (class, (input, output, successor-class))
+        // signatures. The signature includes the current class, so classes
+        // only ever split; the count is strictly increasing until stable
+        // and bounded by n, so this terminates.
+        loop {
+            let mut sig_ids: FxHashMap<(u32, Signature), u32> = FxHashMap::default();
+            let mut next_class: Vec<u32> = vec![0; n];
+            for q in 0..n {
+                let mut sig: Signature = src
+                    .arcs_from(q as u32)
+                    .iter()
+                    .map(|a| (a.input, a.output.clone(), class[a.next as usize]))
+                    .collect();
+                sig.sort();
+                let key = (class[q], sig);
+                let fresh = sig_ids.len() as u32;
+                next_class[q] = *sig_ids.entry(key).or_insert(fresh);
+            }
+            let count = sig_ids.len();
+            class = next_class;
+            if count == num_classes {
+                break;
+            }
+            num_classes = count;
+        }
+        // Build the quotient machine.
+        let num_classes = class.iter().copied().max().unwrap_or(0) as usize + 1;
+        let mut out = Fst::new(self.name.clone(), num_classes);
+        out.set_initial(class[src.initial() as usize]);
+        let mut done = vec![false; num_classes];
+        for q in 0..n {
+            let c = class[q] as usize;
+            if done[c] {
+                continue;
+            }
+            done[c] = true;
+            for a in src.arcs_from(q as u32) {
+                out.add_arc(c as u32, a.input, a.output.clone(), class[a.next as usize]);
+            }
+            for f in src.finals_of(q as u32) {
+                out.set_final(c as u32, f.clone());
+            }
+        }
+        out.normalize();
+        Ok(out)
+    }
+}

@@ -1,0 +1,167 @@
+//! Compile-time transducer algebra: determinization, composition, trim,
+//! minimization, functionality and equivalence decision procedures.
+//!
+//! The runtime machine model ([`crate::machine::Transducer`]) is the paper's
+//! Definition 7: δ is a *deterministic partial map* and every transition
+//! consumes input. For static analysis we need the classical, more liberal
+//! view of a 1-input order-1 machine as a **finite-state transducer** over
+//! letter/word arcs — nondeterministic in general, with per-state final
+//! output sets. That view is [`Fst`]; this module implements the algebra on
+//! it and lifts the results back to `Transducer` where representable:
+//!
+//! * [`Fst::compose`] — relational composition (run `self`, feed `other`),
+//! * [`Fst::trim`] — restrict to reachable ∧ co-reachable states,
+//! * [`Fst::determinize`] — Mohri-style subsequential determinization with
+//!   output-delay buffers, capped to decline blow-ups,
+//! * [`Fst::minimize`] — partition-refinement minimization of deterministic
+//!   machines,
+//! * [`Fst::is_functional`] — squaring construction with output-lag
+//!   tracking (Béal–Carton style),
+//! * [`Fst::equivalent`] — bounded-delay equivalence of functional
+//!   machines (domain equality + lag consistency on the joint square).
+//!
+//! The same operations are exposed on [`Transducer`] directly for 1-input
+//! order-1 machines; higher-order or multi-input machines return
+//! [`AlgebraError::Unsupported`].
+
+mod compose;
+mod decide;
+mod determinize;
+mod fst;
+mod minimize;
+
+pub use determinize::DeterminizeCaps;
+pub use fst::{Arc, Fst};
+
+use crate::machine::Transducer;
+use std::fmt;
+
+/// Why an algebra operation could not be performed (or its result could not
+/// be represented as a runtime [`Transducer`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AlgebraError {
+    /// The machine is outside the algebra's scope (multi-input, higher
+    /// order, or mismatched end markers).
+    Unsupported {
+        /// Machine name.
+        name: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Determinization was declined: the subset construction exceeded the
+    /// state cap, an output-delay buffer exceeded the residual cap, or the
+    /// machine is not subsequential (conflicting final outputs).
+    DeterminizeDeclined {
+        /// Machine name.
+        name: String,
+        /// Human-readable reason (cap hit or conflict found).
+        reason: String,
+    },
+    /// The operation requires a deterministic machine.
+    Nondeterministic {
+        /// Machine name.
+        name: String,
+    },
+    /// The operation is only defined for functional machines.
+    NotFunctional {
+        /// Machine name.
+        name: String,
+    },
+    /// The [`Fst`] cannot be lowered to a runtime [`Transducer`] (arc
+    /// emitting a word longer than one symbol, a non-final state, or a
+    /// non-ε final output — Definition 7 machines accept everywhere and
+    /// emit at most one symbol per transition).
+    Unrepresentable {
+        /// Machine name.
+        name: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Unsupported { name, reason } => {
+                write!(f, "{name}: unsupported by the transducer algebra: {reason}")
+            }
+            Self::DeterminizeDeclined { name, reason } => {
+                write!(f, "{name}: determinization declined: {reason}")
+            }
+            Self::Nondeterministic { name } => {
+                write!(f, "{name}: operation requires a deterministic machine")
+            }
+            Self::NotFunctional { name } => {
+                write!(f, "{name}: operation requires a functional machine")
+            }
+            Self::Unrepresentable { name, reason } => {
+                write!(
+                    f,
+                    "{name}: not representable as a runtime transducer: {reason}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {}
+
+impl Transducer {
+    /// View this machine as an [`Fst`] (1-input, order-1 machines only).
+    pub fn algebra(&self) -> Result<Fst, AlgebraError> {
+        Fst::from_transducer(self)
+    }
+
+    /// Subsequential determinization (default caps). Definition 7 machines
+    /// are already deterministic, so this is essentially a normalization;
+    /// it exists so [`Fst`]-level pipelines and `Transducer`s share one API.
+    pub fn determinize(&self) -> Result<Transducer, AlgebraError> {
+        let det = self.algebra()?.determinize(&DeterminizeCaps::default())?;
+        det.to_transducer(&self.name, self.end_marker)
+    }
+
+    /// Compose two machines: run `self` first, feed its output to `other`.
+    pub fn compose(&self, other: &Transducer) -> Result<Transducer, AlgebraError> {
+        if self.end_marker != other.end_marker {
+            return Err(AlgebraError::Unsupported {
+                name: self.name.clone(),
+                reason: format!("end marker differs from {}", other.name),
+            });
+        }
+        let composed = self.algebra()?.compose(&other.algebra()?);
+        composed.to_transducer(&format!("{}.{}", self.name, other.name), self.end_marker)
+    }
+
+    /// Remove states that are unreachable from the initial state. (Runtime
+    /// machines accept in every state, so every reachable state is useful —
+    /// trim equals reachability here.)
+    pub fn trim(&self) -> Result<Transducer, AlgebraError> {
+        self.algebra()?
+            .trim()
+            .to_transducer(&self.name, self.end_marker)
+    }
+
+    /// Minimize via partition refinement (Hopcroft-style, over the
+    /// trimmed machine).
+    pub fn minimize(&self) -> Result<Transducer, AlgebraError> {
+        let min = self.algebra()?.minimize()?;
+        min.to_transducer(&self.name, self.end_marker)
+    }
+
+    /// Decide functionality via the squaring construction. Definition 7
+    /// machines are deterministic, so this always returns `Ok(true)`; it is
+    /// the honest decision procedure nevertheless (and the one used for
+    /// registered nondeterministic [`Fst`] relations).
+    pub fn is_functional(&self) -> Result<bool, AlgebraError> {
+        Ok(self.algebra()?.is_functional())
+    }
+
+    /// Decide whether two machines define the same sequence function
+    /// (bounded-delay equivalence; exact for functional machines).
+    pub fn equivalent(&self, other: &Transducer) -> Result<bool, AlgebraError> {
+        self.algebra()?.equivalent(&other.algebra()?)
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,258 @@
+use super::{AlgebraError, DeterminizeCaps, Fst};
+use crate::builder::TransducerBuilder;
+use crate::library;
+use seqlog_sequence::{Alphabet, Sym};
+
+fn abc() -> (Alphabet, Vec<Sym>) {
+    let mut a = Alphabet::new();
+    let syms: Vec<Sym> = "abc".chars().map(|c| a.intern_char(c)).collect();
+    (a, syms)
+}
+
+#[test]
+fn transducer_roundtrips_through_fst() {
+    let (mut a, syms) = abc();
+    let rot = library::mapper(
+        &mut a,
+        "rot",
+        &[(syms[0], syms[1]), (syms[1], syms[2]), (syms[2], syms[0])],
+    );
+    let fst = rot.algebra().unwrap();
+    assert!(fst.is_deterministic());
+    assert_eq!(fst.num_states(), rot.num_states());
+    let back = fst.to_transducer("rot2", rot.end_marker).unwrap();
+    let input = a.seq_of_str("abcba");
+    assert_eq!(
+        crate::run_to_vec(&rot, &[&input]).unwrap(),
+        crate::run_to_vec(&back, &[&input]).unwrap()
+    );
+}
+
+#[test]
+fn compose_runs_first_then_second() {
+    let (mut a, syms) = abc();
+    // f: a→b, b→c, c→a ; g: drops b, copies a and c.
+    let f = library::mapper(
+        &mut a,
+        "f",
+        &[(syms[0], syms[1]), (syms[1], syms[2]), (syms[2], syms[0])],
+    );
+    let mut g = TransducerBuilder::new("g", 1, a.end_marker());
+    let q = g.state("q");
+    g.on(
+        q,
+        &[syms[0]],
+        q,
+        &[crate::HeadMove::Consume],
+        crate::OutputAction::Emit(syms[0]),
+    );
+    g.on(
+        q,
+        &[syms[1]],
+        q,
+        &[crate::HeadMove::Consume],
+        crate::OutputAction::Epsilon,
+    );
+    g.on(
+        q,
+        &[syms[2]],
+        q,
+        &[crate::HeadMove::Consume],
+        crate::OutputAction::Emit(syms[2]),
+    );
+    let g = g.build().unwrap();
+    // f;g on "abc": f gives "bca", g drops the b → "ca".
+    let fg = f.compose(&g).unwrap();
+    let input = a.seq_of_str("abc");
+    assert_eq!(a.render(&crate::run_to_vec(&fg, &[&input]).unwrap()), "ca");
+    // g;f on "abc": g gives "ac", f maps → "ba".
+    let gf = g.compose(&f).unwrap();
+    assert_eq!(a.render(&crate::run_to_vec(&gf, &[&input]).unwrap()), "ba");
+}
+
+#[test]
+fn trim_drops_unreachable_states() {
+    let (mut a, syms) = abc();
+    let mut b = TransducerBuilder::new("dead", 1, a.end_marker());
+    let q = b.state("q");
+    let dead = b.state("dead");
+    b.on(
+        q,
+        &[syms[0]],
+        q,
+        &[crate::HeadMove::Consume],
+        crate::OutputAction::Emit(syms[0]),
+    );
+    b.on(
+        dead,
+        &[syms[1]],
+        dead,
+        &[crate::HeadMove::Consume],
+        crate::OutputAction::Epsilon,
+    );
+    let t = b.build().unwrap();
+    assert_eq!(t.num_states(), 2);
+    let trimmed = t.trim().unwrap();
+    assert_eq!(trimmed.num_states(), 1);
+    assert_eq!(trimmed.num_transitions(), 1);
+}
+
+#[test]
+fn determinize_merges_nondeterministic_relation() {
+    let (_, syms) = abc();
+    // Two parallel a-paths with the same outputs: a/b then a/c, via
+    // distinct intermediate states. Determinization folds them together.
+    let mut f = Fst::new("nd", 4);
+    f.add_arc(0, syms[0], vec![syms[1]], 1);
+    f.add_arc(0, syms[0], vec![syms[1]], 2);
+    f.add_arc(1, syms[0], vec![syms[2]], 3);
+    f.add_arc(2, syms[0], vec![syms[2]], 3);
+    f.set_final(3, Vec::new());
+    f.normalize();
+    assert!(!f.is_deterministic());
+    let det = f.determinize(&DeterminizeCaps::default()).unwrap();
+    assert!(det.is_deterministic());
+    let input = vec![syms[0], syms[0]];
+    assert_eq!(det.outputs(&input), f.outputs(&input));
+    assert_eq!(det.outputs(&[syms[0]]), f.outputs(&[syms[0]]));
+}
+
+#[test]
+fn determinize_declines_non_subsequential_machines() {
+    let (_, syms) = abc();
+    // a → b or a → c from the initial state: two outputs for one input.
+    let mut f = Fst::new("conflict", 2);
+    f.add_arc(0, syms[0], vec![syms[1]], 1);
+    f.add_arc(0, syms[0], vec![syms[2]], 1);
+    f.set_final(1, Vec::new());
+    f.normalize();
+    assert!(!f.is_functional());
+    let err = f.determinize(&DeterminizeCaps::default()).unwrap_err();
+    assert!(matches!(err, AlgebraError::DeterminizeDeclined { .. }));
+}
+
+#[test]
+fn determinize_declines_on_delay_cap() {
+    let (_, syms) = abc();
+    // Two a-loops with different outputs, both accepting: functional? No —
+    // but the conflict only surfaces through unbounded delay buffers.
+    let mut f = Fst::new("delay", 3);
+    f.add_arc(0, syms[0], vec![syms[1]], 1);
+    f.add_arc(0, syms[0], vec![syms[2]], 2);
+    f.add_arc(1, syms[0], vec![syms[1]], 1);
+    f.add_arc(2, syms[0], vec![syms[2]], 2);
+    f.set_final(1, Vec::new());
+    f.set_final(2, Vec::new());
+    f.normalize();
+    let err = f
+        .determinize(&DeterminizeCaps {
+            max_states: 4096,
+            max_residual: 8,
+        })
+        .unwrap_err();
+    assert!(matches!(err, AlgebraError::DeterminizeDeclined { .. }));
+}
+
+#[test]
+fn minimize_collapses_equivalent_states() {
+    let (_, syms) = abc();
+    // Two states with identical behaviour (copy a) reached on a.
+    let mut f = Fst::new("dup", 3);
+    f.add_arc(0, syms[0], vec![syms[0]], 1);
+    f.add_arc(0, syms[1], vec![syms[0]], 2);
+    f.add_arc(1, syms[0], vec![syms[0]], 1);
+    f.add_arc(2, syms[0], vec![syms[0]], 2);
+    f.set_final(0, Vec::new());
+    f.set_final(1, Vec::new());
+    f.set_final(2, Vec::new());
+    f.normalize();
+    let min = f.minimize().unwrap();
+    assert_eq!(min.num_states(), 2);
+    for w in [vec![], vec![syms[0]], vec![syms[1], syms[0]]] {
+        assert_eq!(min.outputs(&w), f.outputs(&w));
+    }
+}
+
+#[test]
+fn functionality_detects_two_outputs() {
+    let (_, syms) = abc();
+    let mut f = Fst::new("twoout", 2);
+    f.add_arc(0, syms[0], vec![syms[1]], 1);
+    f.add_arc(0, syms[0], vec![syms[2]], 1);
+    f.set_final(1, Vec::new());
+    f.normalize();
+    assert!(!f.is_functional());
+    // Restricting to one arc is functional.
+    let mut g = Fst::new("oneout", 2);
+    g.add_arc(0, syms[0], vec![syms[1]], 1);
+    g.set_final(1, Vec::new());
+    g.normalize();
+    assert!(g.is_functional());
+}
+
+#[test]
+fn functionality_ignores_non_coaccessible_conflicts() {
+    let (_, syms) = abc();
+    // The conflicting second arc leads to a dead (non-final, arcless)
+    // state, so the relation is still a function.
+    let mut f = Fst::new("deadconflict", 3);
+    f.add_arc(0, syms[0], vec![syms[1]], 1);
+    f.add_arc(0, syms[0], vec![syms[2]], 2);
+    f.set_final(1, Vec::new());
+    f.normalize();
+    assert!(f.is_functional());
+}
+
+#[test]
+fn equivalence_distinguishes_delay_and_agreement() {
+    let (mut a, syms) = abc();
+    let rot = library::mapper(
+        &mut a,
+        "rot",
+        &[(syms[0], syms[1]), (syms[1], syms[2]), (syms[2], syms[0])],
+    );
+    // Same function built with a redundant extra state.
+    let mut b = TransducerBuilder::new("rot_padded", 1, a.end_marker());
+    let q0 = b.state("q0");
+    let q1 = b.state("q1");
+    for (x, y) in [(syms[0], syms[1]), (syms[1], syms[2]), (syms[2], syms[0])] {
+        b.on(
+            q0,
+            &[x],
+            q1,
+            &[crate::HeadMove::Consume],
+            crate::OutputAction::Emit(y),
+        );
+        b.on(
+            q1,
+            &[x],
+            q0,
+            &[crate::HeadMove::Consume],
+            crate::OutputAction::Emit(y),
+        );
+    }
+    let padded = b.build().unwrap();
+    assert!(rot.equivalent(&padded).unwrap());
+    let copy = library::copy(&mut a, &syms);
+    assert!(!rot.equivalent(&copy).unwrap());
+    // Minimization of the padded machine reaches the 1-state form.
+    let min = padded.minimize().unwrap();
+    assert_eq!(min.num_states(), 1);
+    assert!(rot.equivalent(&min).unwrap());
+}
+
+#[test]
+fn algebra_rejects_unsupported_machines() {
+    let mut a = Alphabet::new();
+    let syms: Vec<Sym> = "ab".chars().map(|c| a.intern_char(c)).collect();
+    let echo = library::echo(&mut a, &syms); // 2 inputs
+    assert!(matches!(
+        echo.algebra(),
+        Err(AlgebraError::Unsupported { .. })
+    ));
+    let square = library::square(&mut a, &syms); // order 2
+    assert!(matches!(
+        square.algebra(),
+        Err(AlgebraError::Unsupported { .. })
+    ));
+}

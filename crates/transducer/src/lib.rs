@@ -20,12 +20,31 @@
 //! * acyclic transducer networks with diameter/order computation
 //!   ([`network`]).
 
+// Every public item carries documentation, and the same pedantic-subset of
+// clippy that crates/core promotes to warn applies here (CI runs clippy
+// with `-D warnings`, so these are effectively deny).
+#![warn(missing_docs)]
+#![warn(
+    clippy::cast_lossless,
+    clippy::explicit_iter_loop,
+    clippy::inefficient_to_string,
+    clippy::items_after_statements,
+    clippy::manual_let_else,
+    clippy::map_unwrap_or,
+    clippy::match_same_arms,
+    clippy::redundant_closure_for_method_calls,
+    clippy::semicolon_if_nothing_returned,
+    clippy::uninlined_format_args
+)]
+
+pub mod algebra;
 pub mod builder;
 pub mod exec;
 pub mod library;
 pub mod machine;
 pub mod network;
 
+pub use algebra::{AlgebraError, Arc, DeterminizeCaps, Fst};
 pub use builder::{synthesize, synthesize_multi, SynthStep, TransducerBuilder};
 pub use exec::{run, run_to_vec, trace, ExecError, ExecLimits, ExecStats, TraceRow};
 pub use machine::{HeadMove, MachineError, OutputAction, StateId, Transducer, Transition};

@@ -112,12 +112,12 @@ pub fn append(a: &mut Alphabet, syms: &[Sym]) -> Transducer {
 /// same sequence on both ports it emits each symbol twice
 /// (`abcd ↦ aabbccdd`) by strictly alternating between the two heads.
 pub fn echo(a: &mut Alphabet, syms: &[Sym]) -> Transducer {
-    let end = a.end_marker();
     #[derive(Clone, PartialEq, Eq, Hash)]
     enum S {
         FromA,
         FromB,
     }
+    let end = a.end_marker();
     synthesize(
         "t_echo",
         2,

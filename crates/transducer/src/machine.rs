@@ -74,31 +74,58 @@ pub struct Transition {
 pub enum MachineError {
     /// A transition's `moves` vector has the wrong arity.
     MoveArity {
+        /// Source state name.
         state: String,
+        /// Expected arity (the machine's input count).
         expected: usize,
+        /// Actual arity found.
         got: usize,
     },
     /// Definition 7(5)(i): no head moves in some transition.
-    NoHeadMoves { state: String },
+    NoHeadMoves {
+        /// Source state name.
+        state: String,
+    },
     /// Definition 7(5)(ii): a head reading `⊣` is commanded to move.
-    MovePastEnd { state: String, head: usize },
+    MovePastEnd {
+        /// Source state name.
+        state: String,
+        /// Offending head index.
+        head: usize,
+    },
     /// Definition 7(5)(iii): a subtransducer has the wrong number of inputs.
     SubArity {
+        /// Subtransducer name.
         sub: String,
+        /// Expected input count (caller's inputs + 1).
         expected: usize,
+        /// Actual input count found.
         got: usize,
     },
     /// A transition references a subtransducer index that does not exist.
-    UnknownSub { state: String, index: usize },
+    UnknownSub {
+        /// Source state name.
+        state: String,
+        /// The dangling subtransducer index.
+        index: usize,
+    },
     /// A transition emits the reserved end-of-tape marker.
-    EmitsEndMarker { state: String },
+    EmitsEndMarker {
+        /// Source state name.
+        state: String,
+    },
     /// A transition references an undeclared state.
-    UnknownState { state: u32 },
+    UnknownState {
+        /// The dangling state id.
+        state: u32,
+    },
     /// The machine has zero inputs (the model requires m ≥ 1).
     NoInputs,
     /// A nested error inside a subtransducer.
     InSub {
+        /// Subtransducer name.
         sub: String,
+        /// The underlying error.
         error: Box<MachineError>,
     },
 }

@@ -26,6 +26,7 @@ impl NodeId {
     }
 }
 
+#[derive(Clone)]
 enum Node {
     /// A network input port.
     Input,
@@ -36,6 +37,7 @@ enum Node {
 }
 
 /// An acyclic network of generalized transducers with one output node.
+#[derive(Clone)]
 pub struct Network {
     name: String,
     nodes: Vec<Node>,
@@ -104,6 +106,42 @@ impl Network {
             prev = n.add_machine(t, &[prev]);
         }
         n
+    }
+
+    /// The network's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// When this network is a single-input linear chain of 1-input
+    /// machines ending at the output node, return the machines in
+    /// application order (the shape [`Network::chain`] builds, and the
+    /// shape the compile-time fusion pass can collapse). Returns `None`
+    /// for any other topology.
+    pub fn chain_machines(&self) -> Option<Vec<&Transducer>> {
+        if self.inputs.len() != 1 {
+            return None;
+        }
+        let output = self.output?;
+        let mut machines = Vec::new();
+        let mut expect = NodeId(0);
+        for (i, node) in self.nodes.iter().enumerate() {
+            match node {
+                Node::Input => {
+                    if i != 0 {
+                        return None;
+                    }
+                }
+                Node::Machine { t, feeds } => {
+                    if t.num_inputs != 1 || feeds.as_slice() != [expect] {
+                        return None;
+                    }
+                    machines.push(t);
+                    expect = NodeId(i as u32);
+                }
+            }
+        }
+        (output == expect && !machines.is_empty()).then_some(machines)
     }
 
     /// Number of network input ports.

@@ -1,0 +1,238 @@
+//! Property suite for the transducer algebra (`seqlog_transducer::algebra`)
+//! over random machines from the testkit generator.
+//!
+//! Oracle: [`Fst::outputs`] — a brute-force extensional DFS over the
+//! machine — evaluated on every word up to a bounded length. Each algebra
+//! operation (trim, determinize, compose, minimize) must preserve the
+//! input/output relation against that oracle, and [`Fst::equivalent`]
+//! must agree with extensional comparison on the bounded input sets.
+//!
+//! The harness itself is mutation-tested at the bottom of the file: a
+//! swapped-composition-order mutant and a skip-trim mutant are run
+//! against the same oracles, and the tests assert the oracles *catch*
+//! them — a property suite that would pass under those bugs would be
+//! vacuous.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+use seqlog_sequence::Sym;
+use seqlog_testkit::fsts;
+use seqlog_transducer::{DeterminizeCaps, Fst};
+
+/// The 2-symbol universe the random machines range over. Small on
+/// purpose: every word up to [`MAX_WORD`] is enumerable, so the
+/// extensional oracle is total on the test set.
+fn universe() -> Vec<Sym> {
+    vec![Sym(0), Sym(1)]
+}
+
+const MAX_WORD: usize = 5;
+
+/// Every word over `u` of length ≤ `max`.
+fn words(u: &[Sym], max: usize) -> Vec<Vec<Sym>> {
+    let mut out: Vec<Vec<Sym>> = vec![Vec::new()];
+    let mut layer: Vec<Vec<Sym>> = vec![Vec::new()];
+    for _ in 0..max {
+        let mut next = Vec::new();
+        for w in &layer {
+            for &s in u {
+                let mut w2 = w.clone();
+                w2.push(s);
+                next.push(w2);
+            }
+        }
+        out.extend(next.iter().cloned());
+        layer = next;
+    }
+    out
+}
+
+/// The machine's relation restricted to the bounded word set: for each
+/// input word, the sorted set of outputs.
+fn relation(f: &Fst, inputs: &[Vec<Sym>]) -> Vec<Vec<Vec<Sym>>> {
+    inputs.iter().map(|w| f.outputs(w)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn trim_preserves_the_relation(f in fsts(universe())) {
+        let inputs = words(&universe(), MAX_WORD);
+        let t = f.trim();
+        prop_assert!(t.num_states() <= f.num_states());
+        prop_assert_eq!(relation(&f, &inputs), relation(&t, &inputs));
+    }
+
+    #[test]
+    fn determinize_preserves_the_relation_when_it_succeeds(f in fsts(universe())) {
+        let inputs = words(&universe(), MAX_WORD);
+        if let Ok(d) = f.determinize(&DeterminizeCaps::default()) {
+            prop_assert!(d.is_deterministic());
+            prop_assert_eq!(relation(&f, &inputs), relation(&d, &inputs));
+        }
+    }
+
+    #[test]
+    fn minimize_preserves_the_relation_and_never_grows(f in fsts(universe())) {
+        let inputs = words(&universe(), MAX_WORD);
+        // Route every machine through determinization first; minimize
+        // requires a deterministic input.
+        let Ok(d) = f.determinize(&DeterminizeCaps::default()) else {
+            continue;
+        };
+        let m = d.minimize().expect("determinize output is deterministic");
+        prop_assert!(m.num_states() <= d.num_states());
+        prop_assert_eq!(relation(&d, &inputs), relation(&m, &inputs));
+        // Minimization is idempotent at the state-count level.
+        let mm = m.minimize().expect("still deterministic");
+        prop_assert_eq!(mm.num_states(), m.num_states());
+    }
+
+    #[test]
+    fn compose_matches_staged_execution(f in fsts(universe()), g in fsts(universe())) {
+        let inputs = words(&universe(), MAX_WORD);
+        let fg = f.compose(&g);
+        for w in &inputs {
+            // Staged oracle: run f, feed every output through g.
+            let mut staged: Vec<Vec<Sym>> = f
+                .outputs(w)
+                .iter()
+                .flat_map(|u| g.outputs(u))
+                .collect();
+            staged.sort();
+            staged.dedup();
+            prop_assert_eq!(fg.outputs(w), staged);
+        }
+    }
+
+    #[test]
+    fn is_functional_agrees_with_the_extensional_oracle(f in fsts(universe())) {
+        let inputs = words(&universe(), MAX_WORD);
+        // Soundness direction on the bounded set: a machine that emits two
+        // distinct outputs for one bounded input is certainly not
+        // functional. (The converse needs unboundedly long witnesses, which
+        // the squaring construction decides exactly — covered by the unit
+        // tests in `algebra::tests`.)
+        if inputs.iter().any(|w| f.outputs(w).len() > 1) {
+            prop_assert!(!f.is_functional());
+        }
+    }
+
+    #[test]
+    fn equivalent_agrees_with_extensional_comparison(
+        f in fsts(universe()),
+        g in fsts(universe()),
+    ) {
+        let inputs = words(&universe(), MAX_WORD);
+        let (Ok(e_fg), Ok(e_ff)) = (f.equivalent(&g), f.equivalent(&f)) else {
+            continue; // only defined for functional machines
+        };
+        prop_assert!(e_ff, "every functional machine is equivalent to itself");
+        if e_fg {
+            prop_assert_eq!(relation(&f, &inputs), relation(&g, &inputs));
+        }
+        if relation(&f, &inputs) != relation(&g, &inputs) {
+            prop_assert!(!e_fg);
+        }
+    }
+
+    // ── mutation tests of the harness ────────────────────────────────
+    //
+    // These do not test the algebra; they test that the oracles above are
+    // strong enough to notice the two most plausible implementation bugs.
+
+    #[test]
+    fn trim_matches_an_independent_reachability_oracle(f in fsts(universe())) {
+        // Forward reachability ∧ reverse co-reachability, computed here
+        // from scratch. `trim` must keep exactly the useful states (plus
+        // the initial state); a skip-trim mutant returns the machine
+        // unchanged and diverges on any machine with dead states.
+        let n = f.num_states();
+        let mut reach = vec![false; n];
+        reach[f.initial() as usize] = true;
+        loop {
+            let mut changed = false;
+            for q in 0..n as u32 {
+                if reach[q as usize] {
+                    for a in f.arcs_from(q) {
+                        if !reach[a.next as usize] {
+                            reach[a.next as usize] = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed { break; }
+        }
+        let mut coreach: Vec<bool> = (0..n as u32)
+            .map(|q| !f.finals_of(q).is_empty())
+            .collect();
+        loop {
+            let mut changed = false;
+            for q in 0..n as u32 {
+                if !coreach[q as usize] && f.arcs_from(q).iter().any(|a| coreach[a.next as usize]) {
+                    coreach[q as usize] = true;
+                    changed = true;
+                }
+            }
+            if !changed { break; }
+        }
+        let useful = (0..n)
+            .filter(|&q| reach[q] && coreach[q])
+            .count()
+            .max(1); // the initial state is always kept
+        prop_assert_eq!(f.trim().num_states(), useful);
+    }
+}
+
+/// A skip-trim mutant is only caught if the generator actually produces
+/// machines with dead states — assert it does, so
+/// `trim_matches_an_independent_reachability_oracle` has teeth.
+#[test]
+fn generator_produces_machines_with_dead_states() {
+    let mut rng = TestRng::from_name("generator_produces_machines_with_dead_states");
+    let strat = fsts(universe());
+    let mut with_dead = 0;
+    for _ in 0..64 {
+        let f = strat.generate(&mut rng);
+        if f.trim().num_states() < f.num_states() {
+            with_dead += 1;
+        }
+    }
+    assert!(
+        with_dead >= 8,
+        "only {with_dead}/64 machines had dead states — generator too tame to catch a skip-trim mutant"
+    );
+}
+
+/// Swapped-composition-order mutant: composing `g` before `f` instead of
+/// `f` before `g`. The staged-execution oracle from
+/// `compose_matches_staged_execution` must flag it on some generated pair
+/// within the same case budget — otherwise the property is vacuous.
+#[test]
+fn swapped_composition_order_mutant_is_caught() {
+    let mut rng = TestRng::from_name("swapped_composition_order_mutant_is_caught");
+    let strat = fsts(universe());
+    let inputs = words(&universe(), MAX_WORD);
+    let mut caught = false;
+    for _ in 0..64 {
+        let f = strat.generate(&mut rng);
+        let g = strat.generate(&mut rng);
+        let mutant = g.compose(&f); // bug under test: arguments swapped
+        caught = inputs.iter().any(|w| {
+            let mut staged: Vec<Vec<Sym>> =
+                f.outputs(w).iter().flat_map(|u| g.outputs(u)).collect();
+            staged.sort();
+            staged.dedup();
+            mutant.outputs(w) != staged
+        });
+        if caught {
+            break;
+        }
+    }
+    assert!(
+        caught,
+        "no generated pair distinguishes f;g from g;f — composition oracle is vacuous"
+    );
+}

@@ -19,12 +19,15 @@
 # (demand-driven bound-argument query via the magic-set transformation —
 # one chain's cone out of a ~100k-edge recursive closure — vs full
 # fixpoint evaluation plus filtering, with a ≥10x separation asserted
-# before timing).
-# Usage: scripts/bench_check.sh [N]  (default N=8).
+# before timing), and the transducer_pipeline bench (a 3-machine head
+# chain fused at compile time into one minimized machine vs staged
+# per-derivation execution, with a ≥2x separation asserted before
+# timing).
+# Usage: scripts/bench_check.sh [N]  (default N=9).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-N="${1:-8}"
+N="${1:-9}"
 OUT="BENCH_${N}.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
@@ -35,6 +38,7 @@ BENCH_JSON="$RAW" cargo bench -q -p seqlog-bench \
     --bench parallel_scaling --bench incremental_update \
     --bench retract_update --bench durability \
     --bench stratified_eval --bench point_query \
+    --bench transducer_pipeline \
     -- --measurement-time 1
 
 {

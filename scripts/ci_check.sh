@@ -9,9 +9,14 @@
 # merge at threads 1/2/4/8 plus the commit-phase mutation tests), the
 # demand-driven query oracle (query_bound ≡ filter of the batch fixpoint
 # across every adornment of arity ≤ 3, with the transformation's own
-# mutants — dropped magic guard, bypassed fallback — being caught) — the
-# SL001..SL006 lint analyzer over the
-# program corpus, and a zero-warning clippy pass over every
+# mutants — dropped magic guard, bypassed fallback — being caught), the
+# transducer-algebra property suite (trim/determinize/compose/minimize
+# vs the extensional oracle on random machines, with the skip-trim and
+# swapped-composition mutants being caught) and the fusion differential
+# (fusion on ≡ off bit-for-bit at threads 1/2/4/8) — the
+# SL001..SL009 lint analyzer over the
+# program corpus with machine-level lints, and a zero-warning clippy
+# pass over every
 # target. The fuzz
 # generators are seeded from test names (see crates/shims/proptest), so a
 # failure here reproduces locally by running the same test — no seed to
@@ -57,11 +62,28 @@ echo "    1/2/4/8; plus the transformation mutants — dropped magic guard,"
 echo "    bypassed domain-sensitive fallback — being caught)"
 cargo test -q --test fuzz_demand
 
+echo "==> cargo test -q -p seqlog-transducer --test algebra (transducer-algebra"
+echo "    property suite: trim/determinize/compose/minimize preserve the"
+echo "    machine's relation against the brute-force extensional oracle on"
+echo "    random machines; equivalence agrees with extensional comparison;"
+echo "    plus the harness's own mutants — skip-trim, swapped composition"
+echo "    order — being caught)"
+cargo test -q -p seqlog-transducer --test algebra
+
+echo "==> cargo test -q --test fuzz_fusion (fusion differential: every"
+echo "    generated case extended with transducer-chain clauses, plus the"
+echo "    paper's transducer programs, evaluated with the compile-time"
+echo "    fusion pass on and off — extents bit-for-bit identical at threads"
+echo "    1/2/4/8, and the fused route provably doing less transducer work)"
+cargo test -q --test fuzz_fusion
+
 echo "==> lint analyzer over the program corpus (examples/programs/*.sdl):"
-echo "    SL001..SL006 diagnostics must match each file's % expect: directive"
+echo "    SL001..SL009 diagnostics must match each file's % expect: directive"
 echo "    exactly — clean programs fail on any new warning, lint fixtures"
-echo "    fail if their diagnostic stops reproducing"
-cargo run --release -q --example analyze -- --check examples/programs/*.sdl
+echo "    fail if their diagnostic stops reproducing (--machines prints the"
+echo "    registered machines' algebra report: size, functionality, minimized"
+echo "    size)"
+cargo run --release -q --example analyze -- --check --machines examples/programs/*.sdl
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
